@@ -1,0 +1,112 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6), then measures the wall-clock speed
+   of the real-time components (rewriter, verifier, assembler, Wasm
+   validator, emulator) with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   (or `dune exec bench/main.exe -- --quick` to skip the Bechamel
+   wall-clock section). *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
+
+let run_experiments () =
+  section "Experiment E1 - Figure 3 (LFI optimization levels)";
+  Lfi_experiments.Fig3.run_all ();
+  section "Experiment E2 - Figure 4 + Table 4 (LFI vs WebAssembly)";
+  Lfi_experiments.Fig4.run_all ();
+  section "Experiment E3 - Code size (Section 6.3)";
+  Lfi_experiments.Codesize.run_all ();
+  section "Experiment E4 - Figure 5 (LFI vs virtualization)";
+  Lfi_experiments.Fig5.run_all ();
+  section "Experiment E5 - Table 5 (context switch microbenchmarks)";
+  Lfi_experiments.Table5.run_all ();
+  section "Experiment E6 - Verifier throughput (Section 5.2)";
+  Lfi_experiments.Verifier_speed.run_all ();
+  section "Experiment E7 - Ablations (Sections 4.2-4.3)";
+  Lfi_experiments.Ablation.run_all ();
+  section "Experiment E8 - Spectre hardening cost (Section 7.1)";
+  Lfi_experiments.Spectre.run_all ();
+  section "CoreMark (artifact appendix A.6.3)";
+  Lfi_experiments.Coremark_exp.run_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benchmarks of the toolchain itself              *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  (* fixtures: the mcf proxy at each pipeline stage *)
+  let w = Option.get (Lfi_workloads.Registry.find "mcf") in
+  let prog = w.Lfi_workloads.Common.program in
+  let native_src = Lfi_minic.Compile.compile prog in
+  let native_text = Lfi_arm64.Source.to_string native_src in
+  let rewritten, _ = Lfi_core.Rewriter.rewrite native_src in
+  let image = Lfi_arm64.Assemble.assemble rewritten in
+  let code =
+    match Lfi_elf.Elf.text_segment (Lfi_elf.Elf.of_image image) with
+    | Some seg -> seg.Lfi_elf.Elf.data
+    | None -> assert false
+  in
+  let wasm_blob = Lfi_wasm.Ir.serialize (Lfi_wasm.From_minic.lower prog) in
+  let small = Option.get (Lfi_workloads.Registry.find "deepsjeng") in
+
+  let tests =
+    [
+      Test.make ~name:"parse-asm"
+        (Staged.stage (fun () ->
+             ignore (Lfi_arm64.Parser.parse_string_exn native_text)));
+      Test.make ~name:"rewrite-O2"
+        (Staged.stage (fun () -> ignore (Lfi_core.Rewriter.rewrite native_src)));
+      Test.make ~name:"assemble"
+        (Staged.stage (fun () -> ignore (Lfi_arm64.Assemble.assemble rewritten)));
+      Test.make ~name:"verify"
+        (Staged.stage (fun () ->
+             match Lfi_verifier.Verifier.verify ~code () with
+             | Ok _ -> ()
+             | Error _ -> failwith "verify failed"));
+      Test.make ~name:"wasm-validate"
+        (Staged.stage (fun () ->
+             match Lfi_wasm.Validate.validate (Lfi_wasm.Ir.deserialize wasm_blob) with
+             | Ok () -> ()
+             | Error _ -> failwith "validate failed"));
+      Test.make ~name:"emulate-deepsjeng"
+        (Staged.stage (fun () ->
+             ignore
+               (Lfi_experiments.Run.run
+                  (Lfi_experiments.Run.Lfi Lfi_core.Config.o2)
+                  small.Lfi_workloads.Common.program)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  section "Toolchain wall-clock (Bechamel, ns/run)";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-20s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-20s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  run_experiments ();
+  if not quick then bechamel_benchmarks ();
+  print_newline ();
+  print_endline
+    "Done.  Paper-vs-measured commentary for every experiment is in \
+     EXPERIMENTS.md."

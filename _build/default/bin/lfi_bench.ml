@@ -1,0 +1,39 @@
+(* lfi-bench: regenerate individual paper experiments from the command
+   line (the full suite lives in bench/main.exe). *)
+
+open Cmdliner
+
+let experiments =
+  [
+    ("fig3", Lfi_experiments.Fig3.run_all);
+    ("fig4", Lfi_experiments.Fig4.run_all);
+    ("codesize", Lfi_experiments.Codesize.run_all);
+    ("fig5", Lfi_experiments.Fig5.run_all);
+    ("table5", Lfi_experiments.Table5.run_all);
+    ("verifier", Lfi_experiments.Verifier_speed.run_all);
+    ("ablation", Lfi_experiments.Ablation.run_all);
+    ("spectre", Lfi_experiments.Spectre.run_all);
+    ("coremark", Lfi_experiments.Coremark_exp.run_all);
+  ]
+
+let run names =
+  let names = if names = [] then List.map fst experiments else names in
+  List.iter
+    (fun n ->
+      match List.assoc_opt n experiments with
+      | Some f ->
+          f ();
+          print_newline ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (available: %s)\n" n
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    names
+
+let cmd =
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  Cmd.v
+    (Cmd.info "lfi-bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ names)
+
+let () = exit (Cmd.eval cmd)

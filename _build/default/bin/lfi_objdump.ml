@@ -1,0 +1,80 @@
+(* lfi-objdump: disassemble an LFI ELF executable.
+
+   Decodes the text segment with the same decoder the verifier uses and
+   prints a GNU-style listing.  With --annotate, each line is tagged
+   with the verifier's classification (guard instructions, guarded
+   accesses, runtime calls), which makes rewritten binaries easy to
+   audit by eye. *)
+
+open Cmdliner
+open Lfi_arm64
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let classify (i : Insn.t) : string =
+  match i with
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; dst = Reg.R (Reg.W64, (18 | 23 | 24 | 30));
+        src = Reg.R (Reg.W64, 21); op2 = Insn.Ext (_, Insn.Uxtw, 0) } ->
+      "guard"
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; dst = Reg.SP Reg.W64;
+        src = Reg.R (Reg.W64, 21); _ } ->
+      "sp guard"
+  | Insn.Ldr { dst = Reg.R (Reg.W64, 30);
+               addr = Insn.Imm_off (Reg.R (Reg.W64, 21), _); _ } ->
+      "runtime call"
+  | Insn.Ldr { addr = Insn.Reg_off (Reg.R (Reg.W64, 21), _, Insn.Uxtw, 0); _ }
+  | Insn.Str { addr = Insn.Reg_off (Reg.R (Reg.W64, 21), _, Insn.Uxtw, 0); _ }
+  | Insn.Fldr { addr = Insn.Reg_off (Reg.R (Reg.W64, 21), _, Insn.Uxtw, 0); _ }
+  | Insn.Fstr { addr = Insn.Reg_off (Reg.R (Reg.W64, 21), _, Insn.Uxtw, 0); _ }
+    ->
+      "guarded access"
+  | Insn.Udf _ -> "UNSAFE"
+  | Insn.Svc _ | Insn.Mrs _ | Insn.Msr _ -> "UNSAFE"
+  | _ -> ""
+
+let run input annotate =
+  match Lfi_elf.Elf.read (read_bytes input) with
+  | exception Lfi_elf.Elf.Bad_elf msg ->
+      Printf.eprintf "%s: bad ELF: %s\n" input msg;
+      exit 2
+  | elf -> (
+      match Lfi_elf.Elf.text_segment elf with
+      | None ->
+          Printf.eprintf "%s: no executable segment\n" input;
+          exit 2
+      | Some seg ->
+          let insns = Decode.decode_all seg.Lfi_elf.Elf.data in
+          Printf.printf "%s:  entry at 0x%x\n\n" input elf.Lfi_elf.Elf.entry;
+          Array.iteri
+            (fun k i ->
+              let addr = seg.Lfi_elf.Elf.vaddr + (4 * k) in
+              let word =
+                Int32.to_int
+                  (Bytes.get_int32_le seg.Lfi_elf.Elf.data (4 * k))
+                land 0xFFFFFFFF
+              in
+              let tag = if annotate then classify i else "" in
+              Printf.printf "  %6x:\t%08x\t%-40s%s\n" addr word
+                (Printer.to_string i)
+                (if tag = "" then "" else "; " ^ tag))
+            insns)
+
+let cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY") in
+  let annotate =
+    Arg.(value & flag & info [ "annotate" ]
+           ~doc:"Tag guards, guarded accesses and runtime calls.")
+  in
+  Cmd.v
+    (Cmd.info "lfi-objdump" ~doc:"Disassemble an LFI ELF binary")
+    Term.(const run $ input $ annotate)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,110 @@
+(* lfi-run: load one or more LFI ELF executables into sandboxes and run
+   them under the runtime, printing their output and exit codes.
+
+   With --native the program runs unsandboxed (the comparison baseline);
+   with --asm the input is an assembly file that is assembled (and, for
+   sandboxed runs, rewritten) on the fly. *)
+
+open Cmdliner
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let load_input ~asm ~native path : Lfi_elf.Elf.t =
+  if asm then begin
+    let text = Bytes.to_string (read_bytes path) in
+    let src = Lfi_arm64.Parser.parse_string_exn text in
+    let src =
+      if native then src else fst (Lfi_core.Rewriter.rewrite src)
+    in
+    Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble src)
+  end
+  else Lfi_elf.Elf.read (read_bytes path)
+
+let run inputs native asm uarch_name quantum trace =
+  let uarch =
+    match Lfi_emulator.Cost_model.by_name uarch_name with
+    | Some u -> u
+    | None ->
+        Printf.eprintf "unknown machine model %S (try m1 or t2a)\n" uarch_name;
+        exit 2
+  in
+  let config =
+    { Lfi_runtime.Runtime.default_config with uarch; quantum;
+      echo_stdout = true }
+  in
+  let rt = Lfi_runtime.Runtime.create ~config () in
+  let personality =
+    if native then Lfi_runtime.Proc.Native_in_lfi_runtime
+    else Lfi_runtime.Proc.Lfi
+  in
+  let procs =
+    List.map
+      (fun path ->
+        try Lfi_runtime.Runtime.load rt ~personality (load_input ~asm ~native path)
+        with
+        | Lfi_runtime.Runtime.Load_error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 1
+        | Lfi_elf.Elf.Bad_elf msg ->
+            Printf.eprintf "%s: bad ELF: %s\n" path msg;
+            exit 1)
+      inputs
+  in
+  let log = Lfi_runtime.Runtime.run rt in
+  let worst = ref 0 in
+  List.iter2
+    (fun path p ->
+      match List.assoc_opt p.Lfi_runtime.Proc.pid log with
+      | Some (Lfi_runtime.Runtime.Exited c) ->
+          if trace then Printf.eprintf "%s: exited %d\n" path c;
+          worst := max !worst (if c = 0 then 0 else 1)
+      | Some (Lfi_runtime.Runtime.Killed why) ->
+          Printf.eprintf "%s: killed: %s\n" path why;
+          worst := max !worst 3
+      | None ->
+          Printf.eprintf "%s: did not exit\n" path;
+          worst := max !worst 3)
+    inputs procs;
+  if trace then
+    Printf.eprintf
+      "%d instructions, %.0f cycles (%.2f ms at %.1f GHz), %d context \
+       switches, %d runtime calls\n"
+      (Lfi_runtime.Runtime.insns rt)
+      (Lfi_runtime.Runtime.cycles rt)
+      (Lfi_runtime.Runtime.cycles rt /. uarch.Lfi_emulator.Cost_model.clock_ghz
+      /. 1e6)
+      uarch.Lfi_emulator.Cost_model.clock_ghz rt.Lfi_runtime.Runtime.ctx_switches
+      rt.Lfi_runtime.Runtime.rtcalls;
+  exit !worst
+
+let cmd =
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"BINARY...")
+  in
+  let native =
+    Arg.(value & flag & info [ "native" ] ~doc:"Run unsandboxed (baseline).")
+  in
+  let asm =
+    Arg.(value & flag & info [ "asm" ]
+           ~doc:"Inputs are .s files; assemble (and rewrite) first.")
+  in
+  let uarch =
+    Arg.(value & opt string "m1" & info [ "machine" ] ~docv:"MODEL"
+           ~doc:"Cost model: m1 or t2a.")
+  in
+  let quantum =
+    Arg.(value & opt int 100_000 & info [ "quantum" ]
+           ~doc:"Preemption quantum in instructions.")
+  in
+  let trace = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.") in
+  Cmd.v
+    (Cmd.info "lfi-run" ~doc:"Run programs in LFI sandboxes")
+    Term.(const run $ inputs $ native $ asm $ uarch $ quantum $ trace)
+
+let () = exit (Cmd.eval cmd)

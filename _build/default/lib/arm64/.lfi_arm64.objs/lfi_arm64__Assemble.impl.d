@@ -1,0 +1,1 @@
+lib/arm64/assemble.ml: Buffer Bytes Encode Hashtbl Insn Int32 Int64 List Parser Printer Printf Source String

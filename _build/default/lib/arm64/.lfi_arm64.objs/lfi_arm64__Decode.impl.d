@@ -1,0 +1,1 @@
+lib/arm64/decode.ml: Array Bytes Encode Insn Int32 Reg

@@ -1,0 +1,1 @@
+lib/arm64/encode.ml: Bytes Insn Int32 List Printer Printf Reg Result

@@ -1,0 +1,1 @@
+lib/arm64/insn.ml: List Reg

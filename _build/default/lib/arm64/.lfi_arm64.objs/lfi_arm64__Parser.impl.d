@@ -1,0 +1,1 @@
+lib/arm64/parser.ml: Buffer Insn List Option Printf Reg Source String

@@ -1,0 +1,1 @@
+lib/arm64/printer.ml: Format Insn Printf Reg

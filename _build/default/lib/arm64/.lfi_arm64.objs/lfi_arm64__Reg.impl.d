@@ -1,0 +1,1 @@
+lib/arm64/reg.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/arm64/source.ml: Format Insn List Printer Printf String

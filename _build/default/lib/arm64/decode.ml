@@ -1,0 +1,680 @@
+(** Decoder for the instruction subset.
+
+    Total function from 32-bit words to {!Insn.t}: anything outside the
+    supported subset decodes to [Udf 0], which the static verifier
+    rejects — mirroring the paper's verifier, which only admits
+    instructions from a premade list of safe ARMv8.0 encodings.
+
+    Property: [decode (encode i) = i] for every encodable [i]. *)
+
+open Insn
+
+let bit w i = (w lsr i) land 1
+let bits_f w hi lo = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let sext v width =
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let width_of_sf s = if s = 1 then Reg.W64 else Reg.W32
+
+let gp ~(pos : [ `Zr | `Sp ]) w n =
+  if n = 31 then match pos with `Zr -> Reg.ZR w | `Sp -> Reg.SP w
+  else Reg.R (w, n)
+
+let fpreg size n = Reg.Fp.v size n
+
+let shift_of_num = function 0 -> Lsl | 1 -> Lsr | 2 -> Asr | _ -> Ror
+
+(* Decode the addressing mode shared by loads and stores.  [scale] is
+   log2 of the access size. *)
+let decode_addr w ~scale : addr option =
+  let rn = gp ~pos:`Sp Reg.W64 (bits_f w 9 5) in
+  if bits_f w 25 24 = 0b01 then
+    (* unsigned scaled immediate *)
+    Some (Imm_off (rn, bits_f w 21 10 * (1 lsl scale)))
+  else
+    match bits_f w 11 10 with
+    | 0b00 when bit w 21 = 0 ->
+        (* unscaled *)
+        Some (Imm_off (rn, sext (bits_f w 20 12) 9))
+    | 0b01 when bit w 21 = 0 -> Some (Post (rn, sext (bits_f w 20 12) 9))
+    | 0b11 when bit w 21 = 0 -> Some (Pre (rn, sext (bits_f w 20 12) 9))
+    | 0b10 when bit w 21 = 1 -> (
+        let option = bits_f w 15 13 in
+        let s = bit w 12 in
+        let amount = if s = 1 then scale else 0 in
+        let ext, mw =
+          match option with
+          | 0b010 -> (Some Uxtw, Reg.W32)
+          | 0b011 -> (Some Uxtx, Reg.W64)
+          | 0b110 -> (Some Sxtw, Reg.W32)
+          | 0b111 -> (Some Sxtx, Reg.W64)
+          | _ -> (None, Reg.W64)
+        in
+        match ext with
+        | Some e -> Some (Reg_off (rn, gp ~pos:`Zr mw (bits_f w 20 16), e, amount))
+        | None -> None)
+    | _ -> None
+
+let decode_mem w : t option =
+  (* load/store register family: bits 29:27 = 111, bit 26 = V *)
+  if bits_f w 29 27 <> 0b111 then None
+  else
+    let size = bits_f w 31 30 in
+    let v = bit w 26 in
+    let opc = bits_f w 23 22 in
+    let rt_n = bits_f w 4 0 in
+    if v = 0 then
+      let scale = size in
+      match decode_addr w ~scale with
+      | None -> None
+      | Some addr -> (
+          let sz : mem_size = match size with 0 -> B | 1 -> H | 2 -> W | _ -> X in
+          match opc with
+          | 0b00 ->
+              let sw = if sz = X then Reg.W64 else Reg.W32 in
+              Some (Str { sz; src = gp ~pos:`Zr sw rt_n; addr })
+          | 0b01 ->
+              let dw = if sz = X then Reg.W64 else Reg.W32 in
+              Some (Ldr { sz; signed = false; dst = gp ~pos:`Zr dw rt_n; addr })
+          | 0b10 ->
+              if sz = X then None
+              else
+                Some
+                  (Ldr { sz; signed = true; dst = gp ~pos:`Zr Reg.W64 rt_n;
+                         addr })
+          | _ ->
+              if sz = X || sz = W then None
+              else
+                Some
+                  (Ldr { sz; signed = true; dst = gp ~pos:`Zr Reg.W32 rt_n;
+                         addr }))
+    else
+      (* SIMD/FP scalar *)
+      let fsz =
+        match (size, opc land 0b10) with
+        | 0b10, 0 -> Some Reg.Fp.S
+        | 0b11, 0 -> Some Reg.Fp.D
+        | 0b00, 2 -> Some Reg.Fp.Q
+        | _ -> None
+      in
+      match fsz with
+      | None -> None
+      | Some fsz -> (
+          let scale =
+            match fsz with Reg.Fp.S -> 2 | Reg.Fp.D -> 3 | Reg.Fp.Q -> 4
+          in
+          match decode_addr w ~scale with
+          | None -> None
+          | Some addr ->
+              if opc land 1 = 1 then Some (Fldr { dst = fpreg fsz rt_n; addr })
+              else Some (Fstr { src = fpreg fsz rt_n; addr }))
+
+let decode_pair w : t option =
+  if bits_f w 29 27 <> 0b101 || bit w 25 <> 0 then None
+  else
+    let opc = bits_f w 31 30 in
+    let v = bit w 26 in
+    let mode = bits_f w 24 23 in
+    let load = bit w 22 = 1 in
+    let imm7 = sext (bits_f w 21 15) 7 in
+    let rt2_n = bits_f w 14 10 in
+    let rn = gp ~pos:`Sp Reg.W64 (bits_f w 9 5) in
+    let rt_n = bits_f w 4 0 in
+    let mk_addr unit =
+      let i = imm7 * unit in
+      match mode with
+      | 0b01 -> Some (Post (rn, i))
+      | 0b10 -> Some (Imm_off (rn, i))
+      | 0b11 -> Some (Pre (rn, i))
+      | _ -> None
+    in
+    if v = 0 then
+      let wd, unit =
+        match opc with 0b00 -> (Some Reg.W32, 4) | 0b10 -> (Some Reg.W64, 8) | _ -> (None, 0)
+      in
+      match wd with
+      | None -> None
+      | Some wd -> (
+          match mk_addr unit with
+          | None -> None
+          | Some addr ->
+              let r1 = gp ~pos:`Zr wd rt_n and r2 = gp ~pos:`Zr wd rt2_n in
+              if load then Some (Ldp { w = wd; r1; r2; addr })
+              else Some (Stp { w = wd; r1; r2; addr }))
+    else
+      let fsz =
+        match opc with
+        | 0b00 -> Some Reg.Fp.S
+        | 0b01 -> Some Reg.Fp.D
+        | 0b10 -> Some Reg.Fp.Q
+        | _ -> None
+      in
+      match fsz with
+      | None -> None
+      | Some fsz -> (
+          match mk_addr (Reg.Fp.bytes (fpreg fsz 0)) with
+          | None -> None
+          | Some addr ->
+              let r1 = fpreg fsz rt_n and r2 = fpreg fsz rt2_n in
+              if load then Some (Fldp { r1; r2; addr })
+              else Some (Fstp { r1; r2; addr }))
+
+let decode_exclusive w : t option =
+  if bits_f w 29 24 <> 0b001000 then None
+  else
+    let size = bits_f w 31 30 in
+    let sz : mem_size = match size with 0 -> B | 1 -> H | 2 -> W | _ -> X in
+    let rw = if sz = X then Reg.W64 else Reg.W32 in
+    let rn = gp ~pos:`Sp Reg.W64 (bits_f w 9 5) in
+    let rt_n = bits_f w 4 0 in
+    let rs_n = bits_f w 20 16 in
+    match (bits_f w 23 21, bits_f w 15 10) with
+    | 0b010, 0b011111 when rs_n = 31 ->
+        Some (Ldxr { sz; dst = gp ~pos:`Zr rw rt_n; base = rn })
+    | 0b000, 0b011111 ->
+        Some
+          (Stxr { sz; status = gp ~pos:`Zr Reg.W32 rs_n;
+                  src = gp ~pos:`Zr rw rt_n; base = rn })
+    | 0b110, 0b111111 when rs_n = 31 ->
+        Some (Ldar { sz; dst = gp ~pos:`Zr rw rt_n; base = rn })
+    | 0b100, 0b111111 when rs_n = 31 ->
+        Some (Stlr { sz; src = gp ~pos:`Zr rw rt_n; base = rn })
+    | _ -> None
+
+let decode_dp_imm w : t option =
+  let s = bit w 31 in
+  let wd = width_of_sf s in
+  match bits_f w 28 23 with
+  | 0b100010 ->
+      (* add/sub immediate *)
+      let op = if bit w 30 = 1 then SUB else ADD in
+      let flags = bit w 29 = 1 in
+      let sh = if bit w 22 = 1 then 12 else 0 in
+      let dst = gp ~pos:(if flags then `Zr else `Sp) wd (bits_f w 4 0) in
+      let src = gp ~pos:`Sp wd (bits_f w 9 5) in
+      Some (Alu { op; flags; dst; src; op2 = Imm (bits_f w 21 10, sh) })
+  | 0b100100 | 0b100101 when bits_f w 28 24 = 0b10010 -> None (* split below *)
+  | _ -> None
+
+let decode_logical_imm w : t option =
+  if bits_f w 28 23 <> 0b100100 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let datasize = if s = 1 then 64 else 32 in
+    let n = bit w 22 in
+    if s = 0 && n = 1 then None
+    else
+      let immr = bits_f w 21 16 and imms = bits_f w 15 10 in
+      match Encode.decode_bitmask ~datasize ~n ~immr ~imms with
+      | None -> None
+      | Some v -> (
+          let rn = gp ~pos:`Zr wd (bits_f w 9 5) in
+          let rd_n = bits_f w 4 0 in
+          match bits_f w 30 29 with
+          | 0b00 ->
+              Some (Alu { op = AND; flags = false; dst = gp ~pos:`Sp wd rd_n;
+                          src = rn; op2 = Imm (v, 0) })
+          | 0b01 ->
+              Some (Alu { op = ORR; flags = false; dst = gp ~pos:`Sp wd rd_n;
+                          src = rn; op2 = Imm (v, 0) })
+          | 0b10 ->
+              Some (Alu { op = EOR; flags = false; dst = gp ~pos:`Sp wd rd_n;
+                          src = rn; op2 = Imm (v, 0) })
+          | _ ->
+              Some (Alu { op = AND; flags = true; dst = gp ~pos:`Zr wd rd_n;
+                          src = rn; op2 = Imm (v, 0) }))
+
+let decode_movw w : t option =
+  if bits_f w 28 23 <> 0b100101 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let hw = bits_f w 22 21 in
+    if s = 0 && hw > 1 then None
+    else
+      let op =
+        match bits_f w 30 29 with
+        | 0b00 -> Some MOVN
+        | 0b10 -> Some MOVZ
+        | 0b11 -> Some MOVK
+        | _ -> None
+      in
+      match op with
+      | None -> None
+      | Some op ->
+          Some
+            (Mov { op; dst = gp ~pos:`Zr wd (bits_f w 4 0);
+                   imm = bits_f w 20 5; hw })
+
+let decode_bitfield w : t option =
+  if bits_f w 28 23 <> 0b100110 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    if bit w 22 <> s then None
+    else
+      let op =
+        match bits_f w 30 29 with
+        | 0b00 -> Some SBFM
+        | 0b01 -> Some BFM
+        | 0b10 -> Some UBFM
+        | _ -> None
+      in
+      match op with
+      | None -> None
+      | Some op ->
+          Some
+            (Bitfield { op; dst = gp ~pos:`Zr wd (bits_f w 4 0);
+                        src = gp ~pos:`Zr wd (bits_f w 9 5);
+                        immr = bits_f w 21 16; imms = bits_f w 15 10 })
+
+let decode_extr w : t option =
+  if bits_f w 30 23 <> 0b00100111 then None
+  else
+    let s = bit w 31 in
+    if bit w 22 <> s || bit w 21 <> 0 then None
+    else
+      let wd = width_of_sf s in
+      let lsb = bits_f w 15 10 in
+      if s = 0 && lsb > 31 then None
+      else
+        Some
+          (Extr { dst = gp ~pos:`Zr wd (bits_f w 4 0);
+                  src1 = gp ~pos:`Zr wd (bits_f w 9 5);
+                  src2 = gp ~pos:`Zr wd (bits_f w 20 16); lsb })
+
+let decode_addsub_reg w : t option =
+  if bits_f w 28 24 <> 0b01011 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let op = if bit w 30 = 1 then SUB else ADD in
+    let flags = bit w 29 = 1 in
+    if bit w 21 = 1 && bits_f w 23 22 = 0b00 then
+      (* extended register *)
+      let opt = bits_f w 15 13 in
+      let e = Encode.extend_of_num opt in
+      let a = bits_f w 12 10 in
+      if a > 4 then None
+      else
+        let mw =
+          match e with
+          | Uxtx | Sxtx -> Reg.W64
+          | _ -> Reg.W32
+        in
+        let mw = if s = 0 then Reg.W32 else mw in
+        Some
+          (Alu { op; flags;
+                 dst = gp ~pos:(if flags then `Zr else `Sp) wd (bits_f w 4 0);
+                 src = gp ~pos:`Sp wd (bits_f w 9 5);
+                 op2 = Ext (gp ~pos:`Zr mw (bits_f w 20 16), e, a) })
+    else if bit w 21 = 0 then
+      let k = shift_of_num (bits_f w 23 22) in
+      if k = Ror then None
+      else
+        let a = bits_f w 15 10 in
+        if s = 0 && a > 31 then None
+        else
+          Some
+            (Alu { op; flags; dst = gp ~pos:`Zr wd (bits_f w 4 0);
+                   src = gp ~pos:`Zr wd (bits_f w 9 5);
+                   op2 = Sh (gp ~pos:`Zr wd (bits_f w 20 16), k, a) })
+    else None
+
+let decode_logical_reg w : t option =
+  if bits_f w 28 24 <> 0b01010 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let k = shift_of_num (bits_f w 23 22) in
+    let ng = bit w 21 in
+    let a = bits_f w 15 10 in
+    if s = 0 && a > 31 then None
+    else
+      let op, flags =
+        match (bits_f w 30 29, ng) with
+        | 0b00, 0 -> (AND, false)
+        | 0b00, 1 -> (BIC, false)
+        | 0b01, 0 -> (ORR, false)
+        | 0b01, 1 -> (ORN, false)
+        | 0b10, 0 -> (EOR, false)
+        | 0b10, 1 -> (EON, false)
+        | 0b11, 0 -> (AND, true)
+        | _ -> (BIC, true)
+      in
+      Some
+        (Alu { op; flags; dst = gp ~pos:`Zr wd (bits_f w 4 0);
+               src = gp ~pos:`Zr wd (bits_f w 9 5);
+               op2 = Sh (gp ~pos:`Zr wd (bits_f w 20 16), k, a) })
+
+let decode_dp2 w : t option =
+  (* data-processing 2-source: sf 0 S=0 11010110 *)
+  if bits_f w 30 21 <> 0b0011010110 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let dst = gp ~pos:`Zr wd (bits_f w 4 0) in
+    let rn = gp ~pos:`Zr wd (bits_f w 9 5) in
+    let rm = gp ~pos:`Zr wd (bits_f w 20 16) in
+    match bits_f w 15 10 with
+    | 0b000010 -> Some (Div { signed = false; dst; src1 = rn; src2 = rm })
+    | 0b000011 -> Some (Div { signed = true; dst; src1 = rn; src2 = rm })
+    | 0b001000 -> Some (Shiftv { op = Lsl; dst; src = rn; amount = rm })
+    | 0b001001 -> Some (Shiftv { op = Lsr; dst; src = rn; amount = rm })
+    | 0b001010 -> Some (Shiftv { op = Asr; dst; src = rn; amount = rm })
+    | 0b001011 -> Some (Shiftv { op = Ror; dst; src = rn; amount = rm })
+    | _ -> None
+
+let decode_dp1 w : t option =
+  (* data-processing 1-source: sf 1 S=0 11010110 00000 *)
+  if bits_f w 30 21 <> 0b1011010110 || bits_f w 20 16 <> 0 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let dst = gp ~pos:`Zr wd (bits_f w 4 0) in
+    let src = gp ~pos:`Zr wd (bits_f w 9 5) in
+    match bits_f w 15 10 with
+    | 0b000000 -> Some (Rbit { dst; src })
+    | 0b000001 -> Some (Rev { bytes = 2; dst; src })
+    | 0b000010 -> Some (Rev { bytes = 4; dst; src })
+    | 0b000011 when s = 1 -> Some (Rev { bytes = 8; dst; src })
+    | 0b000100 -> Some (Cls { count_zero = true; dst; src })
+    | 0b000101 -> Some (Cls { count_zero = false; dst; src })
+    | _ -> None
+
+let decode_dp3 w : t option =
+  if bits_f w 30 24 <> 0b0011011 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    let dst = gp ~pos:`Zr wd (bits_f w 4 0) in
+    let rn = gp ~pos:`Zr wd (bits_f w 9 5) in
+    let rm = gp ~pos:`Zr wd (bits_f w 20 16) in
+    let ra = gp ~pos:`Zr wd (bits_f w 14 10) in
+    match (bits_f w 23 21, bit w 15) with
+    | 0b000, 0 -> Some (Madd { sub = false; dst; src1 = rn; src2 = rm; acc = ra })
+    | 0b000, 1 -> Some (Madd { sub = true; dst; src1 = rn; src2 = rm; acc = ra })
+    | 0b010, 0 when s = 1 && bits_f w 14 10 = 0b11111 ->
+        Some (Smulh { signed = true; dst; src1 = rn; src2 = rm })
+    | 0b110, 0 when s = 1 && bits_f w 14 10 = 0b11111 ->
+        Some (Smulh { signed = false; dst; src1 = rn; src2 = rm })
+    | (0b001 | 0b101), sub when s = 1 ->
+        let signed = bits_f w 23 21 = 0b001 in
+        Some
+          (Maddl
+             { signed; sub = sub = 1;
+               dst = gp ~pos:`Zr Reg.W64 (bits_f w 4 0);
+               src1 = gp ~pos:`Zr Reg.W32 (bits_f w 9 5);
+               src2 = gp ~pos:`Zr Reg.W32 (bits_f w 20 16);
+               acc = gp ~pos:`Zr Reg.W64 (bits_f w 14 10) })
+    | _ -> None
+
+let decode_ccmp w : t option =
+  (* conditional compare: sf op 1 11010010 *)
+  if bits_f w 28 21 <> 0b11010010 || bit w 29 <> 1 then None
+  else if bit w 10 <> 0 || bit w 4 <> 0 then None
+  else
+    match cond_of_number (bits_f w 15 12) with
+    | None -> None
+    | Some cond ->
+        let s = bit w 31 in
+        let wd = width_of_sf s in
+        let cmn = bit w 30 = 0 in
+        let src = gp ~pos:`Zr wd (bits_f w 9 5) in
+        let nzcv = bits_f w 3 0 in
+        if bit w 11 = 1 then
+          Some (Ccmp { cmn; src; op2 = CImm (bits_f w 20 16); nzcv; cond })
+        else
+          Some
+            (Ccmp { cmn; src; op2 = CReg (gp ~pos:`Zr wd (bits_f w 20 16));
+                    nzcv; cond })
+
+let decode_csel w : t option =
+  if bits_f w 28 21 <> 0b11010100 || bit w 29 = 1 then None
+  else
+    let s = bit w 31 in
+    let wd = width_of_sf s in
+    if bit w 11 = 1 then None
+    else
+      let opb = bit w 30 and o2 = bit w 10 in
+      (
+        match cond_of_number (bits_f w 15 12) with
+        | None -> None
+        | Some cond ->
+            let op =
+              match (opb, o2) with
+              | 0, 0 -> CSEL
+              | 0, 1 -> CSINC
+              | 1, 0 -> CSINV
+              | _ -> CSNEG
+            in
+            Some
+              (Csel { op; dst = gp ~pos:`Zr wd (bits_f w 4 0);
+                      src1 = gp ~pos:`Zr wd (bits_f w 9 5);
+                      src2 = gp ~pos:`Zr wd (bits_f w 20 16); cond }))
+
+let decode_adr w : t option =
+  if bits_f w 28 24 <> 0b10000 then None
+  else
+    let page = bit w 31 = 1 in
+    let imm = (bits_f w 23 5 lsl 2) lor bits_f w 30 29 in
+    let imm = sext imm 21 in
+    let off = if page then imm lsl 12 else imm in
+    Some
+      (Adr { page; dst = gp ~pos:`Zr Reg.W64 (bits_f w 4 0);
+             target = Off off })
+
+let decode_branch w : t option =
+  match bits_f w 31 26 with
+  | 0b000101 -> Some (B (Off (sext (bits_f w 25 0) 26 * 4)))
+  | 0b100101 -> Some (Bl (Off (sext (bits_f w 25 0) 26 * 4)))
+  | _ ->
+      if bits_f w 31 24 = 0b01010100 && bit w 4 = 0 then
+        match cond_of_number (bits_f w 3 0) with
+        | Some c -> Some (Bcond (c, Off (sext (bits_f w 23 5) 19 * 4)))
+        | None -> None
+      else if bits_f w 30 25 = 0b011010 then
+        let s = bit w 31 in
+        Some
+          (Cbz { nz = bit w 24 = 1;
+                 reg = gp ~pos:`Zr (width_of_sf s) (bits_f w 4 0);
+                 target = Off (sext (bits_f w 23 5) 19 * 4) })
+      else if bits_f w 30 25 = 0b011011 then
+        let b5 = bit w 31 in
+        let bitn = (b5 lsl 5) lor bits_f w 23 19 in
+        let wd = if b5 = 1 then Reg.W64 else Reg.W32 in
+        Some
+          (Tbz { nz = bit w 24 = 1; reg = gp ~pos:`Zr wd (bits_f w 4 0);
+                 bit = bitn; target = Off (sext (bits_f w 18 5) 14 * 4) })
+      else if w land 0xFFFFFC1F = 0xD61F0000 then
+        Some (Br (gp ~pos:`Zr Reg.W64 (bits_f w 9 5)))
+      else if w land 0xFFFFFC1F = 0xD63F0000 then
+        Some (Blr (gp ~pos:`Zr Reg.W64 (bits_f w 9 5)))
+      else if w land 0xFFFFFC1F = 0xD65F0000 then
+        Some (Ret (gp ~pos:`Zr Reg.W64 (bits_f w 9 5)))
+      else None
+
+let decode_fp w : t option =
+  (* scalar FP: bits 28:24 = 11110, bit 30 = 0 *)
+  if bits_f w 28 24 <> 0b11110 || bit w 30 <> 0 then None
+  else
+    let ty = bits_f w 23 22 in
+    let fsz = match ty with 0b00 -> Some Reg.Fp.S | 0b01 -> Some Reg.Fp.D | _ -> None in
+    match fsz with
+    | None -> None
+    | Some fsz ->
+        let s = bit w 31 in
+        let rd_n = bits_f w 4 0 and rn_n = bits_f w 9 5 and rm_n = bits_f w 20 16 in
+        if s = 0 && bit w 29 = 0 && bit w 21 = 1 then
+          if bits_f w 11 10 = 0b10 then
+            (* 2-source *)
+            let op =
+              match bits_f w 15 12 with
+              | 0b0000 -> Some FMUL
+              | 0b0001 -> Some FDIV
+              | 0b0010 -> Some FADD
+              | 0b0011 -> Some FSUB
+              | 0b0100 -> Some FMAX
+              | 0b0101 -> Some FMIN
+              | _ -> None
+            in
+            match op with
+            | Some op ->
+                Some
+                  (Fop2 { op; dst = fpreg fsz rd_n; src1 = fpreg fsz rn_n;
+                          src2 = fpreg fsz rm_n })
+            | None -> None
+          else if bits_f w 14 10 = 0b10000 then
+            (* 1-source *)
+            let opc = bits_f w 20 15 in
+            match opc with
+            | 0b000000 ->
+                Some (Fop1 { op = FMOV; dst = fpreg fsz rd_n; src = fpreg fsz rn_n })
+            | 0b000001 ->
+                Some (Fop1 { op = FABS; dst = fpreg fsz rd_n; src = fpreg fsz rn_n })
+            | 0b000010 ->
+                Some (Fop1 { op = FNEG; dst = fpreg fsz rd_n; src = fpreg fsz rn_n })
+            | 0b000011 ->
+                Some (Fop1 { op = FSQRT; dst = fpreg fsz rd_n; src = fpreg fsz rn_n })
+            | 0b000101 when fsz = Reg.Fp.S ->
+                Some
+                  (Fcvt { dst = fpreg Reg.Fp.D rd_n;
+                          src = fpreg Reg.Fp.S rn_n })
+            | 0b000100 when fsz = Reg.Fp.D ->
+                Some (Fcvt { dst = fpreg Reg.Fp.S rd_n; src = fpreg Reg.Fp.D rn_n })
+            | _ -> None
+          else if bits_f w 13 10 = 0b1000 && bits_f w 4 0 land 0b10111 = 0 then
+            (* compare *)
+            let opcode2 = bits_f w 4 0 in
+            if opcode2 = 0b00000 then
+              Some (Fcmp { src1 = fpreg fsz rn_n; src2 = Some (fpreg fsz rm_n) })
+            else if opcode2 = 0b01000 && rm_n = 0 then
+              Some (Fcmp { src1 = fpreg fsz rn_n; src2 = None })
+            else None
+          else if bits_f w 15 10 = 0 then
+            (* int <-> fp conversions *)
+            None (* handled below with full sf *)
+          else None
+        else None
+
+let decode_fp_int w : t option =
+  (* conversions + fmov gp<->fp: sf 0 S=0 11110 ty 1 rmode opcode 000000 *)
+  if bits_f w 30 24 <> 0b0011110 || bit w 21 <> 1 || bits_f w 15 10 <> 0 then
+    None
+  else
+    let s = bit w 31 in
+    let ty = bits_f w 23 22 in
+    let fsz = match ty with 0b00 -> Some Reg.Fp.S | 0b01 -> Some Reg.Fp.D | _ -> None in
+    match fsz with
+    | None -> None
+    | Some fsz -> (
+        let rmode = bits_f w 20 19 and opcode = bits_f w 18 16 in
+        let gw = width_of_sf s in
+        let rd_n = bits_f w 4 0 and rn_n = bits_f w 9 5 in
+        match (rmode, opcode) with
+        | 0b00, 0b010 ->
+            Some (Scvtf { signed = true; dst = fpreg fsz rd_n;
+                          src = gp ~pos:`Zr gw rn_n })
+        | 0b00, 0b011 ->
+            Some (Scvtf { signed = false; dst = fpreg fsz rd_n;
+                          src = gp ~pos:`Zr gw rn_n })
+        | 0b11, 0b000 ->
+            Some (Fcvtzs { signed = true; dst = gp ~pos:`Zr gw rd_n;
+                           src = fpreg fsz rn_n })
+        | 0b11, 0b001 ->
+            Some (Fcvtzs { signed = false; dst = gp ~pos:`Zr gw rd_n;
+                           src = fpreg fsz rn_n })
+        | 0b00, 0b111 ->
+            let ok =
+              (s = 1 && fsz = Reg.Fp.D) || (s = 0 && fsz = Reg.Fp.S)
+            in
+            if ok then
+              Some (Fmov_to_fp { dst = fpreg fsz rd_n;
+                                 src = gp ~pos:`Zr gw rn_n })
+            else None
+        | 0b00, 0b110 ->
+            let ok =
+              (s = 1 && fsz = Reg.Fp.D) || (s = 0 && fsz = Reg.Fp.S)
+            in
+            if ok then
+              Some (Fmov_from_fp { dst = gp ~pos:`Zr gw rd_n;
+                                   src = fpreg fsz rn_n })
+            else None
+        | _ -> None)
+
+let decode_fmadd w : t option =
+  if bits_f w 30 24 <> 0b0011111 || bit w 31 <> 0 then None
+  else
+    let ty = bits_f w 23 22 in
+    let fsz = match ty with 0b00 -> Some Reg.Fp.S | 0b01 -> Some Reg.Fp.D | _ -> None in
+    match fsz with
+    | None -> None
+    | Some fsz ->
+        if bit w 21 <> 0 then None
+        else
+          Some
+            (Fmadd { sub = bit w 15 = 1; dst = fpreg fsz (bits_f w 4 0);
+                     src1 = fpreg fsz (bits_f w 9 5);
+                     src2 = fpreg fsz (bits_f w 20 16);
+                     acc = fpreg fsz (bits_f w 14 10) })
+
+let decode_system w : t option =
+  if w = 0xD503201F then Some Nop
+  else if w = 0xD5033BBF then Some Dmb
+  else if w land 0xFFE0001F = 0xD4000001 then Some (Svc (bits_f w 20 5))
+  else if w land 0xFFF00000 = 0xD5300000 then
+    match Encode.sysreg_of_encoding (bits_f w 19 5) with
+    | Some sysreg ->
+        Some (Mrs { dst = gp ~pos:`Zr Reg.W64 (bits_f w 4 0); sysreg })
+    | None -> None
+  else if w land 0xFFF00000 = 0xD5100000 then
+    match Encode.sysreg_of_encoding (bits_f w 19 5) with
+    | Some sysreg ->
+        Some (Msr { sysreg; src = gp ~pos:`Zr Reg.W64 (bits_f w 4 0) })
+    | None -> None
+  else None
+
+(* Top-level dispatch on the A64 op0 field (bits 28:25), which splits
+   the encoding space into the architecture's main classes.  This is
+   what keeps the verifier's single pass fast (§5.2). *)
+let dp_imm_decoders =
+  [ decode_dp_imm; decode_adr; decode_logical_imm; decode_movw;
+    decode_bitfield; decode_extr ]
+
+let branch_decoders = [ decode_branch; decode_system ]
+
+let mem_decoders = [ decode_mem; decode_pair; decode_exclusive ]
+
+let dp_reg_decoders =
+  [ decode_addsub_reg; decode_logical_reg; decode_dp3; decode_dp2;
+    decode_dp1; decode_csel; decode_ccmp ]
+
+let fp_decoders = [ decode_fmadd; decode_fp_int; decode_fp ]
+
+(** Decode a 32-bit word.  Unknown encodings become [Udf]. *)
+let decode (w : int) : t =
+  let w = w land 0xFFFFFFFF in
+  if w lsr 16 = 0 then Udf (w land 0xFFFF)
+  else
+    let candidates =
+      match (w lsr 25) land 0xF with
+      | 0x8 | 0x9 -> dp_imm_decoders
+      | 0xA | 0xB -> branch_decoders
+      | 0x4 | 0x6 | 0xC | 0xE -> mem_decoders
+      | 0x5 | 0xD -> dp_reg_decoders
+      | 0x7 | 0xF -> fp_decoders
+      | _ -> []
+    in
+    let rec go = function
+      | [] -> Udf 0
+      | d :: tl -> ( match d w with Some i -> i | None -> go tl)
+    in
+    go candidates
+
+(** Decode a whole text segment (little-endian words). *)
+let decode_all (b : bytes) : t array =
+  let n = Bytes.length b / 4 in
+  Array.init n (fun i ->
+      decode (Int32.to_int (Bytes.get_int32_le b (i * 4)) land 0xFFFFFFFF))

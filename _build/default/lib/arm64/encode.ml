@@ -1,0 +1,785 @@
+(** Binary encoder for the instruction subset.
+
+    Produces real A64 encodings (32-bit little-endian words) so that the
+    static verifier, like the paper's, operates on actual machine code
+    decoded from an ELF text segment rather than on a trusted AST.
+
+    [encode] returns [Error _] for values that exist in the ADT but have
+    no encoding (out-of-range immediates, sp in a zr-only position,
+    unencodable logical immediates, ...).  The assembler surfaces these
+    as assembly errors. *)
+
+open Insn
+
+type error = string
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let ( let* ) = Result.bind
+
+(* Register number helpers.  [gp_or e r] returns the 5-bit field for a
+   position where encoding 31 means [e] (`Zr or `Sp). *)
+let field (pos : [ `Zr | `Sp ]) (r : Reg.t) : (int, error) result =
+  match (r, pos) with
+  | Reg.R (_, n), _ -> Ok n
+  | Reg.ZR _, `Zr -> Ok 31
+  | Reg.SP _, `Sp -> Ok 31
+  | Reg.ZR _, `Sp -> err "zr not encodable here (sp position)"
+  | Reg.SP _, `Zr -> err "sp not encodable here (zr position)"
+
+let sf r = match Reg.width r with Reg.W64 -> 1 | Reg.W32 -> 0
+let bits r = match Reg.width r with Reg.W64 -> 64 | Reg.W32 -> 32
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ufits n width = n >= 0 && n < 1 lsl width
+let sfits n width = n >= -(1 lsl (width - 1)) && n < 1 lsl (width - 1)
+
+(** Two's-complement truncation of [n] to [width] bits. *)
+let trunc n width = n land ((1 lsl width) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Logical (bitmask) immediates                                        *)
+(* ------------------------------------------------------------------ *)
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let ror_e esize v r =
+  let mask = if esize = 64 then -1 else (1 lsl esize) - 1 in
+  let v = v land mask in
+  if r = 0 then v else ((v lsr r) lor (v lsl (esize - r))) land mask
+
+(** Encode [v] as an ARM64 bitmask immediate for register width
+    [datasize] (32 or 64).  Returns [(n, immr, imms)].
+
+    Note: values with bit 62 or 63 set are not representable in an OCaml
+    [int] and therefore not supported; the subset never emits them. *)
+let encode_bitmask ~datasize (v : int) : (int * int * int, error) result =
+  let mask = if datasize = 64 then max_int else (1 lsl datasize) - 1 in
+  (* max_int covers bits 0-61; 64-bit values above that are unsupported *)
+  if v <= 0 || v land mask <> v || v = mask then
+    err "value %d is not an encodable bitmask immediate" v
+  else
+    let rec try_esize = function
+      | [] -> err "value %d is not an encodable bitmask immediate" v
+      | esize :: rest ->
+          if esize > datasize then
+            err "value %d is not an encodable bitmask immediate" v
+          else
+            let emask = if esize = 64 then -1 else (1 lsl esize) - 1 in
+            let elt = v land emask in
+            (* check replication *)
+            let rec replicated i =
+              if i >= datasize then true
+              else if (v lsr i) land emask = elt then replicated (i + esize)
+              else false
+            in
+            if not (replicated 0) then try_esize rest
+            else
+              let ones = popcount elt in
+              if ones = 0 || ones = esize then try_esize rest
+              else
+                let run = (1 lsl ones) - 1 in
+                let rec find_r r =
+                  if r >= esize then None
+                  else if ror_e esize run r = elt then Some r
+                  else find_r (r + 1)
+                in
+                (match find_r 0 with
+                | None -> try_esize rest
+                | Some r ->
+                    let s = ones - 1 in
+                    let n, imms_hi =
+                      match esize with
+                      | 64 -> (1, 0b0000000)
+                      | 32 -> (0, 0b0000000)
+                      | 16 -> (0, 0b0100000)
+                      | 8 -> (0, 0b0110000)
+                      | 4 -> (0, 0b0111000)
+                      | _ -> (0, 0b0111100) (* esize = 2 *)
+                    in
+                    Ok (n, r, imms_hi lor s))
+    in
+    try_esize [ 2; 4; 8; 16; 32; 64 ]
+
+(** Decode (n, immr, imms) for width [datasize]; returns [None] when the
+    fields are reserved or the value does not fit an OCaml int. *)
+let decode_bitmask ~datasize ~n ~immr ~imms : int option =
+  let len =
+    (* highest set bit of n:NOT(imms) over 7 bits *)
+    let v = (n lsl 6) lor (lnot imms land 0x3f) in
+    let rec hsb i = if i < 0 then -1 else if v lsr i land 1 = 1 then i else hsb (i - 1) in
+    hsb 6
+  in
+  if len < 1 then None
+  else
+    let esize = 1 lsl len in
+    if esize > datasize then None
+    else
+      let levels = esize - 1 in
+      let s = imms land levels and r = immr land levels in
+      if s = levels then None
+      else
+        let run = (1 lsl (s + 1)) - 1 in
+        let elt = ror_e esize run r in
+        let rec replicate acc i =
+          if i >= datasize then acc else replicate (acc lor (elt lsl i)) (i + esize)
+        in
+        let v = replicate 0 0 in
+        if v < 0 then None (* top bit set: unrepresentable in int *)
+        else Some v
+
+(* ------------------------------------------------------------------ *)
+(* Field builders                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let extend_num = function
+  | Uxtb -> 0 | Uxth -> 1 | Uxtw -> 2 | Uxtx -> 3
+  | Sxtb -> 4 | Sxth -> 5 | Sxtw -> 6 | Sxtx -> 7
+
+let extend_of_num = function
+  | 0 -> Uxtb | 1 -> Uxth | 2 -> Uxtw | 3 -> Uxtx
+  | 4 -> Sxtb | 5 -> Sxth | 6 -> Sxtw | _ -> Sxtx
+
+let shift_num = function Lsl -> 0 | Lsr -> 1 | Asr -> 2 | Ror -> 3
+
+let mem_size_num (sz : mem_size) =
+  match sz with B -> 0 | H -> 1 | W -> 2 | X -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Main encoder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let encode_alu ~(op : alu_op) ~flags ~dst ~src ~op2 =
+  let w = bits dst in
+  match op2 with
+  | Imm (v, sh) -> (
+      match op with
+      | ADD | SUB ->
+          let* () = check (sh = 0 || sh = 12) "add/sub imm shift must be 0/12" in
+          let* () = check (ufits v 12) "add/sub immediate out of range" in
+          let* rd = field (if flags then `Zr else `Sp) dst in
+          let* rn = field `Sp src in
+          let opb = if op = SUB then 1 else 0 in
+          let s = if flags then 1 else 0 in
+          Ok
+            ((sf dst lsl 31) lor (opb lsl 30) lor (s lsl 29)
+            lor (0b100010 lsl 23)
+            lor ((if sh = 12 then 1 else 0) lsl 22)
+            lor (v lsl 10) lor (rn lsl 5) lor rd)
+      | AND | ORR | EOR ->
+          let* () = check (sh = 0) "logical imm cannot be shifted" in
+          let* n, immr, imms = encode_bitmask ~datasize:w v in
+          let opc =
+            match (op, flags) with
+            | AND, false -> 0b00
+            | ORR, _ -> 0b01
+            | EOR, _ -> 0b10
+            | AND, true -> 0b11
+            | _ -> 0
+          in
+          let* () =
+            check (not (flags && op <> AND)) "only ands sets flags with imm"
+          in
+          let* rd = field (if flags then `Zr else `Sp) dst in
+          let* rn = field `Zr src in
+          Ok
+            ((sf dst lsl 31) lor (opc lsl 29) lor (0b100100 lsl 23)
+            lor (n lsl 22) lor (immr lsl 16) lor (imms lsl 10) lor (rn lsl 5)
+            lor rd)
+      | BIC | ORN | EON -> err "no immediate form for bic/orn/eon")
+  | Sh (rm, k, a) -> (
+      let* () = check (a >= 0 && a < w) "shift amount out of range" in
+      let* rm_n = field `Zr rm in
+      let* rn = field `Zr src in
+      let* rd = field `Zr dst in
+      match op with
+      | ADD | SUB ->
+          let* () = check (k <> Ror) "ror shift invalid for add/sub" in
+          let opb = if op = SUB then 1 else 0 in
+          let s = if flags then 1 else 0 in
+          Ok
+            ((sf dst lsl 31) lor (opb lsl 30) lor (s lsl 29)
+            lor (0b01011 lsl 24)
+            lor (shift_num k lsl 22)
+            lor (rm_n lsl 16) lor (a lsl 10) lor (rn lsl 5) lor rd)
+      | AND | ORR | EOR | BIC | ORN | EON ->
+          let opc, ng =
+            match (op, flags) with
+            | AND, false -> (0b00, 0)
+            | BIC, false -> (0b00, 1)
+            | ORR, false -> (0b01, 0)
+            | ORN, false -> (0b01, 1)
+            | EOR, false -> (0b10, 0)
+            | EON, false -> (0b10, 1)
+            | AND, true -> (0b11, 0)
+            | BIC, true -> (0b11, 1)
+            | (ADD | SUB | ORR | ORN | EOR | EON), _ -> (-1, 0)
+          in
+          let* () = check (opc >= 0) "flags not encodable for this op" in
+          Ok
+            ((sf dst lsl 31) lor (opc lsl 29) lor (0b01010 lsl 24)
+            lor (shift_num k lsl 22)
+            lor (ng lsl 21) lor (rm_n lsl 16) lor (a lsl 10) lor (rn lsl 5)
+            lor rd))
+  | Ext (rm, e, a) -> (
+      match op with
+      | ADD | SUB ->
+          let* () = check (a >= 0 && a <= 4) "extend amount out of range" in
+          let* rm_n = field `Zr rm in
+          let* rn = field `Sp src in
+          let* rd = field (if flags then `Zr else `Sp) dst in
+          let opb = if op = SUB then 1 else 0 in
+          let s = if flags then 1 else 0 in
+          Ok
+            ((sf dst lsl 31) lor (opb lsl 30) lor (s lsl 29)
+            lor (0b01011001 lsl 21)
+            lor (rm_n lsl 16)
+            lor (extend_num e lsl 13)
+            lor (a lsl 10) lor (rn lsl 5) lor rd)
+      | _ -> err "extended-register form only exists for add/sub")
+
+(** Encode the addressing-mode-bearing part of an integer load/store.
+    [size] is the size field, [opc] the opc field, [v] the SIMD bit,
+    [rt] the data register field. *)
+let encode_mem ~size ~v ~opc ~rt addr =
+  let scale =
+    (* bytes = 1 << scale; Q registers use size=00/opc bit 1 with scale 4 *)
+    if v = 1 && size = 0 && opc land 0b10 <> 0 then 4 else size
+  in
+  let unit = 1 lsl scale in
+  match addr with
+  | Imm_off (rn, off) -> (
+      let* rn_n = field `Sp rn in
+      if off >= 0 && off mod unit = 0 && ufits (off / unit) 12 then
+        Ok
+          ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (0b01 lsl 24)
+          lor (opc lsl 22)
+          lor ((off / unit) lsl 10)
+          lor (rn_n lsl 5) lor rt)
+      else if sfits off 9 then
+        (* unscaled (ldur/stur family) *)
+        Ok
+          ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (0b00 lsl 24)
+          lor (opc lsl 22)
+          lor (trunc off 9 lsl 12)
+          lor (0b00 lsl 10) lor (rn_n lsl 5) lor rt)
+      else err "load/store offset %d out of range" off)
+  | Pre (rn, i) | Post (rn, i) ->
+      let* () = check (sfits i 9) "pre/post-index offset out of range" in
+      let* rn_n = field `Sp rn in
+      let mode = match addr with Pre _ -> 0b11 | _ -> 0b01 in
+      Ok
+        ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (0b00 lsl 24)
+        lor (opc lsl 22)
+        lor (trunc i 9 lsl 12)
+        lor (mode lsl 10) lor (rn_n lsl 5) lor rt)
+  | Reg_off (rn, rm, e, a) ->
+      let* () =
+        check
+          (match e with Uxtw | Sxtw | Uxtx | Sxtx -> true | _ -> false)
+          "invalid extend for register offset"
+      in
+      let* () =
+        check
+          ((match e with
+           | Uxtw | Sxtw -> Reg.width rm = Reg.W32
+           | _ -> Reg.width rm = Reg.W64)
+          && (a = 0 || a = scale))
+          "register-offset operand mismatch"
+      in
+      let* rn_n = field `Sp rn in
+      let* rm_n = field `Zr rm in
+      let s = if a = 0 then 0 else 1 in
+      Ok
+        ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (0b00 lsl 24)
+        lor (opc lsl 22) lor (1 lsl 21) lor (rm_n lsl 16)
+        lor (extend_num e lsl 13)
+        lor (s lsl 12) lor (0b10 lsl 10) lor (rn_n lsl 5) lor rt)
+
+let fp_size_fields (f : Reg.Fp.t) =
+  match f.Reg.Fp.size with
+  | Reg.Fp.S -> (0b10, 0b01, 0b00) (* size, opc load, opc store *)
+  | Reg.Fp.D -> (0b11, 0b01, 0b00)
+  | Reg.Fp.Q -> (0b00, 0b11, 0b10)
+
+let encode_pair ~opc ~v ~load ~rt ~rt2 ~unit addr =
+  let enc mode rn i =
+    let* () =
+      check (i mod unit = 0 && sfits (i / unit) 7) "pair offset out of range"
+    in
+    let* rn_n = field `Sp rn in
+    Ok
+      ((opc lsl 30) lor (0b101 lsl 27) lor (v lsl 26) lor (mode lsl 23)
+      lor ((if load then 1 else 0) lsl 22)
+      lor (trunc (i / unit) 7 lsl 15)
+      lor (rt2 lsl 10) lor (rn_n lsl 5) lor rt)
+  in
+  match addr with
+  | Imm_off (rn, i) -> enc 0b010 rn i
+  | Pre (rn, i) -> enc 0b011 rn i
+  | Post (rn, i) -> enc 0b001 rn i
+  | Reg_off _ -> err "register-offset invalid for pair"
+
+let branch_offset t =
+  match t with
+  | Off n ->
+      if n mod 4 = 0 then Ok (n / 4) else err "branch offset not aligned"
+  | Sym s -> err "unresolved symbol %S (assemble first)" s
+
+let fp_type (f : Reg.Fp.t) =
+  match f.Reg.Fp.size with
+  | Reg.Fp.S -> Ok 0b00
+  | Reg.Fp.D -> Ok 0b01
+  | Reg.Fp.Q -> err "q register invalid in FP arithmetic"
+
+let sysreg_encoding = function
+  | "tpidr_el0" -> Ok 0b1_011_1101_0000_010
+  | "scxtnum_el0" -> Ok 0b1_011_1101_0000_111
+  | "fpcr" -> Ok 0b1_011_0100_0100_000
+  | s -> err "unknown system register %S" s
+
+let sysreg_of_encoding = function
+  | 0b1_011_1101_0000_010 -> Some "tpidr_el0"
+  | 0b1_011_1101_0000_111 -> Some "scxtnum_el0"
+  | 0b1_011_0100_0100_000 -> Some "fpcr"
+  | _ -> None
+
+(** Encode one instruction to a 32-bit word.  Branch targets must be
+    [Off]; the assembler resolves symbols first. *)
+let encode (i : t) : (int, error) result =
+  match i with
+  | Alu { op; flags; dst; src; op2 } ->
+      let* () =
+        check (Reg.width dst = Reg.width src) "operand width mismatch"
+      in
+      let* () =
+        check
+          (match op2 with
+          | Sh (r, _, _) -> Reg.width r = Reg.width dst
+          | Ext (r, Uxtw, _) | Ext (r, Sxtw, _) -> Reg.width r = Reg.W32
+          | Ext (r, Uxtx, _) | Ext (r, Sxtx, _) -> Reg.width r = Reg.W64
+          | Ext (r, (Uxtb | Uxth | Sxtb | Sxth), _) ->
+              Reg.width r = Reg.W32
+          | Imm _ -> true)
+          "operand width mismatch in op2"
+      in
+      encode_alu ~op ~flags ~dst ~src ~op2
+  | Shiftv { op; dst; src; amount } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src in
+      let* rm = field `Zr amount in
+      let op2 =
+        match op with Lsl -> 0b00 | Lsr -> 0b01 | Asr -> 0b10 | Ror -> 0b11
+      in
+      Ok
+        ((sf dst lsl 31) lor (0b0011010110 lsl 21) lor (rm lsl 16)
+        lor (0b0010 lsl 12) lor (op2 lsl 10) lor (rn lsl 5) lor rd)
+  | Mov { op; dst; imm; hw } ->
+      let* rd = field `Zr dst in
+      let* () = check (ufits imm 16) "mov immediate out of range" in
+      let* () =
+        check
+          (hw >= 0 && hw < (if sf dst = 1 then 4 else 2))
+          "mov hw out of range"
+      in
+      let opc = match op with MOVN -> 0b00 | MOVZ -> 0b10 | MOVK -> 0b11 in
+      Ok
+        ((sf dst lsl 31) lor (opc lsl 29) lor (0b100101 lsl 23)
+        lor (hw lsl 21) lor (imm lsl 5) lor rd)
+  | Bitfield { op; dst; src; immr; imms } ->
+      let w = bits dst in
+      let* () = check (Reg.width dst = Reg.width src) "width mismatch" in
+      let* () =
+        check (immr >= 0 && immr < w && imms >= 0 && imms < w)
+          "bitfield out of range"
+      in
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src in
+      let opc = match op with SBFM -> 0b00 | BFM -> 0b01 | UBFM -> 0b10 in
+      let n = sf dst in
+      Ok
+        ((sf dst lsl 31) lor (opc lsl 29) lor (0b100110 lsl 23) lor (n lsl 22)
+        lor (immr lsl 16) lor (imms lsl 10) lor (rn lsl 5) lor rd)
+  | Extr { dst; src1; src2; lsb } ->
+      let w = bits dst in
+      let* () = check (lsb >= 0 && lsb < w) "extr lsb out of range" in
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let n = sf dst in
+      Ok
+        ((sf dst lsl 31) lor (0b00100111 lsl 23) lor (n lsl 22) lor (rm lsl 16)
+        lor (lsb lsl 10) lor (rn lsl 5) lor rd)
+  | Madd { sub; dst; src1; src2; acc } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let* ra = field `Zr acc in
+      Ok
+        ((sf dst lsl 31) lor (0b0011011000 lsl 21) lor (rm lsl 16)
+        lor ((if sub then 1 else 0) lsl 15)
+        lor (ra lsl 10) lor (rn lsl 5) lor rd)
+  | Maddl { signed; sub; dst; src1; src2; acc } ->
+      let* () =
+        check
+          (Reg.width dst = Reg.W64 && Reg.width acc = Reg.W64
+          && Reg.width src1 = Reg.W32 && Reg.width src2 = Reg.W32)
+          "maddl operand widths"
+      in
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let* ra = field `Zr acc in
+      let op31 = if signed then 0b001 else 0b101 in
+      Ok
+        ((1 lsl 31) lor (0b0011011 lsl 24) lor (op31 lsl 21) lor (rm lsl 16)
+        lor ((if sub then 1 else 0) lsl 15)
+        lor (ra lsl 10) lor (rn lsl 5) lor rd)
+  | Ccmp { cmn; src; op2; nzcv; cond } ->
+      let* () = check (ufits nzcv 4) "nzcv out of range" in
+      let* rn = field `Zr src in
+      let base =
+        (sf src lsl 31)
+        lor (((if cmn then 0 else 1)) lsl 30)
+        lor (1 lsl 29) lor (0b11010010 lsl 21)
+        lor (cond_number cond lsl 12)
+        lor (rn lsl 5) lor nzcv
+      in
+      (match op2 with
+      | CReg rm ->
+          let* () = check (Reg.width rm = Reg.width src) "ccmp width" in
+          let* rm_n = field `Zr rm in
+          Ok (base lor (rm_n lsl 16))
+      | CImm v ->
+          let* () = check (ufits v 5) "ccmp immediate out of range" in
+          Ok (base lor (v lsl 16) lor (1 lsl 11)))
+  | Smulh { signed; dst; src1; src2 } ->
+      let* () = check (sf dst = 1) "smulh/umulh are 64-bit only" in
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let op31 = if signed then 0b010 else 0b110 in
+      Ok
+        ((1 lsl 31) lor (0b0011011 lsl 24) lor (op31 lsl 21) lor (rm lsl 16)
+        lor (0b11111 lsl 10) lor (rn lsl 5) lor rd)
+  | Div { signed; dst; src1; src2 } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let o = if signed then 0b000011 else 0b000010 in
+      Ok
+        ((sf dst lsl 31) lor (0b0011010110 lsl 21) lor (rm lsl 16)
+        lor (o lsl 10) lor (rn lsl 5) lor rd)
+  | Csel { op; dst; src1; src2; cond } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src1 in
+      let* rm = field `Zr src2 in
+      let opb, o2 =
+        match op with
+        | CSEL -> (0, 0)
+        | CSINC -> (0, 1)
+        | CSINV -> (1, 0)
+        | CSNEG -> (1, 1)
+      in
+      Ok
+        ((sf dst lsl 31) lor (opb lsl 30) lor (0b11010100 lsl 21)
+        lor (rm lsl 16)
+        lor (cond_number cond lsl 12)
+        lor (o2 lsl 10) lor (rn lsl 5) lor rd)
+  | Cls { count_zero; dst; src } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src in
+      let o = if count_zero then 0b000100 else 0b000101 in
+      Ok
+        ((sf dst lsl 31) lor (0b1011010110 lsl 21) lor (o lsl 10) lor (rn lsl 5)
+        lor rd)
+  | Rbit { dst; src } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src in
+      Ok ((sf dst lsl 31) lor (0b1011010110 lsl 21) lor (rn lsl 5) lor rd)
+  | Rev { bytes; dst; src } ->
+      let* rd = field `Zr dst in
+      let* rn = field `Zr src in
+      let* o =
+        match (bytes, sf dst) with
+        | 2, _ -> Ok 0b000001
+        | 4, 0 -> Ok 0b000010
+        | 4, 1 -> Ok 0b000010
+        | 8, 1 -> Ok 0b000011
+        | _ -> err "invalid rev width"
+      in
+      Ok
+        ((sf dst lsl 31) lor (0b1011010110 lsl 21) lor (o lsl 10) lor (rn lsl 5)
+        lor rd)
+  | Adr { page; dst; target } -> (
+      let* rd = field `Zr dst in
+      let* () = check (sf dst = 1) "adr destination must be 64-bit" in
+      match target with
+      | Sym s -> err "unresolved symbol %S" s
+      | Off n ->
+          let imm = if page then n asr 12 else n in
+          let* () =
+            check
+              (sfits imm 21 && ((not page) || n land 0xfff = 0))
+              "adr offset out of range"
+          in
+          let v = trunc imm 21 in
+          Ok
+            (((if page then 1 else 0) lsl 31)
+            lor ((v land 0b11) lsl 29)
+            lor (0b10000 lsl 24)
+            lor ((v lsr 2) lsl 5)
+            lor rd))
+  | Ldr { sz; signed; dst; addr } ->
+      let* rt = field `Zr dst in
+      let size = mem_size_num sz in
+      let* opc =
+        match (signed, Reg.width dst, sz) with
+        | false, Reg.W64, X -> Ok 0b01
+        | false, Reg.W32, (B | H | W) -> Ok 0b01
+        | true, Reg.W64, (B | H | W) -> Ok 0b10
+        | true, Reg.W32, (B | H) -> Ok 0b11
+        | _ -> err "invalid load form"
+      in
+      encode_mem ~size ~v:0 ~opc ~rt addr
+  | Str { sz; src; addr } ->
+      let* rt = field `Zr src in
+      let* () =
+        check
+          (match (sz, Reg.width src) with
+          | X, Reg.W64 | (B | H | W), Reg.W32 -> true
+          | _ -> false)
+          "invalid store form"
+      in
+      encode_mem ~size:(mem_size_num sz) ~v:0 ~opc:0b00 ~rt addr
+  | Ldp { w; r1; r2; addr } ->
+      let* rt = field `Zr r1 in
+      let* rt2 = field `Zr r2 in
+      let opc, unit = match w with Reg.W64 -> (0b10, 8) | Reg.W32 -> (0b00, 4) in
+      encode_pair ~opc ~v:0 ~load:true ~rt ~rt2 ~unit addr
+  | Stp { w; r1; r2; addr } ->
+      let* rt = field `Zr r1 in
+      let* rt2 = field `Zr r2 in
+      let opc, unit = match w with Reg.W64 -> (0b10, 8) | Reg.W32 -> (0b00, 4) in
+      encode_pair ~opc ~v:0 ~load:false ~rt ~rt2 ~unit addr
+  | Fldr { dst; addr } ->
+      let size, opc, _ = fp_size_fields dst in
+      encode_mem ~size ~v:1 ~opc ~rt:dst.Reg.Fp.n addr
+  | Fstr { src; addr } ->
+      let size, _, opc = fp_size_fields src in
+      encode_mem ~size ~v:1 ~opc ~rt:src.Reg.Fp.n addr
+  | Fldp { r1; r2; addr } ->
+      let* () =
+        check (r1.Reg.Fp.size = r2.Reg.Fp.size) "fp pair size mismatch"
+      in
+      let opc =
+        match r1.Reg.Fp.size with
+        | Reg.Fp.S -> 0b00
+        | Reg.Fp.D -> 0b01
+        | Reg.Fp.Q -> 0b10
+      in
+      encode_pair ~opc ~v:1 ~load:true ~rt:r1.Reg.Fp.n ~rt2:r2.Reg.Fp.n
+        ~unit:(Reg.Fp.bytes r1) addr
+  | Fstp { r1; r2; addr } ->
+      let* () =
+        check (r1.Reg.Fp.size = r2.Reg.Fp.size) "fp pair size mismatch"
+      in
+      let opc =
+        match r1.Reg.Fp.size with
+        | Reg.Fp.S -> 0b00
+        | Reg.Fp.D -> 0b01
+        | Reg.Fp.Q -> 0b10
+      in
+      encode_pair ~opc ~v:1 ~load:false ~rt:r1.Reg.Fp.n ~rt2:r2.Reg.Fp.n
+        ~unit:(Reg.Fp.bytes r1) addr
+  | Ldxr { sz; dst; base } ->
+      let* rt = field `Zr dst in
+      let* rn = field `Sp base in
+      Ok
+        ((mem_size_num sz lsl 30) lor (0b001000 lsl 24) lor (0b010 lsl 21)
+        lor (0b11111 lsl 16) lor (0b011111 lsl 10) lor (rn lsl 5) lor rt)
+  | Stxr { sz; status; src; base } ->
+      let* rt = field `Zr src in
+      let* rs = field `Zr status in
+      let* rn = field `Sp base in
+      Ok
+        ((mem_size_num sz lsl 30) lor (0b001000 lsl 24) lor (rs lsl 16)
+        lor (0b011111 lsl 10) lor (rn lsl 5) lor rt)
+  | Ldar { sz; dst; base } ->
+      let* rt = field `Zr dst in
+      let* rn = field `Sp base in
+      Ok
+        ((mem_size_num sz lsl 30) lor (0b001000 lsl 24) lor (0b110 lsl 21)
+        lor (0b11111 lsl 16) lor (0b111111 lsl 10) lor (rn lsl 5) lor rt)
+  | Stlr { sz; src; base } ->
+      let* rt = field `Zr src in
+      let* rn = field `Sp base in
+      Ok
+        ((mem_size_num sz lsl 30) lor (0b001000 lsl 24) lor (0b100 lsl 21)
+        lor (0b11111 lsl 16) lor (0b111111 lsl 10) lor (rn lsl 5) lor rt)
+  | B t ->
+      let* off = branch_offset t in
+      let* () = check (sfits off 26) "branch out of range" in
+      Ok ((0b000101 lsl 26) lor trunc off 26)
+  | Bl t ->
+      let* off = branch_offset t in
+      let* () = check (sfits off 26) "branch out of range" in
+      Ok ((0b100101 lsl 26) lor trunc off 26)
+  | Bcond (c, t) ->
+      let* off = branch_offset t in
+      let* () = check (sfits off 19) "branch out of range" in
+      Ok ((0b01010100 lsl 24) lor (trunc off 19 lsl 5) lor cond_number c)
+  | Cbz { nz; reg; target } ->
+      let* rt = field `Zr reg in
+      let* off = branch_offset target in
+      let* () = check (sfits off 19) "branch out of range" in
+      Ok
+        ((sf reg lsl 31) lor (0b011010 lsl 25)
+        lor ((if nz then 1 else 0) lsl 24)
+        lor (trunc off 19 lsl 5) lor rt)
+  | Tbz { nz; reg; bit; target } ->
+      let* rt = field `Zr reg in
+      let* () = check (bit >= 0 && bit < bits reg) "tbz bit out of range" in
+      let* off = branch_offset target in
+      let* () = check (sfits off 14) "tbz branch out of range" in
+      let b5 = bit lsr 5 and b40 = bit land 0x1f in
+      Ok
+        ((b5 lsl 31) lor (0b011011 lsl 25)
+        lor ((if nz then 1 else 0) lsl 24)
+        lor (b40 lsl 19)
+        lor (trunc off 14 lsl 5)
+        lor rt)
+  | Br r ->
+      let* rn = field `Zr r in
+      Ok (0xD61F0000 lor (rn lsl 5))
+  | Blr r ->
+      let* rn = field `Zr r in
+      Ok (0xD63F0000 lor (rn lsl 5))
+  | Ret r ->
+      let* rn = field `Zr r in
+      Ok (0xD65F0000 lor (rn lsl 5))
+  | Fop2 { op; dst; src1; src2 } ->
+      let* ty = fp_type dst in
+      let* () =
+        check
+          (dst.Reg.Fp.size = src1.Reg.Fp.size
+          && dst.Reg.Fp.size = src2.Reg.Fp.size)
+          "fp width mismatch"
+      in
+      let opc =
+        match op with
+        | FMUL -> 0b0000
+        | FDIV -> 0b0001
+        | FADD -> 0b0010
+        | FSUB -> 0b0011
+        | FMAX -> 0b0100
+        | FMIN -> 0b0101
+      in
+      Ok
+        ((0b00011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21)
+        lor (src2.Reg.Fp.n lsl 16) lor (opc lsl 12) lor (0b10 lsl 10)
+        lor (src1.Reg.Fp.n lsl 5) lor dst.Reg.Fp.n)
+  | Fop1 { op; dst; src } ->
+      let* ty = fp_type dst in
+      let* () = check (dst.Reg.Fp.size = src.Reg.Fp.size) "fp width mismatch" in
+      let opc =
+        match op with
+        | FMOV -> 0b000000
+        | FABS -> 0b000001
+        | FNEG -> 0b000010
+        | FSQRT -> 0b000011
+      in
+      Ok
+        ((0b00011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21) lor (opc lsl 15)
+        lor (0b10000 lsl 10) lor (src.Reg.Fp.n lsl 5) lor dst.Reg.Fp.n)
+  | Fmadd { sub; dst; src1; src2; acc } ->
+      let* ty = fp_type dst in
+      Ok
+        ((0b00011111 lsl 24) lor (ty lsl 22) lor (src2.Reg.Fp.n lsl 16)
+        lor ((if sub then 1 else 0) lsl 15)
+        lor (acc.Reg.Fp.n lsl 10) lor (src1.Reg.Fp.n lsl 5) lor dst.Reg.Fp.n)
+  | Fcmp { src1; src2 } ->
+      let* ty = fp_type src1 in
+      let rm, opcode2 =
+        match src2 with Some r -> (r.Reg.Fp.n, 0b00000) | None -> (0, 0b01000)
+      in
+      Ok
+        ((0b00011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21) lor (rm lsl 16)
+        lor (0b1000 lsl 10) lor (src1.Reg.Fp.n lsl 5) lor opcode2)
+  | Fcvt { dst; src } -> (
+      match (src.Reg.Fp.size, dst.Reg.Fp.size) with
+      | Reg.Fp.S, Reg.Fp.D ->
+          Ok (0x1E22C000 lor (src.Reg.Fp.n lsl 5) lor dst.Reg.Fp.n)
+      | Reg.Fp.D, Reg.Fp.S ->
+          Ok (0x1E624000 lor (src.Reg.Fp.n lsl 5) lor dst.Reg.Fp.n)
+      | _ -> err "unsupported fcvt")
+  | Scvtf { signed; dst; src } ->
+      let* ty = fp_type dst in
+      let* rn = field `Zr src in
+      let opcode = if signed then 0b010 else 0b011 in
+      Ok
+        ((sf src lsl 31) lor (0b0011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21)
+        lor (opcode lsl 16) lor (rn lsl 5) lor dst.Reg.Fp.n)
+  | Fcvtzs { signed; dst; src } ->
+      let* ty = fp_type src in
+      let* rd = field `Zr dst in
+      let opcode = if signed then 0b000 else 0b001 in
+      Ok
+        ((sf dst lsl 31) lor (0b0011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21)
+        lor (0b11 lsl 19) lor (opcode lsl 16) lor (src.Reg.Fp.n lsl 5) lor rd)
+  | Fmov_to_fp { dst; src } ->
+      let* ty, s =
+        match (dst.Reg.Fp.size, Reg.width src) with
+        | Reg.Fp.D, Reg.W64 -> Ok (0b01, 1)
+        | Reg.Fp.S, Reg.W32 -> Ok (0b00, 0)
+        | _ -> err "fmov width mismatch"
+      in
+      let* rn = field `Zr src in
+      Ok
+        ((s lsl 31) lor (0b0011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21)
+        lor (0b111 lsl 16) lor (rn lsl 5) lor dst.Reg.Fp.n)
+  | Fmov_from_fp { dst; src } ->
+      let* ty, s =
+        match (src.Reg.Fp.size, Reg.width dst) with
+        | Reg.Fp.D, Reg.W64 -> Ok (0b01, 1)
+        | Reg.Fp.S, Reg.W32 -> Ok (0b00, 0)
+        | _ -> err "fmov width mismatch"
+      in
+      let* rd = field `Zr dst in
+      Ok
+        ((s lsl 31) lor (0b0011110 lsl 24) lor (ty lsl 22) lor (1 lsl 21)
+        lor (0b110 lsl 16) lor (src.Reg.Fp.n lsl 5) lor rd)
+  | Nop -> Ok 0xD503201F
+  | Svc n ->
+      let* () = check (ufits n 16) "svc immediate out of range" in
+      Ok (0xD4000001 lor (n lsl 5))
+  | Mrs { dst; sysreg } ->
+      let* rt = field `Zr dst in
+      let* enc = sysreg_encoding sysreg in
+      Ok (0xD5300000 lor (enc lsl 5) lor rt)
+  | Msr { sysreg; src } ->
+      let* rt = field `Zr src in
+      let* enc = sysreg_encoding sysreg in
+      Ok (0xD5100000 lor (enc lsl 5) lor rt)
+  | Dmb -> Ok 0xD5033BBF
+  | Udf n ->
+      let* () = check (ufits n 16) "udf immediate out of range" in
+      Ok n
+
+(** Encode a list of instructions into a bytes buffer (little-endian). *)
+let encode_all (insns : t list) : (bytes, error) result =
+  let buf = Bytes.create (4 * List.length insns) in
+  let rec go idx = function
+    | [] -> Ok buf
+    | i :: tl -> (
+        match encode i with
+        | Ok w ->
+            Bytes.set_int32_le buf (idx * 4) (Int32.of_int w);
+            go (idx + 1) tl
+        | Error e ->
+            err "instruction %d (%s): %s" idx (Printer.to_string i) e)
+  in
+  go 0 insns

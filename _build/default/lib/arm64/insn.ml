@@ -1,0 +1,408 @@
+(** The ARM64 instruction subset shared by every component of the system.
+
+    One ADT is used by the assembly parser and printer, the binary
+    encoder and decoder, the LFI rewriter, the static verifier and the
+    emulator, so the round-trip properties [parse (print i) = i] and
+    [decode (encode i) = i] are meaningful and property-tested.
+
+    The subset covers the base ARMv8.0-A instructions that C/C++
+    compilers emit for integer and scalar floating-point code: ALU
+    operations (shifted-register, extended-register and immediate
+    forms), moves, bitfields, multiplies/divides, conditional selects,
+    the full set of load/store addressing modes of Table 1 of the paper,
+    register pairs, acquire/release and exclusive accesses, direct and
+    indirect branches (Table 2), and scalar FP arithmetic. *)
+
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC | HI | LS | GE | LT | GT | LE | AL
+
+let cond_to_string = function
+  | EQ -> "eq" | NE -> "ne" | CS -> "cs" | CC -> "cc" | MI -> "mi"
+  | PL -> "pl" | VS -> "vs" | VC -> "vc" | HI -> "hi" | LS -> "ls"
+  | GE -> "ge" | LT -> "lt" | GT -> "gt" | LE -> "le" | AL -> "al"
+
+let cond_of_string = function
+  | "eq" -> Some EQ | "ne" -> Some NE | "cs" | "hs" -> Some CS
+  | "cc" | "lo" -> Some CC | "mi" -> Some MI | "pl" -> Some PL
+  | "vs" -> Some VS | "vc" -> Some VC | "hi" -> Some HI | "ls" -> Some LS
+  | "ge" -> Some GE | "lt" -> Some LT | "gt" -> Some GT | "le" -> Some LE
+  | "al" -> Some AL | _ -> None
+
+let cond_number = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3 | MI -> 4 | PL -> 5 | VS -> 6
+  | VC -> 7 | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11 | GT -> 12 | LE -> 13
+  | AL -> 14
+
+let cond_of_number = function
+  | 0 -> Some EQ | 1 -> Some NE | 2 -> Some CS | 3 -> Some CC | 4 -> Some MI
+  | 5 -> Some PL | 6 -> Some VS | 7 -> Some VC | 8 -> Some HI | 9 -> Some LS
+  | 10 -> Some GE | 11 -> Some LT | 12 -> Some GT | 13 -> Some LE
+  | 14 -> Some AL
+  | _ -> None
+
+let invert_cond = function
+  | EQ -> NE | NE -> EQ | CS -> CC | CC -> CS | MI -> PL | PL -> MI
+  | VS -> VC | VC -> VS | HI -> LS | LS -> HI | GE -> LT | LT -> GE
+  | GT -> LE | LE -> GT | AL -> AL
+
+type shift = Lsl | Lsr | Asr | Ror
+
+let shift_to_string = function
+  | Lsl -> "lsl" | Lsr -> "lsr" | Asr -> "asr" | Ror -> "ror"
+
+type extend = Uxtb | Uxth | Uxtw | Uxtx | Sxtb | Sxth | Sxtw | Sxtx
+
+let extend_to_string = function
+  | Uxtb -> "uxtb" | Uxth -> "uxth" | Uxtw -> "uxtw" | Uxtx -> "uxtx"
+  | Sxtb -> "sxtb" | Sxth -> "sxth" | Sxtw -> "sxtw" | Sxtx -> "sxtx"
+
+let extend_of_string = function
+  | "uxtb" -> Some Uxtb | "uxth" -> Some Uxth | "uxtw" -> Some Uxtw
+  | "uxtx" -> Some Uxtx | "sxtb" -> Some Sxtb | "sxth" -> Some Sxth
+  | "sxtw" -> Some Sxtw | "sxtx" -> Some Sxtx | _ -> None
+
+(** Second operand of an ALU instruction. *)
+type operand2 =
+  | Imm of int * int
+      (** [Imm (v, sh)]: 12-bit immediate, [sh] is 0 or 12 (add/sub);
+          logical instructions use [Imm (v, 0)] with a bitmask value. *)
+  | Sh of Reg.t * shift * int  (** shifted register *)
+  | Ext of Reg.t * extend * int
+      (** extended register — the form the LFI guard uses
+          ([add xA, xB, wC, uxtw]) *)
+
+(** Addressing modes of Table 1. *)
+type addr =
+  | Imm_off of Reg.t * int               (** [\[xN, #i\]]; i = 0 is plain [\[xN\]] *)
+  | Pre of Reg.t * int                   (** [\[xN, #i\]!] *)
+  | Post of Reg.t * int                  (** [\[xN\], #i] *)
+  | Reg_off of Reg.t * Reg.t * extend * int
+      (** [\[xN, xM, lsl/sxtx #i\]] (with [Uxtx] standing for lsl) or
+          [\[xN, wM, uxtw/sxtw #i\]] *)
+
+let addr_base = function
+  | Imm_off (r, _) | Pre (r, _) | Post (r, _) | Reg_off (r, _, _, _) -> r
+
+(** Branch target: symbolic before assembly, a byte offset relative to
+    the instruction's own address after assembly / decoding. *)
+type target = Sym of string | Off of int
+
+type mem_size = B | H | W | X
+
+let mem_bytes = function B -> 1 | H -> 2 | W -> 4 | X -> 8
+
+type alu_op = ADD | SUB | AND | ORR | EOR | BIC | ORN | EON
+
+let alu_op_to_string = function
+  | ADD -> "add" | SUB -> "sub" | AND -> "and" | ORR -> "orr"
+  | EOR -> "eor" | BIC -> "bic" | ORN -> "orn" | EON -> "eon"
+
+type csel_op = CSEL | CSINC | CSINV | CSNEG
+
+let csel_op_to_string = function
+  | CSEL -> "csel" | CSINC -> "csinc" | CSINV -> "csinv" | CSNEG -> "csneg"
+
+type fop2 = FADD | FSUB | FMUL | FDIV | FMIN | FMAX
+
+let fop2_to_string = function
+  | FADD -> "fadd" | FSUB -> "fsub" | FMUL -> "fmul" | FDIV -> "fdiv"
+  | FMIN -> "fmin" | FMAX -> "fmax"
+
+type fop1 = FNEG | FABS | FSQRT | FMOV
+
+let fop1_to_string = function
+  | FNEG -> "fneg" | FABS -> "fabs" | FSQRT -> "fsqrt" | FMOV -> "fmov"
+
+type movk = MOVZ | MOVN | MOVK
+
+let mov_to_string = function MOVZ -> "movz" | MOVN -> "movn" | MOVK -> "movk"
+
+type bf_op = UBFM | SBFM | BFM
+
+let bf_to_string = function UBFM -> "ubfm" | SBFM -> "sbfm" | BFM -> "bfm"
+
+(** Second operand of a conditional compare: a register or a 5-bit
+    unsigned immediate. *)
+type ccmp_op2 = CReg of Reg.t | CImm of int
+
+type t =
+  (* Data processing *)
+  | Alu of { op : alu_op; flags : bool; dst : Reg.t; src : Reg.t;
+             op2 : operand2 }
+  | Shiftv of { op : shift; dst : Reg.t; src : Reg.t; amount : Reg.t }
+      (** lslv/lsrv/asrv/rorv *)
+  | Mov of { op : movk; dst : Reg.t; imm : int; hw : int }
+      (** movz/movn/movk; [hw] is the 16-bit chunk index *)
+  | Bitfield of { op : bf_op; dst : Reg.t; src : Reg.t; immr : int;
+                  imms : int }
+  | Extr of { dst : Reg.t; src1 : Reg.t; src2 : Reg.t; lsb : int }
+  | Madd of { sub : bool; dst : Reg.t; src1 : Reg.t; src2 : Reg.t;
+              acc : Reg.t }  (** madd / msub *)
+  | Smulh of { signed : bool; dst : Reg.t; src1 : Reg.t; src2 : Reg.t }
+  | Maddl of { signed : bool; sub : bool; dst : Reg.t; src1 : Reg.t;
+               src2 : Reg.t; acc : Reg.t }
+      (** smaddl/smsubl/umaddl/umsubl (and the smull/umull aliases):
+          64-bit accumulate of a widened 32x32 product *)
+  | Div of { signed : bool; dst : Reg.t; src1 : Reg.t; src2 : Reg.t }
+  | Csel of { op : csel_op; dst : Reg.t; src1 : Reg.t; src2 : Reg.t;
+              cond : cond }
+  | Ccmp of { cmn : bool; src : Reg.t; op2 : ccmp_op2; nzcv : int;
+              cond : cond }
+      (** conditional compare: flags := cmp/cmn result if [cond] holds,
+          else the [nzcv] literal *)
+  | Cls of { count_zero : bool; dst : Reg.t; src : Reg.t } (** clz / cls *)
+  | Rbit of { dst : Reg.t; src : Reg.t }
+  | Rev of { bytes : int; dst : Reg.t; src : Reg.t } (** rev16/rev32/rev *)
+  | Adr of { page : bool; dst : Reg.t; target : target } (** adr / adrp *)
+  (* Loads and stores *)
+  | Ldr of { sz : mem_size; signed : bool; dst : Reg.t; addr : addr }
+  | Str of { sz : mem_size; src : Reg.t; addr : addr }
+  | Ldp of { w : Reg.width; r1 : Reg.t; r2 : Reg.t; addr : addr }
+  | Stp of { w : Reg.width; r1 : Reg.t; r2 : Reg.t; addr : addr }
+  | Fldr of { dst : Reg.Fp.t; addr : addr }
+  | Fstr of { src : Reg.Fp.t; addr : addr }
+  | Fldp of { r1 : Reg.Fp.t; r2 : Reg.Fp.t; addr : addr }
+  | Fstp of { r1 : Reg.Fp.t; r2 : Reg.Fp.t; addr : addr }
+  | Ldxr of { sz : mem_size; dst : Reg.t; base : Reg.t }
+  | Stxr of { sz : mem_size; status : Reg.t; src : Reg.t; base : Reg.t }
+  | Ldar of { sz : mem_size; dst : Reg.t; base : Reg.t }
+  | Stlr of { sz : mem_size; src : Reg.t; base : Reg.t }
+  (* Branches *)
+  | B of target
+  | Bl of target
+  | Bcond of cond * target
+  | Cbz of { nz : bool; reg : Reg.t; target : target }
+  | Tbz of { nz : bool; reg : Reg.t; bit : int; target : target }
+  | Br of Reg.t
+  | Blr of Reg.t
+  | Ret of Reg.t
+  (* Scalar floating point *)
+  | Fop2 of { op : fop2; dst : Reg.Fp.t; src1 : Reg.Fp.t; src2 : Reg.Fp.t }
+  | Fop1 of { op : fop1; dst : Reg.Fp.t; src : Reg.Fp.t }
+  | Fmadd of { sub : bool; dst : Reg.Fp.t; src1 : Reg.Fp.t;
+               src2 : Reg.Fp.t; acc : Reg.Fp.t }
+  | Fcmp of { src1 : Reg.Fp.t; src2 : Reg.Fp.t option }
+      (** [None] compares against +0.0 *)
+  | Fcvt of { dst : Reg.Fp.t; src : Reg.Fp.t }  (** precision conversion *)
+  | Scvtf of { signed : bool; dst : Reg.Fp.t; src : Reg.t }
+  | Fcvtzs of { signed : bool; dst : Reg.t; src : Reg.Fp.t }
+  | Fmov_to_fp of { dst : Reg.Fp.t; src : Reg.t }
+  | Fmov_from_fp of { dst : Reg.t; src : Reg.Fp.t }
+  (* System *)
+  | Nop
+  | Svc of int
+  | Mrs of { dst : Reg.t; sysreg : string }
+  | Msr of { sysreg : string; src : Reg.t }
+  | Dmb
+  | Udf of int
+      (** permanently-undefined / unrecognized encoding; always rejected
+          by the verifier *)
+
+let equal (a : t) (b : t) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Structural queries used by the rewriter and verifier.               *)
+(* ------------------------------------------------------------------ *)
+
+(** The addressing mode of a memory instruction, if any. *)
+let addr_of = function
+  | Ldr { addr; _ } | Str { addr; _ } | Ldp { addr; _ } | Stp { addr; _ }
+  | Fldr { addr; _ } | Fstr { addr; _ } | Fldp { addr; _ }
+  | Fstp { addr; _ } ->
+      Some addr
+  | Ldxr { base; _ } | Stxr { base; _ } | Ldar { base; _ }
+  | Stlr { base; _ } ->
+      Some (Imm_off (base, 0))
+  | _ -> None
+
+(** Replace the addressing mode of a memory instruction. *)
+let with_addr insn addr =
+  match insn with
+  | Ldr r -> Ldr { r with addr }
+  | Str r -> Str { r with addr }
+  | Ldp r -> Ldp { r with addr }
+  | Stp r -> Stp { r with addr }
+  | Fldr r -> Fldr { r with addr }
+  | Fstr r -> Fstr { r with addr }
+  | Fldp r -> Fldp { r with addr }
+  | Fstp r -> Fstp { r with addr }
+  | Ldxr r -> (
+      match addr with
+      | Imm_off (b, 0) -> Ldxr { r with base = b }
+      | _ -> invalid_arg "with_addr: exclusive")
+  | Stxr r -> (
+      match addr with
+      | Imm_off (b, 0) -> Stxr { r with base = b }
+      | _ -> invalid_arg "with_addr: exclusive")
+  | Ldar r -> (
+      match addr with
+      | Imm_off (b, 0) -> Ldar { r with base = b }
+      | _ -> invalid_arg "with_addr: acquire")
+  | Stlr r -> (
+      match addr with
+      | Imm_off (b, 0) -> Stlr { r with base = b }
+      | _ -> invalid_arg "with_addr: release")
+  | _ -> invalid_arg "with_addr: not a memory instruction"
+
+let is_load = function
+  | Ldr _ | Ldp _ | Fldr _ | Fldp _ | Ldxr _ | Ldar _ -> true
+  | _ -> false
+
+let is_store = function
+  | Str _ | Stp _ | Fstr _ | Fstp _ | Stxr _ | Stlr _ -> true
+  | _ -> false
+
+let is_memory i = is_load i || is_store i
+
+(** Number of bytes touched by a memory instruction (the width of the
+    access, used for trap checks). *)
+let access_bytes = function
+  | Ldr { sz; _ } | Str { sz; _ } | Ldxr { sz; _ } | Stxr { sz; _ }
+  | Ldar { sz; _ } | Stlr { sz; _ } ->
+      mem_bytes sz
+  | Ldp { w = W64; _ } | Stp { w = W64; _ } -> 16
+  | Ldp { w = W32; _ } | Stp { w = W32; _ } -> 8
+  | Fldr { dst = f; _ } -> Reg.Fp.bytes f
+  | Fstr { src = f; _ } -> Reg.Fp.bytes f
+  | Fldp { r1; _ } | Fstp { r1; _ } -> 2 * Reg.Fp.bytes r1
+  | _ -> 0
+
+let is_branch = function
+  | B _ | Bl _ | Bcond _ | Cbz _ | Tbz _ | Br _ | Blr _ | Ret _ -> true
+  | _ -> false
+
+let is_indirect_branch = function Br _ | Blr _ | Ret _ -> true | _ -> false
+
+(** General registers written by the instruction, as architectural
+    register numbers (0-30; writes to zr are dropped, writes to sp are
+    reported as [`Sp]).  Includes implicit writes: the base register of
+    pre/post-indexed modes, x30 for [bl]/[blr], the status register of
+    [stxr]. *)
+let writes insn : [ `R of Reg.width * int | `Sp ] list =
+  let reg r acc =
+    match r with
+    | Reg.R (w, n) -> `R (w, n) :: acc
+    | Reg.SP _ -> `Sp :: acc
+    | Reg.ZR _ -> acc
+  in
+  let wb addr acc =
+    match addr with
+    | Pre (b, _) | Post (b, _) -> reg b acc
+    | Imm_off _ | Reg_off _ -> acc
+  in
+  match insn with
+  | Alu { dst; flags = _; _ } -> reg dst []
+  | Shiftv { dst; _ }
+  | Mov { dst; _ }
+  | Bitfield { dst; _ }
+  | Extr { dst; _ }
+  | Madd { dst; _ }
+  | Smulh { dst; _ }
+  | Maddl { dst; _ }
+  | Div { dst; _ }
+  | Csel { dst; _ }
+  | Cls { dst; _ }
+  | Rbit { dst; _ }
+  | Rev { dst; _ }
+  | Adr { dst; _ } ->
+      reg dst []
+  | Ccmp _ -> []
+  | Ldr { dst; addr; _ } -> reg dst (wb addr [])
+  | Str { addr; _ } -> wb addr []
+  | Ldp { r1; r2; addr; _ } -> reg r1 (reg r2 (wb addr []))
+  | Stp { addr; _ } -> wb addr []
+  | Fldr { addr; _ } | Fstr { addr; _ } | Fldp { addr; _ } | Fstp { addr; _ }
+    ->
+      wb addr []
+  | Ldxr { dst; _ } -> reg dst []
+  | Stxr { status; _ } -> reg status []
+  | Ldar { dst; _ } -> reg dst []
+  | Stlr _ -> []
+  | Bl _ | Blr _ -> [ `R (Reg.W64, 30) ]
+  | B _ | Bcond _ | Cbz _ | Tbz _ | Br _ | Ret _ -> []
+  | Fop2 _ | Fop1 _ | Fmadd _ | Fcmp _ | Fcvt _ | Scvtf _ -> []
+  | Fcvtzs { dst; _ } -> reg dst []
+  | Fmov_to_fp _ -> []
+  | Fmov_from_fp { dst; _ } -> reg dst []
+  | Mrs { dst; _ } -> reg dst []
+  | Nop | Svc _ | Msr _ | Dmb | Udf _ -> []
+
+(** True if the instruction writes architectural register number [n]
+    (0-30) through any name or side effect. *)
+let writes_reg_number insn n =
+  List.exists
+    (function `R (_, m) -> m = n | `Sp -> false)
+    (writes insn)
+
+let writes_sp insn = List.mem `Sp (writes insn)
+
+(** Every general register that appears as an operand (read or written,
+    explicitly).  Used by the rewriter to reject input that touches the
+    LFI reserved registers. *)
+let regs_mentioned (i : t) : Reg.t list =
+  let addr_regs = function
+    | Imm_off (b, _) | Pre (b, _) | Post (b, _) -> [ b ]
+    | Reg_off (b, m, _, _) -> [ b; m ]
+  in
+  let op2_regs = function
+    | Imm _ -> []
+    | Sh (r, _, _) | Ext (r, _, _) -> [ r ]
+  in
+  match i with
+  | Alu { dst; src; op2; _ } -> dst :: src :: op2_regs op2
+  | Shiftv { dst; src; amount; _ } -> [ dst; src; amount ]
+  | Mov { dst; _ } -> [ dst ]
+  | Bitfield { dst; src; _ } | Cls { dst; src; _ } | Rbit { dst; src }
+  | Rev { dst; src; _ } ->
+      [ dst; src ]
+  | Extr { dst; src1; src2; _ } -> [ dst; src1; src2 ]
+  | Madd { dst; src1; src2; acc; _ } -> [ dst; src1; src2; acc ]
+  | Smulh { dst; src1; src2; _ } | Div { dst; src1; src2; _ } ->
+      [ dst; src1; src2 ]
+  | Maddl { dst; src1; src2; acc; _ } -> [ dst; src1; src2; acc ]
+  | Ccmp { src; op2 = CReg r; _ } -> [ src; r ]
+  | Ccmp { src; op2 = CImm _; _ } -> [ src ]
+  | Csel { dst; src1; src2; _ } -> [ dst; src1; src2 ]
+  | Adr { dst; _ } -> [ dst ]
+  | Ldr { dst; addr; _ } -> dst :: addr_regs addr
+  | Str { src; addr; _ } -> src :: addr_regs addr
+  | Ldp { r1; r2; addr; _ } | Stp { r1; r2; addr; _ } ->
+      r1 :: r2 :: addr_regs addr
+  | Fldr { addr; _ } | Fstr { addr; _ } | Fldp { addr; _ } | Fstp { addr; _ }
+    ->
+      addr_regs addr
+  | Ldxr { dst; base; _ } -> [ dst; base ]
+  | Stxr { status; src; base; _ } -> [ status; src; base ]
+  | Ldar { dst; base; _ } -> [ dst; base ]
+  | Stlr { src; base; _ } -> [ src; base ]
+  | Cbz { reg; _ } | Tbz { reg; _ } -> [ reg ]
+  | Br r | Blr r | Ret r -> [ r ]
+  | Scvtf { src; _ } -> [ src ]
+  | Fcvtzs { dst; _ } -> [ dst ]
+  | Fmov_to_fp { src; _ } -> [ src ]
+  | Fmov_from_fp { dst; _ } -> [ dst ]
+  | Mrs { dst; _ } -> [ dst ]
+  | Msr { src; _ } -> [ src ]
+  | B _ | Bl _ | Bcond _ | Fop2 _ | Fop1 _ | Fmadd _ | Fcmp _ | Fcvt _
+  | Nop | Svc _ | Dmb | Udf _ ->
+      []
+
+let targets = function
+  | B t | Bl t | Bcond (_, t) -> [ t ]
+  | Cbz { target; _ } | Tbz { target; _ } -> [ target ]
+  | _ -> []
+
+let map_target f = function
+  | B t -> B (f t)
+  | Bl t -> Bl (f t)
+  | Bcond (c, t) -> Bcond (c, f t)
+  | Cbz r -> Cbz { r with target = f r.target }
+  | Tbz r -> Tbz { r with target = f r.target }
+  | Adr r -> Adr { r with target = f r.target }
+  | i -> i
+
+(** Does control fall through to the next instruction? *)
+let falls_through = function
+  | B _ | Br _ | Ret _ -> false
+  | Udf _ -> false
+  | _ -> true

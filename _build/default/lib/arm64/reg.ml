@@ -1,0 +1,140 @@
+(** General-purpose and SIMD/FP registers of the ARM64 subset used by LFI.
+
+    ARM64 has 31 general-purpose registers [x0]-[x30] that can also be
+    accessed through their 32-bit halves [w0]-[w30] (writing a 32-bit
+    name zeroes the top 32 bits — the property the LFI guard relies on),
+    a zero register [xzr]/[wzr], and a dedicated stack pointer [sp]/[wsp]
+    that shares encoding number 31 with the zero register. *)
+
+type width = W32 | W64
+
+(** A general register operand.  Encoding number 31 is either the zero
+    register or the stack pointer depending on the instruction; we keep
+    the distinction explicit so the rewriter and verifier never confuse
+    them. *)
+type t =
+  | R of width * int  (** [x0]-[x30] / [w0]-[w30]; invariant: 0 <= n <= 30 *)
+  | ZR of width       (** xzr / wzr *)
+  | SP of width       (** sp / wsp *)
+
+let equal (a : t) (b : t) = a = b
+
+(* LFI reserved registers (Section 3 of the paper). *)
+
+let base = R (W64, 21)     (* x21: sandbox base address, never written   *)
+let addr = R (W64, 18)     (* x18: always a valid sandbox address        *)
+let scratch32 = R (W64, 22)(* x22: always holds a 32-bit value           *)
+let hoist1 = R (W64, 23)   (* x23: hoisting register (valid address)     *)
+let hoist2 = R (W64, 24)   (* x24: hoisting register (valid address)     *)
+let lr = R (W64, 30)       (* x30: link register, always a valid target  *)
+
+let reserved_numbers = [ 18; 21; 22; 23; 24 ]
+
+(** Number used in the machine encoding: 0-30 for named registers and 31
+    for both [ZR] and [SP]. *)
+let encoding_number = function R (_, n) -> n | ZR _ -> 31 | SP _ -> 31
+
+let width = function R (w, _) | ZR w | SP w -> w
+
+let with_width w = function
+  | R (_, n) -> R (w, n)
+  | ZR _ -> ZR w
+  | SP _ -> SP w
+
+(** [number_of r] is the architectural register number of [r] when [r]
+    names one of x0-x30, regardless of operand width. *)
+let number_of = function R (_, n) -> Some n | ZR _ | SP _ -> None
+
+let is_reserved r =
+  match number_of r with
+  | Some n -> List.mem n reserved_numbers
+  | None -> false
+
+let is_sp = function SP _ -> true | R _ | ZR _ -> false
+let is_zr = function ZR _ -> true | R _ | SP _ -> false
+
+let x n =
+  if n < 0 || n > 30 then invalid_arg "Reg.x";
+  R (W64, n)
+
+let w n =
+  if n < 0 || n > 30 then invalid_arg "Reg.w";
+  R (W32, n)
+
+let xzr = ZR W64
+let wzr = ZR W32
+let sp = SP W64
+let wsp = SP W32
+
+let to_string = function
+  | R (W64, n) -> Printf.sprintf "x%d" n
+  | R (W32, n) -> Printf.sprintf "w%d" n
+  | ZR W64 -> "xzr"
+  | ZR W32 -> "wzr"
+  | SP W64 -> "sp"
+  | SP W32 -> "wsp"
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+(** Parse a register name, e.g. ["x21"], ["wsp"].  Returns [None] on
+    anything else. *)
+let of_string s =
+  match s with
+  | "xzr" -> Some (ZR W64)
+  | "wzr" -> Some (ZR W32)
+  | "sp" -> Some (SP W64)
+  | "wsp" -> Some (SP W32)
+  | "lr" -> Some (R (W64, 30))
+  | _ ->
+      let len = String.length s in
+      if len < 2 || len > 3 then None
+      else
+        let wd =
+          match s.[0] with 'x' -> Some W64 | 'w' -> Some W32 | _ -> None
+        in
+        match wd with
+        | None -> None
+        | Some wd -> (
+            match int_of_string_opt (String.sub s 1 (len - 1)) with
+            | Some n when n >= 0 && n <= 30 -> Some (R (wd, n))
+            | Some _ | None -> None)
+
+(** SIMD/FP registers.  The subset uses scalar [s]/[d] views and the
+    128-bit [q] view (for SIMD loads/stores). *)
+module Fp = struct
+  type size = S | D | Q
+
+  type t = { size : size; n : int }  (** invariant: 0 <= n <= 31 *)
+
+  let v size n =
+    if n < 0 || n > 31 then invalid_arg "Reg.Fp.v";
+    { size; n }
+
+  let equal (a : t) (b : t) = a = b
+
+  let to_string { size; n } =
+    let c = match size with S -> 's' | D -> 'd' | Q -> 'q' in
+    Printf.sprintf "%c%d" c n
+
+  let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+  let of_string s =
+    let len = String.length s in
+    if len < 2 || len > 3 then None
+    else
+      let size =
+        match s.[0] with
+        | 's' -> Some S
+        | 'd' -> Some D
+        | 'q' -> Some Q
+        | _ -> None
+      in
+      match size with
+      | None -> None
+      | Some size -> (
+          match int_of_string_opt (String.sub s 1 (len - 1)) with
+          | Some n when n >= 0 && n <= 31 -> Some { size; n }
+          | Some _ | None -> None)
+
+  let bytes { size; _ } = match size with S -> 4 | D -> 8 | Q -> 16
+end

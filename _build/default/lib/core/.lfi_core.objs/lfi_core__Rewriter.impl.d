@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Array Config Hashtbl Insn Layout Lfi_arm64 List Option Parser Printer Printf Reg Source

@@ -1,0 +1,600 @@
+(** The LFI assembly rewriter (Sections 3-5.1 of the paper).
+
+    Consumes parsed GNU assembly (as produced by any compiler invoked
+    with [-ffixed-x18 -ffixed-x21 ... ] so that the reserved registers
+    are free) and inserts SFI guards so that the output passes the
+    static verifier:
+
+    - loads/stores through arbitrary registers are rewritten to the
+      guarded forms of Table 3 (O1+) or the basic [add x18, x21, wN,
+      uxtw] guard (O0 and instructions without register-offset forms);
+    - stack-pointer writes are guarded with the two-instruction
+      [mov w22, wsp; add sp, x21, x22] sequence, except where the
+      pre/post-index and same-basic-block optimizations of §4.2 apply;
+    - loads that write x30 are followed by an x30 guard; indirect
+      branches go through a guarded x18;
+    - [svc #n] system calls are lowered to the trampoline-free
+      runtime-call sequence [ldr x30, \[x21, #8n\]; blr x30] (§4.4);
+    - at O2, redundant guards are eliminated by hoisting a guarded base
+      into x23/x24 (§4.3);
+    - [tbz]/[tbnz] (±32KiB reach) and conditional branches that the
+      inserted guards push out of range are relaxed to a two-instruction
+      sequence (§5.1 "Difficulties"). *)
+
+open Lfi_arm64
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type stats = {
+  mutable input_insns : int;
+  mutable output_insns : int;
+  mutable guards : int;  (** guard instructions inserted *)
+  mutable hoists : int;  (** hoisting groups created *)
+  mutable sp_guards_elided : int;
+  mutable branches_relaxed : int;
+}
+
+let empty_stats () =
+  { input_insns = 0; output_insns = 0; guards = 0; hoists = 0;
+    sp_guards_elided = 0; branches_relaxed = 0 }
+
+(* Registers of the scheme. *)
+let x21 = Reg.x 21
+let x18 = Reg.x 18
+let w22 = Reg.w 22
+let wsp = Reg.wsp
+let sp = Reg.sp
+let x30 = Reg.x 30
+let w30 = Reg.w 30
+let hoist_regs = [| Reg.x 23; Reg.x 24 |]
+
+let w_of r =
+  match r with
+  | Reg.R (_, n) -> Reg.R (Reg.W32, n)
+  | Reg.SP _ -> Reg.SP Reg.W32
+  | Reg.ZR _ -> Reg.ZR Reg.W32
+
+(** [add xD, x21, wN, uxtw] — the fundamental guard: forces the top 32
+    bits of a pointer to equal the sandbox base. *)
+let addr_guard dst src_base =
+  Insn.Alu
+    { op = Insn.ADD; flags = false; dst; src = x21;
+      op2 = Insn.Ext (w_of src_base, Insn.Uxtw, 0) }
+
+(** The x30 guard inserted after instructions that load the link
+    register from memory. *)
+let lr_guard = addr_guard x30 x30
+
+(** The two-instruction stack-pointer guard of §4.2:
+    [mov w22, wsp; add sp, x21, x22]. *)
+let sp_guard =
+  [ Insn.Alu { op = Insn.ADD; flags = false; dst = w22; src = wsp;
+               op2 = Insn.Imm (0, 0) };
+    Insn.Alu { op = Insn.ADD; flags = false; dst = sp; src = x21;
+               op2 = Insn.Ext (Reg.x 22, Insn.Uxtx, 0) } ]
+
+(** Is this instruction exactly the guarded write [add xR, x21, wN,
+    uxtw] for reserved register [r]? (Shared with the verifier.) *)
+let is_addr_guard_for (r : Reg.t) = function
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; dst;
+        src = Reg.R (Reg.W64, 21);
+        op2 = Insn.Ext (Reg.R (Reg.W32, _), Insn.Uxtw, 0) } ->
+      Reg.equal dst r
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Input validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reserved_mentioned (i : Insn.t) =
+  List.find_opt
+    (fun r ->
+      match Reg.number_of r with
+      | Some n -> List.mem n Reg.reserved_numbers
+      | None -> false)
+    (Insn.regs_mentioned i)
+
+let check_input (src : Source.t) =
+  List.iter
+    (function
+      | Source.Insn i -> (
+          match reserved_mentioned i with
+          | Some r ->
+              errorf
+                "input uses reserved register %s in %S (compile with \
+                 -ffixed-x18 -ffixed-x21 -ffixed-x22 -ffixed-x23 \
+                 -ffixed-x24)"
+                (Reg.to_string r) (Printer.to_string i)
+          | None -> ())
+      | _ -> ())
+    src
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Emit [w22 := wBase + i] using one or two 32-bit add/sub immediates
+    (Table 3 uses a single add; larger offsets take two). *)
+let materialize_offset32 (base : Reg.t) (i : int) : Insn.t list =
+  let wb = w_of base in
+  let mk op v src =
+    Insn.Alu { op; flags = false; dst = w22; src; op2 = Insn.Imm (v, 0) }
+  in
+  let mk_hi op v src =
+    Insn.Alu { op; flags = false; dst = w22; src; op2 = Insn.Imm (v, 12) }
+  in
+  let op, v = if i >= 0 then (Insn.ADD, i) else (Insn.SUB, -i) in
+  if v < 4096 then [ mk op v wb ]
+  else if v land 0xfff = 0 && v lsr 12 < 4096 then [ mk_hi op (v lsr 12) wb ]
+  else if v lsr 12 < 4096 then
+    [ mk_hi op (v lsr 12) wb; mk op (v land 0xfff) w22 ]
+  else errorf "memory offset %d out of range" i
+
+(** The guarded addressing mode [\[x21, w22, uxtw\]]. *)
+let guarded_w22 = Insn.Reg_off (x21, w22, Insn.Uxtw, 0)
+
+let guarded_reg r = Insn.Reg_off (x21, w_of r, Insn.Uxtw, 0)
+
+let add_imm_to (dst : Reg.t) (i : int) : Insn.t =
+  let op, v = if i >= 0 then (Insn.ADD, i) else (Insn.SUB, -i) in
+  if v >= 4096 then errorf "index offset %d out of range" i;
+  Insn.Alu { op; flags = false; dst; src = dst; op2 = Insn.Imm (v, 0) }
+
+(** True when the addressing mode supports the register-offset guard
+    form directly (only basic single-register loads/stores do). *)
+let has_reg_offset_form = function
+  | Insn.Ldr _ | Insn.Str _ | Insn.Fldr _ | Insn.Fstr _ -> true
+  | _ -> false
+
+let base_is_reserved_addr b =
+  match Reg.number_of b with Some (18 | 23 | 24) -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Memory access transformation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite one guarded memory access with general base [b].  Returns
+    the replacement instruction list.  [o1] selects the Table 3
+    zero/one-instruction guards; otherwise the O0 basic guard through
+    x18 is used. *)
+let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
+    (b : Reg.t) : Insn.t list =
+  let via_x18 ~guard ~pre ~post addr_for_x18 =
+    (* O0 / specialized instructions: guard an address into x18 and
+       access through it *)
+    pre @ (guard :: Insn.with_addr insn addr_for_x18 :: post)
+  in
+  if o1 && has_reg_offset_form insn then
+    match addr with
+    | Insn.Imm_off (_, 0) -> [ Insn.with_addr insn (guarded_reg b) ]
+    | Insn.Imm_off (_, i) ->
+        materialize_offset32 b i @ [ Insn.with_addr insn guarded_w22 ]
+    | Insn.Pre (_, i) ->
+        [ add_imm_to b i; Insn.with_addr insn (guarded_reg b) ]
+    | Insn.Post (_, i) ->
+        [ Insn.with_addr insn (guarded_reg b); add_imm_to b i ]
+    | Insn.Reg_off (_, m, e, a) ->
+        let op2 =
+          match e with
+          | Insn.Uxtx -> Insn.Sh (w_of m, Insn.Lsl, a)
+          | Insn.Uxtw -> Insn.Ext (w_of m, Insn.Uxtw, a)
+          | Insn.Sxtw -> Insn.Ext (w_of m, Insn.Sxtw, a)
+          | Insn.Sxtx -> Insn.Sh (w_of m, Insn.Lsl, a)
+          | e -> Insn.Ext (w_of m, e, a)
+        in
+        [ Insn.Alu { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
+                     op2 };
+          Insn.with_addr insn guarded_w22 ]
+  else
+    (* Basic scheme: the two-cycle guard into x18.  Immediates up to
+       the 32KiB encoding limit stay within the 48KiB guard region, so
+       they may remain as offsets from the guarded base. *)
+    match addr with
+    | Insn.Imm_off (_, i) ->
+        via_x18 ~guard:(addr_guard x18 b) ~pre:[] ~post:[]
+          (Insn.Imm_off (x18, i))
+    | Insn.Pre (_, i) ->
+        via_x18 ~guard:(addr_guard x18 b) ~pre:[ add_imm_to b i ] ~post:[]
+          (Insn.Imm_off (x18, 0))
+    | Insn.Post (_, i) ->
+        via_x18 ~guard:(addr_guard x18 b) ~pre:[] ~post:[ add_imm_to b i ]
+          (Insn.Imm_off (x18, 0))
+    | Insn.Reg_off (_, m, e, a) ->
+        let op2 =
+          match e with
+          | Insn.Uxtx | Insn.Sxtx -> Insn.Sh (w_of m, Insn.Lsl, a)
+          | e -> Insn.Ext (w_of m, e, a)
+        in
+        (* combine base and offset in 32 bits, then guard the result *)
+        via_x18
+          ~guard:(addr_guard x18 (Reg.x 22))
+          ~pre:
+            [ Insn.Alu
+                { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
+                  op2 } ]
+          ~post:[]
+          (Insn.Imm_off (x18, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Basic blocks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Index ranges [(start, stop))] of basic blocks over the item array.
+    Labels and directives start new blocks; branches end them. *)
+let basic_blocks (items : Source.item array) : (int * int) list =
+  let n = Array.length items in
+  let blocks = ref [] in
+  let start = ref 0 in
+  let flush stop = if stop > !start then blocks := (!start, stop) :: !blocks in
+  for i = 0 to n - 1 do
+    match items.(i) with
+    | Source.Label _ | Source.Directive _ ->
+        flush i;
+        start := i + 1
+    | Source.Insn insn ->
+        if Insn.is_branch insn then begin
+          flush (i + 1);
+          start := i + 1
+        end
+  done;
+  flush n;
+  List.rev !blocks
+
+(* ------------------------------------------------------------------ *)
+(* Redundant guard elimination (§4.3)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** An access is hoistable when it is an immediate-offset access through
+    a plain base register whose offset stays inside the guard region.
+    Returns [(base, offset)]. *)
+let hoistable_base ~sandbox_loads (i : Insn.t) : (int * int) option =
+  let eligible = Insn.is_store i || (Insn.is_load i && sandbox_loads) in
+  if not eligible then None
+  else
+    match Insn.addr_of i with
+    | Some (Insn.Imm_off (Reg.R (Reg.W64, n), off))
+      when (not (List.mem n Reg.reserved_numbers))
+           && n <> 30
+           && abs off < Layout.max_mem_immediate ->
+        Some (n, off)
+    | _ -> None
+
+(** Plan hoisting for one basic block: returns
+    [(guard_insertions, base_substitutions)] keyed by item index. *)
+let plan_hoisting ~sandbox_loads (items : Source.item array) (bstart : int)
+    (bstop : int) (stats : stats) :
+    (int, Reg.t * int) Hashtbl.t * (int, Reg.t) Hashtbl.t =
+  let guards = Hashtbl.create 8 and subs = Hashtbl.create 8 in
+  (* Count future hoistable uses of base [b] with a nonzero offset,
+     starting at [i], before [b] is redefined.  Zero-offset accesses are
+     free at O1 (the guarded addressing mode), so only nonzero offsets
+     pay for the hoisting guard: hoist when at least two would save
+     their add instructions. *)
+  let future_paying_uses b i =
+    let rec go i acc =
+      if i >= bstop then acc
+      else
+        match items.(i) with
+        | Source.Insn insn ->
+            let acc =
+              match hoistable_base ~sandbox_loads insn with
+              | Some (bb, off) when bb = b && off <> 0 -> acc + 1
+              | _ -> acc
+            in
+            if Insn.writes_reg_number insn b then acc else go (i + 1) acc
+        | _ -> acc
+    in
+    go i 0
+  in
+  let active = Array.make 2 None in
+  let deactivate b =
+    Array.iteri
+      (fun k -> function
+        | Some (bb, _) when bb = b -> active.(k) <- None
+        | _ -> ())
+      active
+  in
+  for i = bstart to bstop - 1 do
+    match items.(i) with
+    | Source.Insn insn ->
+        (match hoistable_base ~sandbox_loads insn with
+        | Some (b, _) -> (
+            let existing =
+              Array.to_list active
+              |> List.find_opt (function
+                   | Some (bb, _) -> bb = b
+                   | None -> false)
+            in
+            match existing with
+            | Some (Some (_, reg)) -> Hashtbl.replace subs i reg
+            | _ -> (
+                (* allocate a hoist register if this base is reused *)
+                match
+                  Array.to_list active
+                  |> List.mapi (fun k v -> (k, v))
+                  |> List.find_opt (fun (_, v) -> v = None)
+                with
+                | Some (k, None) when future_paying_uses b i >= 2 ->
+                    let reg = hoist_regs.(k) in
+                    active.(k) <- Some (b, reg);
+                    Hashtbl.replace guards i (reg, b);
+                    Hashtbl.replace subs i reg;
+                    stats.hoists <- stats.hoists + 1
+                | _ -> ()))
+        | None -> ());
+        (* a write to the base register invalidates the hoisted copy *)
+        Array.iter
+          (function
+            | Some (b, _) when Insn.writes_reg_number insn b -> deactivate b
+            | _ -> ())
+          active
+    | _ -> ()
+  done;
+  (guards, subs)
+
+(* ------------------------------------------------------------------ *)
+(* Stack pointer handling (§4.2)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_sp_based_access (i : Insn.t) =
+  match Insn.addr_of i with
+  | Some (Insn.Imm_off (b, _) | Insn.Pre (b, _) | Insn.Post (b, _)) ->
+      Reg.is_sp b
+  | _ -> false
+
+(** After a small-immediate sp adjustment at [i], is the guard
+    unnecessary?  Yes iff the next sp-touching instruction in the same
+    basic block is an sp-based memory access (which traps in a guard
+    page) — a second unguarded adjustment would let sp drift. *)
+let sp_guard_elidable (items : Source.item array) (i : int) (n : int) : bool =
+  let rec go j =
+    if j >= n then false
+    else
+      match items.(j) with
+      | Source.Label _ | Source.Directive _ -> false
+      | Source.Insn insn ->
+          if is_sp_based_access insn then true
+          else if Insn.writes_sp insn then false
+          else if Insn.is_branch insn then false
+          else go (j + 1)
+  in
+  go (i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Main pass                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_insn (cfg : Config.t) (stats : stats)
+    (items : Source.item array) (idx : int) (insn : Insn.t) : Insn.t list =
+  let o1 = cfg.opt <> Config.O0 in
+  let out =
+    match insn with
+    (* ---- system calls -> runtime calls (§4.4) ---- *)
+    | Insn.Svc n ->
+        if n < 0 || n >= Layout.rtcall_entry_count then
+          errorf "runtime call number %d out of range" n;
+        [ Insn.Ldr
+            { sz = Insn.X; signed = false; dst = x30;
+              addr = Insn.Imm_off (x21, Layout.rtcall_entry_offset n) };
+          Insn.Blr x30 ]
+    (* ---- indirect branches ---- *)
+    | Insn.Br r -> [ addr_guard x18 r; Insn.Br x18 ]
+    | Insn.Blr r -> [ addr_guard x18 r; Insn.Blr x18 ]
+    | Insn.Ret (Reg.R (Reg.W64, 30)) -> [ insn ]
+    | Insn.Ret r -> [ addr_guard x18 r; Insn.Ret x18 ]
+    (* ---- stack pointer writes ---- *)
+    | Insn.Alu { dst = Reg.SP Reg.W64; op; flags = false; src; op2 } -> (
+        match (op, src, op2) with
+        | (Insn.ADD | Insn.SUB), Reg.SP Reg.W64, Insn.Imm (v, 0)
+          when cfg.sp_block_optimization
+               && v < Layout.max_sp_drift
+               && sp_guard_elidable items idx (Array.length items) ->
+            stats.sp_guards_elided <- stats.sp_guards_elided + 1;
+            [ insn ]
+        | (Insn.ADD | Insn.SUB), Reg.SP Reg.W64, Insn.Imm _ ->
+            insn :: sp_guard
+        | Insn.ADD, _, Insn.Imm (0, 0) ->
+            (* mov sp, xN *)
+            [ Insn.Alu
+                { op = Insn.ORR; flags = false; dst = w22;
+                  src = Reg.ZR Reg.W32;
+                  op2 = Insn.Sh (w_of src, Insn.Lsl, 0) };
+              List.nth sp_guard 1 ]
+        | (Insn.ADD | Insn.SUB), _, Insn.Ext (m, _, a) ->
+            (* variable adjustment (e.g. alloca): compute in 32 bits,
+               then guard *)
+            [ Insn.Alu
+                { op; flags = false; dst = w22; src = w_of src;
+                  op2 = Insn.Ext (w_of m, Insn.Uxtw, a) };
+              List.nth sp_guard 1 ]
+        | _ -> errorf "unsupported sp write %S" (Printer.to_string insn))
+    | _ when Insn.writes_sp insn && not (Insn.is_memory insn) ->
+        errorf "unsupported sp write %S" (Printer.to_string insn)
+    (* ---- exclusives ---- *)
+    | (Insn.Ldxr _ | Insn.Stxr _ | Insn.Ldar _ | Insn.Stlr _)
+      when not cfg.allow_exclusives ->
+        errorf "LL/SC and acquire/release disabled by configuration (§7.1)"
+    (* ---- memory accesses ---- *)
+    | _ when Insn.is_memory insn -> (
+        let addr = Option.get (Insn.addr_of insn) in
+        let b = Insn.addr_base addr in
+        let needs_guard =
+          Insn.is_store insn || (Insn.is_load insn && cfg.sandbox_loads)
+        in
+        if Reg.is_sp b then
+          (* sp-based: immediate and pre/post modes are safe as-is;
+             register offsets are rare and rewritten through w22 *)
+          match addr with
+          | Insn.Imm_off _ | Insn.Pre _ | Insn.Post _ -> [ insn ]
+          | Insn.Reg_off (_, m, e, a) when needs_guard ->
+              let ext =
+                match e with
+                | Insn.Uxtx | Insn.Sxtx -> Insn.Uxtw
+                | e -> e
+              in
+              [ Insn.Alu
+                  { op = Insn.ADD; flags = false; dst = w22; src = wsp;
+                    op2 = Insn.Ext (w_of m, ext, a) };
+                Insn.with_addr insn guarded_w22 ]
+          | Insn.Reg_off _ -> [ insn ]
+        else if base_is_reserved_addr b || Reg.equal b x21 then [ insn ]
+        else if not needs_guard then [ insn ]
+        else transform_general_mem ~o1 insn addr b)
+    | _ -> [ insn ]
+  in
+  (* Loads that wrote the link register must be followed by the x30
+     guard (§4.2); bl/blr/guards are exempt by construction. *)
+  let needs_lr_guard i =
+    Insn.writes_reg_number i 30
+    && (not (Insn.is_branch i))
+    && not (is_addr_guard_for x30 i)
+  in
+  let rec fix = function
+    | [] -> []
+    | i :: tl when needs_lr_guard i && Insn.is_memory i ->
+        (* exception: the runtime-call table load is immediately
+           followed by blr x30 *)
+        let is_table_load =
+          match i with
+          | Insn.Ldr { dst = Reg.R (Reg.W64, 30);
+                       addr = Insn.Imm_off (Reg.R (Reg.W64, 21), _); _ } ->
+              true
+          | _ -> false
+        in
+        if is_table_load then i :: fix tl else i :: lr_guard :: fix tl
+    | i :: tl -> i :: fix tl
+  in
+  fix out
+
+(* ------------------------------------------------------------------ *)
+(* Branch range relaxation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Replace out-of-range tbz/cbz/b.cond with an inverted short branch
+    over an unconditional one.  Iterates to a fixpoint because each
+    relaxation adds an instruction. *)
+let relax_branches (stats : stats) (src : Source.t) : Source.t =
+  let offsets (items : Source.item list) =
+    let tbl = Hashtbl.create 64 in
+    let off = ref 0 in
+    List.iter
+      (fun item ->
+        match item with
+        | Source.Label l -> Hashtbl.replace tbl l !off
+        | Source.Insn _ -> incr off
+        | Source.Directive _ -> ())
+      items;
+    tbl
+  in
+  let tbz_range = 4096 - 64 (* ±32KiB in instructions, with margin *)
+  and cond_range = (1 lsl 18) - 64 in
+  let rec pass items =
+    let tbl = offsets items in
+    let changed = ref false in
+    let off = ref 0 in
+    let out =
+      List.concat_map
+        (fun item ->
+          match item with
+          | Source.Insn insn ->
+              let here = !off in
+              incr off;
+              let dist l =
+                match Hashtbl.find_opt tbl l with
+                | Some target -> Some (target - here)
+                | None -> None
+              in
+              let relax mk_inverted target_sym =
+                changed := true;
+                stats.branches_relaxed <- stats.branches_relaxed + 1;
+                off := !off + 1;
+                [ Source.Insn (mk_inverted (Insn.Off 8));
+                  Source.Insn (Insn.B (Insn.Sym target_sym)) ]
+              in
+              (match insn with
+              | Insn.Tbz ({ target = Insn.Sym l; _ } as r) -> (
+                  match dist l with
+                  | Some d when abs d > tbz_range ->
+                      relax
+                        (fun t -> Insn.Tbz { r with nz = not r.nz; target = t })
+                        l
+                  | _ -> [ item ])
+              | Insn.Cbz ({ target = Insn.Sym l; _ } as r) -> (
+                  match dist l with
+                  | Some d when abs d > cond_range ->
+                      relax
+                        (fun t -> Insn.Cbz { r with nz = not r.nz; target = t })
+                        l
+                  | _ -> [ item ])
+              | Insn.Bcond (c, Insn.Sym l) -> (
+                  match dist l with
+                  | Some d when abs d > cond_range ->
+                      relax (fun t -> Insn.Bcond (Insn.invert_cond c, t)) l
+                  | _ -> [ item ])
+              | _ -> [ item ])
+          | _ -> [ item ])
+        items
+    in
+    if !changed then pass out else out
+  in
+  pass src
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite a parsed assembly file into its sandboxed equivalent. *)
+let rewrite ?(config = Config.default) (src : Source.t) :
+    Source.t * stats =
+  check_input src;
+  let stats = empty_stats () in
+  stats.input_insns <- Source.insn_count src;
+  let items = Array.of_list src in
+  (* Plan redundant guard elimination per basic block (O2 only). *)
+  let guards = Hashtbl.create 16 and subs = Hashtbl.create 16 in
+  if config.opt = Config.O2 then
+    List.iter
+      (fun (bstart, bstop) ->
+        let g, s =
+          plan_hoisting ~sandbox_loads:config.sandbox_loads items bstart
+            bstop stats
+        in
+        Hashtbl.iter (Hashtbl.replace guards) g;
+        Hashtbl.iter (Hashtbl.replace subs) s)
+      (basic_blocks items);
+  let out = ref [] in
+  Array.iteri
+    (fun idx item ->
+      match item with
+      | Source.Label _ | Source.Directive _ -> out := item :: !out
+      | Source.Insn insn ->
+          (match Hashtbl.find_opt guards idx with
+          | Some (reg, base_n) ->
+              out := Source.Insn (addr_guard reg (Reg.x base_n)) :: !out
+          | None -> ());
+          let insn =
+            match Hashtbl.find_opt subs idx with
+            | Some reg -> (
+                match Insn.addr_of insn with
+                | Some (Insn.Imm_off (_, i)) ->
+                    Insn.with_addr insn (Insn.Imm_off (reg, i))
+                | _ -> insn)
+            | None -> insn
+          in
+          List.iter
+            (fun i -> out := Source.Insn i :: !out)
+            (transform_insn config stats items idx insn))
+    items;
+  let result = relax_branches stats (List.rev !out) in
+  stats.output_insns <- Source.insn_count result;
+  stats.guards <- stats.output_insns - stats.input_insns;
+  (result, stats)
+
+(** Convenience: rewrite assembly text to assembly text. *)
+let rewrite_string ?config (text : string) : string =
+  let src = Parser.parse_string_exn text in
+  let out, _ = rewrite ?config src in
+  Source.to_string out

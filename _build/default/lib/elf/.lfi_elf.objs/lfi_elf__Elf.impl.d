@@ -1,0 +1,1 @@
+lib/elf/elf.ml: Bytes Char Fun Int32 Int64 Lfi_arm64 List

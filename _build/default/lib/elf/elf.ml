@@ -1,0 +1,153 @@
+(** Minimal ELF64 writer/reader for AArch64 executables.
+
+    The runtime loads sandbox programs from real ELF images: the
+    verifier reads the executable segment's bytes out of the file, so
+    the trust boundary is the binary itself, exactly as in the paper
+    (Section 5.3: "ELF executables are verified and then loaded into
+    appropriate 4GiB slots").
+
+    Only what the system needs is implemented: little-endian ELF64,
+    [ET_EXEC], [EM_AARCH64], [PT_LOAD] program headers.  Virtual
+    addresses are sandbox-relative (see {!Lfi_arm64.Assemble}). *)
+
+type segment = {
+  vaddr : int;  (** sandbox-relative address *)
+  flags : int;  (** PF_X = 1, PF_W = 2, PF_R = 4 *)
+  data : bytes;  (** file contents (p_filesz bytes) *)
+  memsz : int;  (** in-memory size; the tail beyond [data] is BSS *)
+}
+
+type t = { entry : int; segments : segment list }
+
+let pf_x = 1
+let pf_w = 2
+let pf_r = 4
+
+let ehsize = 64
+let phentsize = 56
+
+exception Bad_elf of string
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write (t : t) : bytes =
+  let phnum = List.length t.segments in
+  let header_bytes = ehsize + (phnum * phentsize) in
+  let total =
+    List.fold_left (fun acc s -> acc + Bytes.length s.data) header_bytes
+      t.segments
+  in
+  let b = Bytes.make total '\000' in
+  let u8 off v = Bytes.set_uint8 b off v in
+  let u16 off v = Bytes.set_uint16_le b off v in
+  let u32 off v = Bytes.set_int32_le b off (Int32.of_int v) in
+  let u64 off v = Bytes.set_int64_le b off (Int64.of_int v) in
+  (* e_ident *)
+  u8 0 0x7f;
+  u8 1 (Char.code 'E');
+  u8 2 (Char.code 'L');
+  u8 3 (Char.code 'F');
+  u8 4 2 (* ELFCLASS64 *);
+  u8 5 1 (* ELFDATA2LSB *);
+  u8 6 1 (* EV_CURRENT *);
+  u16 16 2 (* ET_EXEC *);
+  u16 18 0xB7 (* EM_AARCH64 *);
+  u32 20 1 (* e_version *);
+  u64 24 t.entry;
+  u64 32 ehsize (* e_phoff *);
+  u64 40 0 (* e_shoff *);
+  u32 48 0 (* e_flags *);
+  u16 52 ehsize;
+  u16 54 phentsize;
+  u16 56 phnum;
+  (* segments *)
+  let off = ref header_bytes in
+  List.iteri
+    (fun i s ->
+      let ph = ehsize + (i * phentsize) in
+      u32 ph 1 (* PT_LOAD *);
+      u32 (ph + 4) s.flags;
+      u64 (ph + 8) !off (* p_offset *);
+      u64 (ph + 16) s.vaddr;
+      u64 (ph + 24) s.vaddr (* p_paddr *);
+      u64 (ph + 32) (Bytes.length s.data) (* p_filesz *);
+      u64 (ph + 40) s.memsz;
+      u64 (ph + 48) Lfi_arm64.Assemble.default_origin (* p_align *);
+      Bytes.blit s.data 0 b !off (Bytes.length s.data);
+      off := !off + Bytes.length s.data)
+    t.segments;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read (b : bytes) : t =
+  let len = Bytes.length b in
+  if len < ehsize then raise (Bad_elf "truncated header");
+  let u8 off = Bytes.get_uint8 b off in
+  let u16 off = Bytes.get_uint16_le b off in
+  let u64 off = Int64.to_int (Bytes.get_int64_le b off) in
+  if u8 0 <> 0x7f || u8 1 <> Char.code 'E' || u8 2 <> Char.code 'L'
+     || u8 3 <> Char.code 'F' then raise (Bad_elf "bad magic");
+  if u8 4 <> 2 then raise (Bad_elf "not ELF64");
+  if u8 5 <> 1 then raise (Bad_elf "not little-endian");
+  if u16 18 <> 0xB7 then raise (Bad_elf "not AArch64");
+  let entry = u64 24 in
+  let phoff = u64 32 in
+  let phnum = u16 56 in
+  let phentsize' = u16 54 in
+  if phentsize' <> phentsize then raise (Bad_elf "bad phentsize");
+  let segments =
+    List.init phnum (fun i ->
+        let ph = phoff + (i * phentsize) in
+        if ph + phentsize > len then raise (Bad_elf "truncated phdr");
+        let p_type = Int32.to_int (Bytes.get_int32_le b ph) in
+        if p_type <> 1 then None
+        else
+          let flags = Int32.to_int (Bytes.get_int32_le b (ph + 4)) in
+          let offset = u64 (ph + 8) in
+          let vaddr = u64 (ph + 16) in
+          let filesz = u64 (ph + 32) in
+          let memsz = u64 (ph + 40) in
+          if offset + filesz > len then raise (Bad_elf "segment past EOF");
+          if memsz < filesz then raise (Bad_elf "memsz < filesz");
+          Some { vaddr; flags; data = Bytes.sub b offset filesz; memsz })
+    |> List.filter_map Fun.id
+  in
+  { entry; segments }
+
+(* ------------------------------------------------------------------ *)
+(* Bridges                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Trailing zero bytes of a writable segment become BSS (zero file
+    size, nonzero memory size), as a real linker would arrange. *)
+let trim_bss (data : bytes) : bytes * int =
+  let n = Bytes.length data in
+  let rec last k = if k > 0 && Bytes.get data (k - 1) = '\000' then last (k - 1) else k in
+  let keep = last n in
+  (Bytes.sub data 0 keep, n)
+
+(** Package an assembled image as an ELF executable. *)
+let of_image (img : Lfi_arm64.Assemble.image) : t =
+  let data, data_memsz = trim_bss img.Lfi_arm64.Assemble.data in
+  {
+    entry = img.Lfi_arm64.Assemble.entry;
+    segments =
+      [ { vaddr = img.origin; flags = pf_r lor pf_x; data = img.text;
+          memsz = Bytes.length img.text };
+        { vaddr = img.data_origin; flags = pf_r lor pf_w; data;
+          memsz = data_memsz } ];
+  }
+
+(** The executable segment's bytes (what the verifier checks). *)
+let text_segment (t : t) : segment option =
+  List.find_opt (fun s -> s.flags land pf_x <> 0) t.segments
+
+let text_size (t : t) =
+  match text_segment t with Some s -> Bytes.length s.data | None -> 0
+
+let total_size (t : t) = Bytes.length (write t)

@@ -1,0 +1,1 @@
+lib/emulator/cost_model.ml: Float Insn Lfi_arm64

@@ -1,0 +1,1 @@
+lib/emulator/exec.ml: Array Cost_model Decode Float Format Hashtbl Insn Int32 Int64 Lfi_arm64 Machine Memory Reg

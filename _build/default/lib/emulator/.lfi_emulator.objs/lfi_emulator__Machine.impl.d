@@ -1,0 +1,1 @@
+lib/emulator/machine.ml: Array Cost_model Hashtbl Insn Int32 Int64 Lfi_arm64 Memory Reg Tlb

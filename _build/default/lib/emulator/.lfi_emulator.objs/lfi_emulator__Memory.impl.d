@@ -1,0 +1,1 @@
+lib/emulator/memory.ml: Bytes Char Format Hashtbl Int32 Int64 List

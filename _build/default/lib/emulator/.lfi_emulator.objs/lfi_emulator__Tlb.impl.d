@@ -1,0 +1,1 @@
+lib/emulator/tlb.ml: Array Int64 Memory

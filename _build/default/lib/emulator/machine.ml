@@ -1,0 +1,161 @@
+(** Architectural state of one emulated ARM64 hardware thread.
+
+    Register values are [int64]; the 32 SIMD/FP registers are stored as
+    a low and a high 64-bit half (the subset only computes on the low
+    half; [q] loads/stores move both).  The machine also carries the
+    cycle accounting state: a cost model, an optional TLB, and the
+    running cycle counter that every experiment reports. *)
+
+open Lfi_arm64
+
+(** Program counters at or above this address belong to the host
+    runtime: the emulator stops with a [Runtime_entry] event instead of
+    fetching, which is how the runtime-call table of Section 4.4 hands
+    control to the (native, trusted) runtime without a trampoline. *)
+let host_region_start = 0x7F00_0000_0000L
+
+type t = {
+  mutable pc : int64;
+  regs : int64 array;  (** x0 .. x30 *)
+  mutable sp : int64;
+  mutable flag_n : bool;
+  mutable flag_z : bool;
+  mutable flag_c : bool;
+  mutable flag_v : bool;
+  vlo : int64 array;
+  vhi : int64 array;
+  mutable exclusive : int64 option;  (** local exclusive monitor *)
+  mem : Memory.t;
+  uarch : Cost_model.t;
+  tlb : Tlb.t;
+  mutable nested_paging : bool;
+      (** simulate running as a guest under virtualization *)
+  mutable cycles : float;
+  mutable insns : int;
+  decode_cache : (int64, Insn.t) Hashtbl.t;
+}
+
+let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
+  {
+    pc = 0L;
+    regs = Array.make 31 0L;
+    sp = 0L;
+    flag_n = false;
+    flag_z = false;
+    flag_c = false;
+    flag_v = false;
+    vlo = Array.make 32 0L;
+    vhi = Array.make 32 0L;
+    exclusive = None;
+    mem;
+    uarch;
+    tlb = Tlb.create ~entries:uarch.Cost_model.tlb_entries;
+    nested_paging = false;
+    cycles = 0.0;
+    insns = 0;
+    decode_cache = Hashtbl.create 4096;
+  }
+
+let mask32 = 0xFFFFFFFFL
+
+(** Read a general register operand. *)
+let get (m : t) (r : Reg.t) : int64 =
+  match r with
+  | Reg.R (Reg.W64, n) -> m.regs.(n)
+  | Reg.R (Reg.W32, n) -> Int64.logand m.regs.(n) mask32
+  | Reg.ZR _ -> 0L
+  | Reg.SP Reg.W64 -> m.sp
+  | Reg.SP Reg.W32 -> Int64.logand m.sp mask32
+
+(** Write a general register operand; 32-bit writes zero the top half
+    (the property the LFI guard depends on). *)
+let set (m : t) (r : Reg.t) (v : int64) =
+  match r with
+  | Reg.R (Reg.W64, n) -> m.regs.(n) <- v
+  | Reg.R (Reg.W32, n) -> m.regs.(n) <- Int64.logand v mask32
+  | Reg.ZR _ -> ()
+  | Reg.SP Reg.W64 -> m.sp <- v
+  | Reg.SP Reg.W32 -> m.sp <- Int64.logand v mask32
+
+let get_fp_lo (m : t) (f : Reg.Fp.t) = m.vlo.(f.Reg.Fp.n)
+let set_fp_lo (m : t) (f : Reg.Fp.t) v = m.vlo.(f.Reg.Fp.n) <- v
+
+(** The double (or single, widened) value held by an FP register. *)
+let get_float (m : t) (f : Reg.Fp.t) : float =
+  match f.Reg.Fp.size with
+  | Reg.Fp.D | Reg.Fp.Q -> Int64.float_of_bits m.vlo.(f.Reg.Fp.n)
+  | Reg.Fp.S ->
+      Int32.float_of_bits (Int64.to_int32 (Int64.logand m.vlo.(f.Reg.Fp.n) mask32))
+
+let set_float (m : t) (f : Reg.Fp.t) (v : float) =
+  match f.Reg.Fp.size with
+  | Reg.Fp.D | Reg.Fp.Q -> m.vlo.(f.Reg.Fp.n) <- Int64.bits_of_float v
+  | Reg.Fp.S ->
+      m.vlo.(f.Reg.Fp.n) <-
+        Int64.logand (Int64.of_int32 (Int32.bits_of_float v)) mask32
+
+let cond_holds (m : t) (c : Insn.cond) : bool =
+  let n = m.flag_n and z = m.flag_z and cf = m.flag_c and v = m.flag_v in
+  match c with
+  | Insn.EQ -> z
+  | Insn.NE -> not z
+  | Insn.CS -> cf
+  | Insn.CC -> not cf
+  | Insn.MI -> n
+  | Insn.PL -> not n
+  | Insn.VS -> v
+  | Insn.VC -> not v
+  | Insn.HI -> cf && not z
+  | Insn.LS -> not (cf && not z)
+  | Insn.GE -> n = v
+  | Insn.LT -> n <> v
+  | Insn.GT -> (not z) && n = v
+  | Insn.LE -> z || n <> v
+  | Insn.AL -> true
+
+let set_nzcv (m : t) ~n ~z ~c ~v =
+  m.flag_n <- n;
+  m.flag_z <- z;
+  m.flag_c <- c;
+  m.flag_v <- v
+
+(** Charge TLB cost for a data access. *)
+let charge_tlb (m : t) (addr : int64) =
+  if not (Tlb.access m.tlb addr) then begin
+    let walk = m.uarch.Cost_model.tlb_walk_cycles in
+    let walk =
+      if m.nested_paging then walk *. m.uarch.Cost_model.nested_walk_factor
+      else walk
+    in
+    m.cycles <- m.cycles +. walk
+  end
+
+(** Snapshot of the register state (used by fork and context switch). *)
+type snapshot = {
+  s_pc : int64;
+  s_regs : int64 array;
+  s_sp : int64;
+  s_flags : bool * bool * bool * bool;
+  s_vlo : int64 array;
+  s_vhi : int64 array;
+}
+
+let snapshot (m : t) : snapshot =
+  {
+    s_pc = m.pc;
+    s_regs = Array.copy m.regs;
+    s_sp = m.sp;
+    s_flags = (m.flag_n, m.flag_z, m.flag_c, m.flag_v);
+    s_vlo = Array.copy m.vlo;
+    s_vhi = Array.copy m.vhi;
+  }
+
+let restore (m : t) (s : snapshot) =
+  m.pc <- s.s_pc;
+  Array.blit s.s_regs 0 m.regs 0 31;
+  m.sp <- s.s_sp;
+  (let n, z, c, v = s.s_flags in
+   set_nzcv m ~n ~z ~c ~v);
+  Array.blit s.s_vlo 0 m.vlo 0 32;
+  Array.blit s.s_vhi 0 m.vhi 0 32;
+  m.exclusive <- None

@@ -1,0 +1,186 @@
+(** Sparse, page-protected 64-bit memory.
+
+    Pages are 16KiB — the page size on Apple ARM64 machines, which is
+    why the paper sizes guard regions at 48KiB (the smallest multiple of
+    16KiB greater than 2^15 + 2^10).  Each page carries read / write /
+    execute permissions; unmapped or mis-permissioned accesses fault,
+    which is what makes the sandbox guard regions effective. *)
+
+let page_bits = 14
+let page_size = 1 lsl page_bits (* 16 KiB *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_rw = { r = true; w = true; x = false }
+let perm_r = { r = true; w = false; x = false }
+let perm_rx = { r = true; w = false; x = true }
+
+type page = { mutable perm : perm; data : Bytes.t }
+
+type access = Read | Write | Fetch
+
+type fault = { addr : int64; access : access; reason : string }
+
+exception Fault of fault
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Fetch -> "fetch"
+
+let pp_fault fmt f =
+  Format.fprintf fmt "%s fault at 0x%Lx (%s)"
+    (access_to_string f.access)
+    f.addr f.reason
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable last_index : int;  (** 1-entry lookup cache *)
+  mutable last_page : page option;
+}
+
+let create () = { pages = Hashtbl.create 1024; last_index = -1; last_page = None }
+
+let page_index (addr : int64) = Int64.to_int (Int64.shift_right_logical addr page_bits)
+let page_offset (addr : int64) = Int64.to_int addr land (page_size - 1)
+
+let fault addr access reason = raise (Fault { addr; access; reason })
+
+let find_page m idx =
+  if idx = m.last_index then m.last_page
+  else begin
+    let p = Hashtbl.find_opt m.pages idx in
+    m.last_index <- idx;
+    m.last_page <- p;
+    p
+  end
+
+(** Map [len] bytes starting at [addr] (both page-aligned) with [perm].
+    Already-mapped pages are re-protected, not cleared. *)
+let map m ~(addr : int64) ~(len : int) ~(perm : perm) =
+  if page_offset addr <> 0 then invalid_arg "Memory.map: unaligned address";
+  if len mod page_size <> 0 then invalid_arg "Memory.map: unaligned length";
+  let first = page_index addr in
+  for i = first to first + (len / page_size) - 1 do
+    match Hashtbl.find_opt m.pages i with
+    | Some p -> p.perm <- perm
+    | None ->
+        Hashtbl.replace m.pages i { perm; data = Bytes.make page_size '\000' }
+  done;
+  m.last_index <- -1;
+  m.last_page <- None
+
+let unmap m ~(addr : int64) ~(len : int) =
+  if page_offset addr <> 0 || len mod page_size <> 0 then
+    invalid_arg "Memory.unmap: unaligned";
+  let first = page_index addr in
+  for i = first to first + (len / page_size) - 1 do
+    Hashtbl.remove m.pages i
+  done;
+  m.last_index <- -1;
+  m.last_page <- None
+
+let is_mapped m (addr : int64) = Hashtbl.mem m.pages (page_index addr)
+
+let protect m ~(addr : int64) ~(len : int) ~(perm : perm) =
+  let first = page_index addr in
+  for i = first to first + ((len + page_size - 1) / page_size) - 1 do
+    match Hashtbl.find_opt m.pages i with
+    | Some p -> p.perm <- perm
+    | None -> invalid_arg "Memory.protect: unmapped page"
+  done;
+  m.last_index <- -1;
+  m.last_page <- None
+
+let get_page m addr access =
+  match find_page m (page_index addr) with
+  | None -> fault addr access "unmapped"
+  | Some p ->
+      (match access with
+      | Read -> if not p.perm.r then fault addr access "no read permission"
+      | Write -> if not p.perm.w then fault addr access "no write permission"
+      | Fetch -> if not p.perm.x then fault addr access "not executable");
+      p
+
+(* Single-byte primitives; multi-byte accesses may cross pages. *)
+
+let read_u8 m addr =
+  let p = get_page m addr Read in
+  Bytes.get_uint8 p.data (page_offset addr)
+
+let write_u8 m addr v =
+  let p = get_page m addr Write in
+  Bytes.set_uint8 p.data (page_offset addr) v
+
+(** Read [size] (1/2/4/8) bytes little-endian as an unsigned Int64
+    (fully represented; 8-byte reads use the native int64 range). *)
+let read m (addr : int64) (size : int) : int64 =
+  let off = page_offset addr in
+  if off + size <= page_size then begin
+    let p = get_page m addr Read in
+    match size with
+    | 1 -> Int64.of_int (Bytes.get_uint8 p.data off)
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p.data off)
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le p.data off) |> Int64.logand 0xFFFFFFFFL
+    | 8 -> Bytes.get_int64_le p.data off
+    | _ -> invalid_arg "Memory.read: bad size"
+  end
+  else begin
+    (* page-crossing: byte by byte *)
+    let v = ref 0L in
+    for i = size - 1 downto 0 do
+      let b = read_u8 m (Int64.add addr (Int64.of_int i)) in
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+    done;
+    !v
+  end
+
+let write m (addr : int64) (size : int) (v : int64) =
+  let off = page_offset addr in
+  if off + size <= page_size then begin
+    let p = get_page m addr Write in
+    match size with
+    | 1 -> Bytes.set_uint8 p.data off (Int64.to_int v land 0xff)
+    | 2 -> Bytes.set_uint16_le p.data off (Int64.to_int v land 0xffff)
+    | 4 -> Bytes.set_int32_le p.data off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le p.data off v
+    | _ -> invalid_arg "Memory.write: bad size"
+  end
+  else
+    for i = 0 to size - 1 do
+      write_u8 m
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+(** Fetch a 4-byte instruction word (requires execute permission). *)
+let fetch m (addr : int64) : int =
+  if Int64.rem addr 4L <> 0L then fault addr Fetch "misaligned pc";
+  let p = get_page m addr Fetch in
+  Int32.to_int (Bytes.get_int32_le p.data (page_offset addr)) land 0xFFFFFFFF
+
+(** Bulk copy-in (for loaders). *)
+let write_bytes m (addr : int64) (b : bytes) =
+  Bytes.iteri
+    (fun i c -> write_u8 m (Int64.add addr (Int64.of_int i)) (Char.code c))
+    b
+
+let read_bytes m (addr : int64) (len : int) : bytes =
+  Bytes.init len (fun i ->
+      Char.chr (read_u8 m (Int64.add addr (Int64.of_int i))))
+
+(** Copy [len] bytes between two mapped regions (used by fork). *)
+let copy m ~src ~dst ~len =
+  for i = 0 to len - 1 do
+    let o = Int64.of_int i in
+    write_u8 m (Int64.add dst o) (read_u8 m (Int64.add src o))
+  done
+
+(** List of mapped page indices (ascending); used by fork to copy a
+    sandbox without touching unmapped guard regions. *)
+let mapped_pages m =
+  Hashtbl.fold (fun idx p acc -> (idx, p) :: acc) m.pages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let page_data (p : page) = p.data
+let page_perm (p : page) = p.perm

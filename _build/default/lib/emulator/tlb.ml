@@ -1,0 +1,40 @@
+(** A small direct-mapped TLB model.
+
+    Used to reproduce the paper's virtualization comparison (Figure 5):
+    under hardware-assisted virtualization "the cost of a TLB miss is
+    doubled due to the additional pagetable levels" (Section 6.4).  The
+    emulator looks every data access up here; misses charge the page
+    walk cost, multiplied by [nested_walk_factor] when the machine
+    simulates a guest behind nested page tables. *)
+
+type t = {
+  entries : int64 array;  (** tagged page numbers; -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries = { entries = Array.make entries (-1L); hits = 0; misses = 0 }
+
+let clear t =
+  Array.fill t.entries 0 (Array.length t.entries) (-1L);
+  t.hits <- 0;
+  t.misses <- 0
+
+(** Look up the page of [addr]; returns [true] on a hit and installs
+    the translation on a miss. *)
+let access (t : t) (addr : int64) : bool =
+  let page = Int64.shift_right_logical addr Memory.page_bits in
+  let slot = Int64.to_int (Int64.rem page (Int64.of_int (Array.length t.entries))) in
+  if Int64.equal t.entries.(slot) page then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.entries.(slot) <- page;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total

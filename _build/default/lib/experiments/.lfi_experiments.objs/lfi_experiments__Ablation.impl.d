@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Cost_model Lfi_core Lfi_emulator Lfi_workloads List Option Printf Report Run String

@@ -1,0 +1,1 @@
+lib/experiments/codesize.ml: Lfi_core Lfi_elf Lfi_wasm Lfi_workloads List Printf Report Run

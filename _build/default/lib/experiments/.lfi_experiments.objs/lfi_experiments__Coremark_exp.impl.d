@@ -1,0 +1,1 @@
+lib/experiments/coremark_exp.ml: Cost_model Lfi_core Lfi_emulator Lfi_wasm Lfi_workloads List Printf Report Run String

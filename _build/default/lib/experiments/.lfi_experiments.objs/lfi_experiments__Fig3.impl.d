@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Cost_model Lfi_core Lfi_emulator Lfi_workloads List Printf Report Run String

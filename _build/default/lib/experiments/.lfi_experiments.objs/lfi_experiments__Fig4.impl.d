@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Cost_model Lfi_core Lfi_emulator Lfi_wasm Lfi_workloads List Printf Report Run String

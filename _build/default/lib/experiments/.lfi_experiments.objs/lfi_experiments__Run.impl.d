@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Cost_model Hashtbl Lfi_arm64 Lfi_core Lfi_elf Lfi_emulator Lfi_minic Lfi_runtime Lfi_verifier Lfi_wasm Lfi_workloads List Machine Printf Tlb

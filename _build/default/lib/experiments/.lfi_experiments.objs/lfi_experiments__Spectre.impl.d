@@ -1,0 +1,1 @@
+lib/experiments/spectre.ml: Cost_model Lfi_core Lfi_emulator Lfi_runtime Lfi_workloads Printf Report String Table5

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Cost_model Lfi_arm64 Lfi_core Lfi_elf Lfi_emulator Lfi_minic Lfi_runtime Lfi_workloads List Printf Report String

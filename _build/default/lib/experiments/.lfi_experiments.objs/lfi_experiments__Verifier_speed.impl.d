@@ -1,0 +1,1 @@
+lib/experiments/verifier_speed.ml: Bytes Lfi_core Lfi_elf Lfi_verifier Lfi_wasm Lfi_workloads List Printf Report Run Unix

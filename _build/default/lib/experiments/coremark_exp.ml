@@ -1,0 +1,35 @@
+(** CoreMark (Appendix A.6.3): the paper's artifact runs CoreMark when
+    SPEC is unavailable.  Same statistic as Figure 3/4, one benchmark,
+    every system. *)
+
+open Lfi_emulator
+
+let systems =
+  [ Run.Lfi Lfi_core.Config.o0; Run.Lfi Lfi_core.Config.o1;
+    Run.Lfi Lfi_core.Config.o2; Run.Lfi Lfi_core.Config.o2_no_loads ]
+  @ List.map (fun e -> Run.Wasm e) Lfi_wasm.Engine.all
+
+let table ~(uarch : Cost_model.t) : Report.table =
+  let w = Lfi_workloads.Coremark.workload in
+  let base = Run.run_cached ~uarch Run.Native w in
+  {
+    Report.title =
+      Printf.sprintf "CoreMark - %s model (percent increase over native)"
+        (String.uppercase_ascii uarch.Cost_model.name);
+    header = [ "system"; "overhead" ];
+    rows =
+      List.map
+        (fun sys ->
+          let r = Run.run_cached ~uarch sys w in
+          if r.Run.exit_code <> base.Run.exit_code then
+            [ Run.system_name sys; "WRONG RESULT" ]
+          else
+            [ Run.system_name sys;
+              Report.fmt_pct (Run.overhead ~base:base.Run.cycles r.Run.cycles) ])
+        systems;
+    notes =
+      [ "the artifact's expectation: CoreMark shows the same overhead \
+         picture as the SPEC subset" ];
+  }
+
+let run_all () = Report.print (table ~uarch:Cost_model.m1)

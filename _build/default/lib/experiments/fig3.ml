@@ -1,0 +1,67 @@
+(** Experiment E1 — Figure 3: LFI optimization levels on the SPEC
+    proxies, both machine models.
+
+    For each benchmark: percent increase in simulated cycles over
+    native for LFI O0 / O1 / O2 / O2-no-loads.  The paper's headline
+    numbers are the geomeans: 6.4% (M1) and 7.3% (T2A) at O2, ~1% with
+    loads unsandboxed. *)
+
+open Lfi_emulator
+
+let levels =
+  [ Run.Lfi Lfi_core.Config.o0;
+    Run.Lfi Lfi_core.Config.o1;
+    Run.Lfi Lfi_core.Config.o2;
+    Run.Lfi Lfi_core.Config.o2_no_loads ]
+
+type row = { bench : string; overheads : float list }
+
+let measure ~(uarch : Cost_model.t) :
+    row list * float list (* geomeans per level *) =
+  let rows =
+    List.map
+      (fun w ->
+        let base = (Run.run_cached ~uarch Run.Native w).Run.cycles in
+        let overheads =
+          List.map
+            (fun sys ->
+              Run.overhead ~base (Run.run_cached ~uarch sys w).Run.cycles)
+            levels
+        in
+        { bench = w.Lfi_workloads.Common.name; overheads })
+      Lfi_workloads.Registry.all
+  in
+  let geomeans =
+    List.mapi
+      (fun k _ -> Run.geomean (List.map (fun r -> List.nth r.overheads k) rows))
+      levels
+  in
+  (rows, geomeans)
+
+let table ~(uarch : Cost_model.t) : Report.table =
+  let rows, geomeans = measure ~uarch in
+  {
+    Report.title =
+      Printf.sprintf
+        "Figure 3: overhead on SPEC 2017 proxies - %s model (percent \
+         increase over native runtime)"
+        (String.uppercase_ascii uarch.Cost_model.name);
+    header = [ "benchmark"; "LFI O0"; "LFI O1"; "LFI O2"; "O2, no loads" ];
+    rows =
+      List.map
+        (fun r -> r.bench :: List.map Report.fmt_pct r.overheads)
+        rows
+      @ [ "geomean" :: List.map Report.fmt_pct geomeans ];
+    notes =
+      [
+        Printf.sprintf
+          "paper geomean at O2: %.1f%% (m1), %.1f%% (t2a); no-loads ~%.0f%%"
+          Report.Paper.fig3_geomean_m1 Report.Paper.fig3_geomean_t2a
+          Report.Paper.fig3_no_loads;
+      ];
+  }
+
+let run_all () =
+  Report.print (table ~uarch:Cost_model.m1);
+  print_newline ();
+  Report.print (table ~uarch:Cost_model.t2a)

@@ -1,0 +1,123 @@
+(** Running one program under one sandboxing system and measuring it.
+
+    This is the "runcpu + specinvoke" of the reproduction: every
+    experiment compiles a MiniC workload for a given system, runs it to
+    completion in the emulator, and reports simulated cycles. *)
+
+open Lfi_emulator
+
+type system =
+  | Native  (** unsandboxed, hosted by the LFI runtime (the paper's
+                baseline, §6.1) *)
+  | Native_kvm  (** unsandboxed under nested paging (Figure 5) *)
+  | Lfi of Lfi_core.Config.t
+  | Wasm of Lfi_wasm.Engine.t
+
+let system_name = function
+  | Native -> "native"
+  | Native_kvm -> "KVM"
+  | Lfi c -> Lfi_core.Config.name c
+  | Wasm e -> e.Lfi_wasm.Engine.name
+
+type result = {
+  exit_code : int;
+  cycles : float;
+  insns : int;
+  text_bytes : int;  (** text-segment size of the executable *)
+  file_bytes : int;  (** whole ELF size *)
+  tlb_miss_rate : float;
+}
+
+exception Run_failure of string
+
+(** Compile [prog] for [system] and return the ELF image. *)
+let build (system : system) (prog : Lfi_minic.Ast.program) : Lfi_elf.Elf.t =
+  let source =
+    match system with
+    | Native | Native_kvm -> Lfi_minic.Compile.compile prog
+    | Lfi config ->
+        let native = Lfi_minic.Compile.compile prog in
+        let rewritten, _ = Lfi_core.Rewriter.rewrite ~config native in
+        rewritten
+    | Wasm engine ->
+        let m = Lfi_wasm.From_minic.lower prog in
+        Lfi_wasm.Compile_wasm.compile engine m
+  in
+  Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble source)
+
+let personality = function
+  | Native | Native_kvm | Wasm _ -> Lfi_runtime.Proc.Native_in_lfi_runtime
+  | Lfi _ -> Lfi_runtime.Proc.Lfi
+
+(** Execute a prebuilt image. *)
+let execute ?(uarch = Cost_model.m1) (system : system) (elf : Lfi_elf.Elf.t) :
+    result =
+  let verifier_config =
+    match system with
+    | Lfi c ->
+        { Lfi_verifier.Verifier.sandbox_loads = c.Lfi_core.Config.sandbox_loads;
+          allow_exclusives = c.Lfi_core.Config.allow_exclusives }
+    | _ -> Lfi_verifier.Verifier.default_config
+  in
+  let config =
+    { Lfi_runtime.Runtime.default_config with uarch; verifier_config }
+  in
+  let rt = Lfi_runtime.Runtime.create ~config () in
+  if system = Native_kvm then
+    rt.Lfi_runtime.Runtime.machine.Machine.nested_paging <- true;
+  let p = Lfi_runtime.Runtime.load rt ~personality:(personality system) elf in
+  let reason, _out, cycles, insns = Lfi_runtime.Runtime.run_one rt p in
+  let exit_code =
+    match reason with
+    | Lfi_runtime.Runtime.Exited c -> c
+    | Lfi_runtime.Runtime.Killed why ->
+        raise
+          (Run_failure
+             (Printf.sprintf "%s killed: %s" (system_name system) why))
+  in
+  {
+    exit_code;
+    cycles;
+    insns;
+    text_bytes = Lfi_elf.Elf.text_size elf;
+    file_bytes = Lfi_elf.Elf.total_size elf;
+    tlb_miss_rate = Tlb.miss_rate rt.Lfi_runtime.Runtime.machine.Machine.tlb;
+  }
+
+let run ?uarch (system : system) (prog : Lfi_minic.Ast.program) : result =
+  execute ?uarch system (build system prog)
+
+(** Percent increase of [v] over baseline [base]. *)
+let overhead ~base v = (v -. base) /. base *. 100.0
+
+let geomean (xs : float list) =
+  match xs with
+  | [] -> nan
+  | _ ->
+      (* geometric mean of ratios (1 + overhead/100), reported back as
+         percent overhead, as SPEC tools do *)
+      let logs = List.map (fun x -> log (1.0 +. (x /. 100.0))) xs in
+      (exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+      -. 1.0)
+      *. 100.0
+
+(* ------------------------------------------------------------------ *)
+(* Cached running (several experiments share the same measurements)   *)
+(* ------------------------------------------------------------------ *)
+
+let cache : (string, result) Hashtbl.t = Hashtbl.create 64
+
+(** Run a named workload under [system], memoized on
+    (workload, system, uarch, nested). *)
+let run_cached ?(uarch = Cost_model.m1) (system : system)
+    (w : Lfi_workloads.Common.t) : result =
+  let key =
+    Printf.sprintf "%s/%s/%s" w.Lfi_workloads.Common.short
+      (system_name system) uarch.Cost_model.name
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = run ~uarch system w.Lfi_workloads.Common.program in
+      Hashtbl.replace cache key r;
+      r

@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Lfi_runtime List

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Array Ast Hashtbl Insn Int64 Lfi_arm64 Lfi_runtime List Option Printf Reg Source

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Buffer Bytes Float Hashtbl Int32 Int64 Lfi_runtime List Printf String

@@ -1,0 +1,1 @@
+lib/minic/minic_parser.ml: Ast Buffer Hashtbl Lfi_runtime List Option Printf String

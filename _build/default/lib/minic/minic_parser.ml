@@ -1,0 +1,546 @@
+(** A C-like surface syntax for MiniC, so programs can live in [.mc]
+    files and be driven through the toolchain from the command line
+    (see [bin/lfi_cc.ml]).
+
+    {v
+    global tbl[4096];                 // zero-initialized bytes
+    global primes = { 2, 3, 5, 7 };   // 64-bit words
+    string banner = "hello";
+
+    int sum(int n) {
+      int acc = 0;
+      int k = 0;
+      while (k < n) {
+        acc = acc + load64(&tbl + k * 8);
+        k = k + 1;
+      }
+      return acc;
+    }
+
+    int main() {
+      store64(&tbl, 41);
+      if (sum(1) >= 41) { return 1; } else { return 0; }
+    }
+    v}
+
+    Types are [int] (i64) and [float] (f64).  Memory is accessed with
+    the intrinsics [load8/load16/load32/load64/loadf32/loadf64] and
+    [store8/.../storef64]; [&name] takes the address of a global or
+    function; [icall(fp, args...)] calls through a function pointer;
+    [sys_*(...)] invoke runtime calls.  Arithmetic operators dispatch
+    on the (inferred) type of their left operand. *)
+
+open Ast
+
+exception Parse_error of { line : int; msg : string }
+
+let errorf line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | STRING of string
+  | PUNCT of string  (** operators and punctuation *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+let keywords =
+  [ "int"; "float"; "global"; "string"; "if"; "else"; "while"; "return";
+    "break"; "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let two_char_ops =
+  [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||" ]
+
+let lex (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      let hex = c = '0' && !pos + 1 < n && src.[!pos + 1] = 'x' in
+      if hex then pos := !pos + 2;
+      while
+        !pos < n
+        && (is_digit src.[!pos]
+           || (hex && ((src.[!pos] >= 'a' && src.[!pos] <= 'f')
+                      || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))))
+      do
+        incr pos
+      done;
+      if (not hex) && !pos < n && src.[!pos] = '.' then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        push (FLOAT (float_of_string (String.sub src start (!pos - start))))
+      end
+      else
+        push (INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      push (IDENT (String.sub src start (!pos - start)))
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      while !pos < n && src.[!pos] <> '"' do
+        (if src.[!pos] = '\\' && !pos + 1 < n then begin
+           (match src.[!pos + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | '0' -> Buffer.add_char buf '\000'
+           | c -> Buffer.add_char buf c);
+           incr pos
+         end
+         else Buffer.add_char buf src.[!pos]);
+        incr pos
+      done;
+      if !pos >= n then errorf !line "unterminated string";
+      incr pos;
+      push (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then String.sub src !pos 2 else ""
+      in
+      if List.mem two two_char_ops then begin
+        push (PUNCT two);
+        pos := !pos + 2
+      end
+      else begin
+        push (PUNCT (String.make 1 c));
+        incr pos
+      end
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line } :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type st = {
+  mutable toks : lexed list;
+  mutable env : (string * ty) list;  (** locals in scope *)
+  fenv : (string, ty) Hashtbl.t;  (** function name -> return type *)
+}
+
+let peek st = match st.toks with t :: _ -> t | [] -> assert false
+
+let advance st =
+  match st.toks with _ :: tl when tl <> [] -> st.toks <- tl | _ -> ()
+
+let cur_line st = (peek st).line
+
+let expect_punct st p =
+  match (peek st).tok with
+  | PUNCT q when q = p -> advance st
+  | _ -> errorf (cur_line st) "expected %S" p
+
+let expect_ident st =
+  match (peek st).tok with
+  | IDENT s when not (List.mem s keywords) ->
+      advance st;
+      s
+  | IDENT s -> errorf (cur_line st) "%S is a keyword" s
+  | _ -> errorf (cur_line st) "expected identifier"
+
+let accept_punct st p =
+  match (peek st).tok with
+  | PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_ident st s =
+  match (peek st).tok with
+  | IDENT q when q = s ->
+      advance st;
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sysno_of_name = function
+  | "sys_exit" -> Some (Lfi_runtime.Sysno.exit, 1)
+  | "sys_write" -> Some (Lfi_runtime.Sysno.write, 3)
+  | "sys_read" -> Some (Lfi_runtime.Sysno.read, 3)
+  | "sys_open" -> Some (Lfi_runtime.Sysno.openat, 2)
+  | "sys_close" -> Some (Lfi_runtime.Sysno.close, 1)
+  | "sys_pipe" -> Some (Lfi_runtime.Sysno.pipe, 1)
+  | "sys_fork" -> Some (Lfi_runtime.Sysno.fork, 0)
+  | "sys_wait" -> Some (Lfi_runtime.Sysno.wait, 1)
+  | "sys_yield" -> Some (Lfi_runtime.Sysno.yield, 0)
+  | "sys_yield_to" -> Some (Lfi_runtime.Sysno.yield_to, 1)
+  | "sys_getpid" -> Some (Lfi_runtime.Sysno.getpid, 0)
+  | "sys_mmap" -> Some (Lfi_runtime.Sysno.mmap, 1)
+  | "sys_brk" -> Some (Lfi_runtime.Sysno.brk, 1)
+  | _ -> None
+
+let load_intrinsics =
+  [ ("load8", U8); ("load16", U16); ("load32", I32); ("load64", I64);
+    ("loadf32", F32); ("loadf64", F64) ]
+
+let store_intrinsics =
+  [ ("store8", U8); ("store16", U16); ("store32", I32); ("store64", I64);
+    ("storef32", F32); ("storef64", F64) ]
+
+let typeof_in st (e : expr) : ty =
+  let fenv = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.fenv [] in
+  try typeof ~fenv ~env:st.env e
+  with Invalid_argument m -> errorf (cur_line st) "%s" m
+
+(* operator selection by operand type *)
+let mk_bin st line op a b : expr =
+  let fl = typeof_in st a = Float in
+  let pick i f =
+    if fl then (match f with Some f -> f | None -> errorf line "operator not defined on float")
+    else i
+  in
+  let op' =
+    match op with
+    | "+" -> pick Add (Some FAdd)
+    | "-" -> pick Sub (Some FSub)
+    | "*" -> pick Mul (Some FMul)
+    | "/" -> pick Div (Some FDiv)
+    | "%" -> pick Rem None
+    | "&" -> pick And None
+    | "|" -> pick Or None
+    | "^" -> pick Xor None
+    | "<<" -> pick Shl None
+    | ">>" -> pick Shr None
+    | "==" -> pick Eq (Some FEq)
+    | "!=" -> pick Ne None
+    | "<" -> pick Lt (Some FLt)
+    | "<=" -> pick Le (Some FLe)
+    | ">" -> pick Gt None
+    | ">=" -> pick Ge None
+    | "&&" -> pick And None (* non-short-circuit, both sides 0/1 *)
+    | "||" -> pick Or None
+    | _ -> errorf line "unknown operator %S" op
+  in
+  match (op, fl) with
+  | ">", true -> Bin (FLt, b, a)
+  | ">=", true -> Bin (FLe, b, a)
+  | "!=", true -> Bin (Eq, Bin (FEq, a, b), Int 0)
+  | _ -> Bin (op', a, b)
+
+(* precedence: higher binds tighter *)
+let prec = function
+  | "*" | "/" | "%" -> 7
+  | "+" | "-" -> 6
+  | "<<" | ">>" -> 5
+  | "<" | "<=" | ">" | ">=" -> 4
+  | "==" | "!=" -> 3
+  | "&" -> 2
+  | "^" -> 2
+  | "|" -> 2
+  | "&&" -> 1
+  | "||" -> 1
+  | _ -> -1
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match (peek st).tok with
+    | PUNCT p when prec p >= min_prec && prec p > 0 ->
+        let line = cur_line st in
+        advance st;
+        let rhs = parse_binary st (prec p + 1) in
+        lhs := mk_bin st line p !lhs rhs;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st : expr =
+  let line = cur_line st in
+  match (peek st).tok with
+  | PUNCT "-" ->
+      advance st;
+      let e = parse_unary st in
+      if typeof_in st e = Float then Un (FNeg, e) else Un (Neg, e)
+  | PUNCT "~" ->
+      advance st;
+      Un (Not, parse_unary st)
+  | PUNCT "&" ->
+      advance st;
+      Addr (expect_ident st)
+  | PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | INT v ->
+      advance st;
+      Int v
+  | FLOAT v ->
+      advance st;
+      Flt v
+  | IDENT name -> (
+      advance st;
+      if not (accept_punct st "(") then begin
+        if List.mem_assoc name st.env then Var name
+        else errorf line "unbound variable %s" name
+      end
+      else
+        (* call-like syntax *)
+        let args = parse_args st in
+        match name with
+        | "itof" -> one line "itof" args (fun a -> Cvt (ItoF, a))
+        | "ftoi" -> one line "ftoi" args (fun a -> Cvt (FtoI, a))
+        | "sqrt" -> one line "sqrt" args (fun a -> Un (FSqrt, a))
+        | "fabs" -> one line "fabs" args (fun a -> Un (FAbs, a))
+        | "icall" -> (
+            match args with
+            | fp :: rest -> Call_indirect (fp, rest, Some Int)
+            | [] -> errorf line "icall needs a function pointer")
+        | _ -> (
+            match List.assoc_opt name load_intrinsics with
+            | Some elt -> one line name args (fun a -> Load (elt, a))
+            | None -> (
+                match sysno_of_name name with
+                | Some (k, arity) ->
+                    if List.length args <> arity then
+                      errorf line "%s expects %d arguments" name arity;
+                    Syscall (k, args)
+                | None ->
+                    if Hashtbl.mem st.fenv name then Call (name, args)
+                    else errorf line "unknown function %s" name)))
+  | STRING _ -> errorf line "string literals only in globals"
+  | PUNCT p -> errorf line "unexpected %S" p
+  | EOF -> errorf line "unexpected end of file"
+
+and one line what args f =
+  match args with [ a ] -> f a | _ -> errorf line "%s expects 1 argument" what
+
+and parse_args st : expr list =
+  if accept_punct st ")" then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_type st : ty option =
+  if accept_ident st "int" then Some Int
+  else if accept_ident st "float" then Some Float
+  else None
+
+let rec parse_block st : stmt list =
+  expect_punct st "{";
+  let saved_env = st.env in
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  let body = go [] in
+  st.env <- saved_env;
+  body
+
+and parse_stmt st : stmt =
+  let line = cur_line st in
+  match (peek st).tok with
+  | IDENT "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let t = parse_block st in
+      let e = if accept_ident st "else" then parse_block st else [] in
+      If (c, t, e)
+  | IDENT "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      While (c, parse_block st)
+  | IDENT "return" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ";";
+      Return e
+  | IDENT "break" ->
+      advance st;
+      expect_punct st ";";
+      Break
+  | IDENT "continue" ->
+      advance st;
+      expect_punct st ";";
+      Continue
+  | IDENT ("int" | "float") ->
+      let ty = Option.get (parse_type st) in
+      let name = expect_ident st in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      st.env <- (name, ty) :: st.env;
+      Decl (name, ty, e)
+  | IDENT name when List.assoc_opt name store_intrinsics <> None ->
+      advance st;
+      let elt = List.assoc name store_intrinsics in
+      expect_punct st "(";
+      let a = parse_expr st in
+      expect_punct st ",";
+      let v = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      Store (elt, a, v)
+  | IDENT name -> (
+      advance st;
+      if accept_punct st "=" then begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        if not (List.mem_assoc name st.env) then
+          errorf line "assignment to undeclared variable %s" name;
+        Assign (name, e)
+      end
+      else if accept_punct st "(" then begin
+        (* expression statement: call for side effects *)
+        let args = parse_args st in
+        expect_punct st ";";
+        match sysno_of_name name with
+        | Some (k, arity) ->
+            if List.length args <> arity then
+              errorf line "%s expects %d arguments" name arity;
+            Expr (Syscall (k, args))
+        | None ->
+            if Hashtbl.mem st.fenv name then Expr (Call (name, args))
+            else errorf line "unknown function %s" name
+      end
+      else errorf line "expected statement")
+  | _ -> errorf line "expected statement"
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse (src : string) : program =
+  let toks = lex src in
+  (* pass 1: function signatures (so forward calls type-check) *)
+  let fenv = Hashtbl.create 16 in
+  let rec scan = function
+    | { tok = IDENT ("int" | "float" as t); _ }
+      :: { tok = IDENT name; _ }
+      :: { tok = PUNCT "("; _ }
+      :: rest ->
+        Hashtbl.replace fenv name (if t = "int" then (Int : ty) else Float);
+        scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan toks;
+  let st = { toks; env = []; fenv } in
+  let globals = ref [] and funcs = ref [] in
+  let rec top () =
+    match (peek st).tok with
+    | EOF -> ()
+    | IDENT "global" ->
+        advance st;
+        let name = expect_ident st in
+        (if accept_punct st "[" then begin
+           let size =
+             match (peek st).tok with
+             | INT v ->
+                 advance st;
+                 v
+             | _ -> errorf (cur_line st) "expected size"
+           in
+           expect_punct st "]";
+           globals := Zeroed (name, size) :: !globals
+         end
+         else begin
+           expect_punct st "=";
+           expect_punct st "{";
+           let rec vals acc =
+             match (peek st).tok with
+             | INT v ->
+                 advance st;
+                 if accept_punct st "," then vals (v :: acc)
+                 else begin
+                   expect_punct st "}";
+                   List.rev (v :: acc)
+                 end
+             | _ -> errorf (cur_line st) "expected integer"
+           in
+           globals := Init64 (name, vals []) :: !globals
+         end);
+        expect_punct st ";";
+        top ()
+    | IDENT "string" ->
+        advance st;
+        let name = expect_ident st in
+        expect_punct st "=";
+        (match (peek st).tok with
+        | STRING s ->
+            advance st;
+            globals := Str (name, s) :: !globals
+        | _ -> errorf (cur_line st) "expected string literal");
+        expect_punct st ";";
+        top ()
+    | IDENT ("int" | "float") ->
+        let ret = Option.get (parse_type st) in
+        let name = expect_ident st in
+        expect_punct st "(";
+        let rec params acc =
+          if accept_punct st ")" then List.rev acc
+          else begin
+            (if acc <> [] then expect_punct st ",");
+            match parse_type st with
+            | Some t -> params ((expect_ident st, t) :: acc)
+            | None -> errorf (cur_line st) "expected parameter type"
+          end
+        in
+        let ps = params [] in
+        st.env <- ps;
+        let body = parse_block st in
+        st.env <- [];
+        funcs := { name; params = ps; ret; body } :: !funcs;
+        top ()
+    | _ -> errorf (cur_line st) "expected a global or function definition"
+  in
+  top ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,1 @@
+lib/runtime/proc.ml: Buffer Hashtbl Lfi_emulator Machine Vfs

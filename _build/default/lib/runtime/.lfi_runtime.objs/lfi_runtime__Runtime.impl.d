@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Buffer Bytes Char Cost_model Exec Format Hashtbl Int32 Int64 Lfi_arm64 Lfi_core Lfi_elf Lfi_emulator Lfi_verifier List Machine Memory Printf Proc Sysno Vfs

@@ -1,0 +1,1 @@
+lib/runtime/sysno.ml: Printf

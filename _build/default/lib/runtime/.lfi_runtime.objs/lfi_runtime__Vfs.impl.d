@@ -1,0 +1,1 @@
+lib/runtime/vfs.ml: Bytes Hashtbl List String

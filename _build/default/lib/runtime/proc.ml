@@ -1,0 +1,90 @@
+(** A sandboxed process: one 4GiB slot plus scheduler state.
+
+    All processes share one emulated address space (and one emulated
+    hardware thread); a context switch is a register snapshot swap,
+    never a page-table operation — the property that makes LFI context
+    switches fast (Section 6.4). *)
+
+open Lfi_emulator
+
+(** How system calls are priced, for the comparison personalities of
+    Table 5 / §6.1. *)
+type personality =
+  | Lfi  (** verified sandbox; runtime calls through the call table *)
+  | Native_in_lfi_runtime
+      (** unsandboxed code hosted by the LFI runtime — the "native"
+          baseline of §6.1, which also benefits from fast calls *)
+  | Native_linux  (** models ordinary hardware-protected Linux *)
+  | Native_gvisor  (** models the gVisor systrap containerization *)
+
+let personality_name = function
+  | Lfi -> "lfi"
+  | Native_in_lfi_runtime -> "native"
+  | Native_linux -> "linux"
+  | Native_gvisor -> "gvisor"
+
+type blocked_on =
+  | On_read of { fd : int; addr : int64; len : int }
+  | On_write of { fd : int; addr : int64; len : int }
+  | On_wait of { status_addr : int64 }
+
+type state = Runnable | Blocked of blocked_on | Zombie of int
+
+type t = {
+  pid : int;
+  slot : int;
+  base : int64;  (** slot base address (0 for native processes) *)
+  personality : personality;
+  mutable state : state;
+  mutable snapshot : Machine.snapshot;  (** register state when not running *)
+  fds : (int, Vfs.fd_object) Hashtbl.t;
+  mutable next_fd : int;
+  mutable heap_end : int64;  (** first unmapped heap address *)
+  mutable parent : int option;
+  mutable children : int list;
+  stdout : Buffer.t;
+  mutable user_insns : int;
+  mutable rtcalls : int;
+}
+
+let is_runnable p = p.state = Runnable
+
+let alloc_fd (p : t) (obj : Vfs.fd_object) : int =
+  let fd = p.next_fd in
+  p.next_fd <- fd + 1;
+  Hashtbl.replace p.fds fd obj;
+  fd
+
+let fd (p : t) (n : int) = Hashtbl.find_opt p.fds n
+
+let close_fd (p : t) (n : int) =
+  match Hashtbl.find_opt p.fds n with
+  | Some obj ->
+      Vfs.close_fd obj;
+      Hashtbl.remove p.fds n;
+      0
+  | None -> Vfs.ebadf
+
+let close_all (p : t) =
+  Hashtbl.iter (fun _ obj -> Vfs.close_fd obj) p.fds;
+  Hashtbl.reset p.fds
+
+(** Standard file descriptors. *)
+let install_std_fds (p : t) =
+  Hashtbl.replace p.fds 0 Vfs.Console_in;
+  Hashtbl.replace p.fds 1 Vfs.Console_out;
+  Hashtbl.replace p.fds 2 Vfs.Console_out;
+  p.next_fd <- 3
+
+(** Duplicate the descriptor table for fork, bumping pipe endpoint
+    reference counts. *)
+let dup_fds (src : t) (dst : t) =
+  Hashtbl.iter
+    (fun n obj ->
+      (match obj with
+      | Vfs.Pipe_read pipe -> pipe.Vfs.readers <- pipe.Vfs.readers + 1
+      | Vfs.Pipe_write pipe -> pipe.Vfs.writers <- pipe.Vfs.writers + 1
+      | _ -> ());
+      Hashtbl.replace dst.fds n obj)
+    src.fds;
+  dst.next_fd <- src.next_fd

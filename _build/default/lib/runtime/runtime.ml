@@ -1,0 +1,761 @@
+(** The LFI runtime (Section 5.3).
+
+    One host process manages all sandboxes: ELF executables are
+    verified, loaded into 4GiB slots of a single (emulated) address
+    space, given a read-only runtime-call table in their first page,
+    and scheduled preemptively.  Runtime calls arrive either through
+    the table (sandboxed code: [ldr x30, \[x21, #8k\]; blr x30]) or as
+    [svc] traps (native comparison code); both funnel into the same
+    Unix-like handlers: open/read/write/close/pipe/fork/wait/mmap/
+    yield, plus the optimized direct [yield_to] IPC. *)
+
+open Lfi_emulator
+
+type config = {
+  uarch : Cost_model.t;
+  quantum : int;  (** preemption quantum, in instructions *)
+  verify : bool;  (** verify ELF text segments before loading *)
+  verifier_config : Lfi_verifier.Verifier.config;
+  stack_size : int;
+  allowed_prefixes : string list;  (** VFS access control; [] = all *)
+  echo_stdout : bool;  (** copy sandbox stdout to the host's stdout *)
+  spectre_hardening : bool;
+      (** §7.1: assign each sandbox and the runtime distinct software
+          context numbers (SCXTNUM_EL0) so that branch-predictor state
+          is not shared; modeled as a system-register write on every
+          runtime entry/exit and on every context switch *)
+}
+
+let default_config =
+  {
+    uarch = Cost_model.m1;
+    quantum = 100_000;
+    verify = true;
+    verifier_config = Lfi_verifier.Verifier.default_config;
+    stack_size = 1 lsl 21;
+    allowed_prefixes = [];
+    echo_stdout = false;
+    spectre_hardening = false;
+  }
+
+type exit_reason =
+  | Exited of int
+  | Killed of string  (** fault description *)
+
+type t = {
+  cfg : config;
+  mem : Memory.t;
+  machine : Machine.t;
+  vfs : Vfs.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable runq : int list;
+  mutable next_pid : int;
+  mutable next_slot : int;
+  mutable free_slots : int list;
+  mutable native_loaded : bool;
+  mutable ctx_switches : int;
+  mutable rtcalls : int;
+  mutable preemptions : int;
+  mutable exit_log : (int * exit_reason) list;
+}
+
+let create ?(config = default_config) () =
+  let mem = Memory.create () in
+  {
+    cfg = config;
+    mem;
+    machine = Machine.create ~uarch:config.uarch mem;
+    vfs = Vfs.create ~allowed_prefixes:config.allowed_prefixes ();
+    procs = Hashtbl.create 64;
+    runq = [];
+    next_pid = 1;
+    next_slot = 1 (* slot 0 is reserved for native processes *);
+    free_slots = [];
+    native_loaded = false;
+    ctx_switches = 0;
+    rtcalls = 0;
+    preemptions = 0;
+    exit_log = [];
+  }
+
+let cycles rt = rt.machine.Machine.cycles
+let insns rt = rt.machine.Machine.insns
+let proc rt pid = Hashtbl.find_opt rt.procs pid
+let stdout_of p = Buffer.contents p.Proc.stdout
+
+(* ------------------------------------------------------------------ *)
+(* Address-space management                                            *)
+(* ------------------------------------------------------------------ *)
+
+let page = Memory.page_size
+
+let align_down v = v / page * page
+let align_up v = (v + page - 1) / page * page
+
+let map_range rt (base : int64) ~(off : int) ~(len : int) ~perm =
+  let lo = align_down off and hi = align_up (off + len) in
+  Memory.map rt.mem
+    ~addr:(Int64.add base (Int64.of_int lo))
+    ~len:(hi - lo) ~perm
+
+(** Build the read-only runtime-call table in the slot's first page.
+    Entries hold host entry addresses; unused entries point into the
+    (unmapped) guard region so a stray call traps. *)
+let install_rtcall_table rt (base : int64) =
+  map_range rt base ~off:0 ~len:Lfi_core.Layout.rtcall_table_size
+    ~perm:Memory.perm_rw;
+  let guard_trap = Int64.add base (Int64.of_int Lfi_core.Layout.rtcall_table_size) in
+  for k = 0 to Lfi_core.Layout.rtcall_entry_count - 1 do
+    let value =
+      if k >= 1 && k < Sysno.count then
+        Int64.add Machine.host_region_start (Int64.of_int (8 * k))
+      else guard_trap
+    in
+    Memory.write rt.mem
+      (Int64.add base (Int64.of_int (Lfi_core.Layout.rtcall_entry_offset k)))
+      8 value
+  done;
+  Memory.protect rt.mem ~addr:base ~len:Lfi_core.Layout.rtcall_table_size
+    ~perm:Memory.perm_r
+
+let alloc_slot rt : int =
+  match rt.free_slots with
+  | s :: tl ->
+      rt.free_slots <- tl;
+      s
+  | [] ->
+      let s = rt.next_slot in
+      rt.next_slot <- s + 1;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Load_error of string
+
+let initial_snapshot (base : int64) ~(entry : int) ~(arg : int64) :
+    Machine.snapshot =
+  let regs = Array.make 31 0L in
+  let entry_addr = Int64.add base (Int64.of_int entry) in
+  regs.(0) <- arg;
+  regs.(21) <- base;
+  regs.(18) <- base;
+  regs.(23) <- base;
+  regs.(24) <- base;
+  regs.(30) <- entry_addr;
+  {
+    Machine.s_pc = entry_addr;
+    s_regs = regs;
+    s_sp = Int64.add base (Int64.of_int Lfi_core.Layout.stack_top);
+    s_flags = (false, false, false, false);
+    s_vlo = Array.make 32 0L;
+    s_vhi = Array.make 32 0L;
+  }
+
+(** Load an ELF image into a fresh slot and create the process.
+    Sandboxed programs ([`Lfi]) are statically verified first; native
+    personalities run unsandboxed in slot 0 (base address 0), where
+    sandbox-relative and absolute addresses coincide. *)
+let load rt ?(arg = 0L) ~(personality : Proc.personality)
+    (elf : Lfi_elf.Elf.t) : Proc.t =
+  let native = personality <> Proc.Lfi in
+  if native && rt.native_loaded then
+    raise (Load_error "only one native process is supported (slot 0)");
+  (* Verification: the trust boundary of the whole system. *)
+  if rt.cfg.verify && not native then begin
+    match Lfi_elf.Elf.text_segment elf with
+    | None -> raise (Load_error "no executable segment")
+    | Some seg -> (
+        match
+          Lfi_verifier.Verifier.verify ~config:rt.cfg.verifier_config
+            ~code:seg.Lfi_elf.Elf.data ()
+        with
+        | Ok _ -> ()
+        | Error vs ->
+            raise
+              (Load_error
+                 (Format.asprintf "verification failed: %a (+%d more)"
+                    Lfi_verifier.Verifier.pp_violation (List.hd vs)
+                    (List.length vs - 1))))
+  end;
+  let slot = if native then 0 else alloc_slot rt in
+  let base = Lfi_core.Layout.slot_base slot in
+  if not native then install_rtcall_table rt base;
+  (* Map and copy the segments. *)
+  let data_end = ref Lfi_core.Layout.code_origin in
+  List.iter
+    (fun (s : Lfi_elf.Elf.segment) ->
+      let len = s.Lfi_elf.Elf.memsz in
+      if s.vaddr < Lfi_core.Layout.code_origin then
+        raise (Load_error "segment below code origin");
+      if s.flags land Lfi_elf.Elf.pf_x <> 0
+         && s.vaddr + len > Lfi_core.Layout.code_limit
+      then raise (Load_error "executable segment in the top 128MiB");
+      (* map memsz (the BSS tail is zero pages), copy filesz *)
+      map_range rt base ~off:s.vaddr ~len ~perm:Memory.perm_rw;
+      Memory.write_bytes rt.mem (Int64.add base (Int64.of_int s.vaddr)) s.data;
+      if s.flags land Lfi_elf.Elf.pf_x <> 0 then
+        Memory.protect rt.mem
+          ~addr:(Int64.add base (Int64.of_int (align_down s.vaddr)))
+          ~len:(align_up (s.vaddr + len) - align_down s.vaddr)
+          ~perm:Memory.perm_rx;
+      data_end := max !data_end (s.vaddr + len))
+    elf.Lfi_elf.Elf.segments;
+  (* Stack below the top guard region. *)
+  map_range rt base
+    ~off:(Lfi_core.Layout.stack_top - rt.cfg.stack_size)
+    ~len:rt.cfg.stack_size ~perm:Memory.perm_rw;
+  let pid = rt.next_pid in
+  rt.next_pid <- pid + 1;
+  if native then rt.native_loaded <- true;
+  let p =
+    {
+      Proc.pid;
+      slot;
+      base;
+      personality;
+      state = Proc.Runnable;
+      snapshot = initial_snapshot base ~entry:elf.Lfi_elf.Elf.entry ~arg;
+      fds = Hashtbl.create 8;
+      next_fd = 3;
+      heap_end = Int64.add base (Int64.of_int (align_up !data_end));
+      parent = None;
+      children = [];
+      stdout = Buffer.create 256;
+      user_insns = 0;
+      rtcalls = 0;
+    }
+  in
+  Proc.install_std_fds p;
+  Hashtbl.replace rt.procs pid p;
+  rt.runq <- rt.runq @ [ pid ];
+  p
+
+let load_image rt ?arg ~personality (img : Lfi_arm64.Assemble.image) =
+  load rt ?arg ~personality (Lfi_elf.Elf.of_image img)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-call helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Reconstruct a sandbox pointer from a (possibly garbage) 64-bit
+    value: the top 32 bits are replaced with the sandbox base, exactly
+    as the hardware guard would (§5.3 — this is what makes fork in a
+    single address space work). *)
+let uaddr (p : Proc.t) (v : int64) : int64 =
+  match p.Proc.personality with
+  | Proc.Lfi -> Int64.logor p.Proc.base (Int64.logand v 0xFFFFFFFFL)
+  | _ -> v
+
+let read_user_bytes rt p (addr : int64) (len : int) : (bytes, int) result =
+  try Ok (Memory.read_bytes rt.mem (uaddr p addr) len)
+  with Memory.Fault _ -> Error Vfs.einval
+
+let write_user_bytes rt p (addr : int64) (b : bytes) : (unit, int) result =
+  try
+    Memory.write_bytes rt.mem (uaddr p addr) b;
+    Ok ()
+  with Memory.Fault _ -> Error Vfs.einval
+
+let read_user_string rt p (addr : int64) : (string, int) result =
+  let addr = uaddr p addr in
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i > 4096 then Error Vfs.einval
+    else
+      let c = Memory.read rt.mem (Int64.add addr (Int64.of_int i)) 1 in
+      if Int64.equal c 0L then Ok (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf (Char.chr (Int64.to_int c));
+        go (i + 1)
+      end
+  in
+  try go 0 with Memory.Fault _ -> Error Vfs.einval
+
+let syscall_entry_cost rt (p : Proc.t) =
+  let u = rt.cfg.uarch in
+  match p.Proc.personality with
+  | Proc.Lfi | Proc.Native_in_lfi_runtime ->
+      u.Cost_model.lfi_runtime_call_entry
+  | Proc.Native_linux -> u.Cost_model.linux_syscall
+  | Proc.Native_gvisor -> u.Cost_model.gvisor_syscall
+
+(** Cost charged when the scheduler switches between processes.  For
+    LFI this is just the runtime's bookkeeping — the register swap is a
+    snapshot copy with no hardware mode or page-table switch, which is
+    the whole point (§6.4).  The hardware-protection personalities pay
+    their modeled context-switch cost. *)
+let lfi_sched_bookkeeping = 8.0
+
+let switch_cost rt (p : Proc.t) =
+  let u = rt.cfg.uarch in
+  match p.Proc.personality with
+  | Proc.Lfi | Proc.Native_in_lfi_runtime -> lfi_sched_bookkeeping
+  | Proc.Native_linux -> u.Cost_model.linux_pipe_roundtrip /. 3.0
+  | Proc.Native_gvisor -> u.Cost_model.gvisor_pipe_roundtrip /. 3.0
+
+(* ------------------------------------------------------------------ *)
+(* Fork (§5.3)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebase a register value into the child slot by replacing its top
+    bits — valid because sandbox pointers are 32-bit offsets. *)
+let rebase (child_base : int64) (v : int64) =
+  Int64.logor child_base (Int64.logand v 0xFFFFFFFFL)
+
+let do_fork rt (parent : Proc.t) : int =
+  if parent.Proc.personality <> Proc.Lfi then Vfs.einval
+  else begin
+    let slot = alloc_slot rt in
+    let base = Lfi_core.Layout.slot_base slot in
+    install_rtcall_table rt base;
+    (* Copy every mapped page of the parent slot (eager copy; the paper
+       also describes copy-on-write via memfd, which we do not model). *)
+    let parent_first = Int64.to_int (Int64.shift_right_logical parent.Proc.base Memory.page_bits) in
+    let pages_per_slot = Lfi_core.Layout.sandbox_size / page in
+    List.iter
+      (fun (idx, pg) ->
+        if idx >= parent_first && idx < parent_first + pages_per_slot
+           && idx > parent_first (* skip the call table page; freshly built *)
+        then begin
+          let off = (idx - parent_first) * page in
+          let child_addr = Int64.add base (Int64.of_int off) in
+          Memory.map rt.mem ~addr:child_addr ~len:page ~perm:Memory.perm_rw;
+          (match
+             Hashtbl.find_opt rt.mem.Memory.pages
+               (Int64.to_int (Int64.shift_right_logical child_addr Memory.page_bits))
+           with
+          | Some cp ->
+              Bytes.blit (Memory.page_data pg) 0 (Memory.page_data cp) 0 page;
+              cp.Memory.perm <- Memory.page_perm pg
+          | None -> assert false)
+        end)
+      (Memory.mapped_pages rt.mem);
+    (* Child registers: parent's current state with the reserved
+       registers, sp and pc rebased; everything else heals via guards. *)
+    let snap = Machine.snapshot rt.machine in
+    let regs = snap.Machine.s_regs in
+    List.iter (fun n -> regs.(n) <- rebase base regs.(n)) [ 18; 21; 23; 24; 30 ];
+    regs.(0) <- 0L (* fork returns 0 in the child *);
+    let child_snap =
+      { snap with
+        Machine.s_regs = regs;
+        s_pc = rebase base snap.Machine.s_pc;
+        s_sp = rebase base snap.Machine.s_sp }
+    in
+    let pid = rt.next_pid in
+    rt.next_pid <- pid + 1;
+    let child =
+      {
+        Proc.pid;
+        slot;
+        base;
+        personality = Proc.Lfi;
+        state = Proc.Runnable;
+        snapshot = child_snap;
+        fds = Hashtbl.create 8;
+        next_fd = 3;
+        heap_end = rebase base parent.Proc.heap_end;
+        parent = Some parent.Proc.pid;
+        children = [];
+        stdout = Buffer.create 256;
+        user_insns = 0;
+        rtcalls = 0;
+      }
+    in
+    Proc.dup_fds parent child;
+    parent.Proc.children <- pid :: parent.Proc.children;
+    Hashtbl.replace rt.procs pid child;
+    rt.runq <- rt.runq @ [ pid ];
+    pid
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking-call completion                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Reap one zombie child of [p], if any: returns [(pid, code)]. *)
+let find_zombie_child rt (p : Proc.t) : (int * int) option =
+  List.find_map
+    (fun cpid ->
+      match Hashtbl.find_opt rt.procs cpid with
+      | Some { Proc.state = Proc.Zombie code; _ } -> Some (cpid, code)
+      | _ -> None)
+    p.Proc.children
+
+let release_slot rt (child : Proc.t) =
+  (* unmap the whole slot and recycle it *)
+  let first = Int64.to_int (Int64.shift_right_logical child.Proc.base Memory.page_bits) in
+  let pages_per_slot = Lfi_core.Layout.sandbox_size / page in
+  List.iter
+    (fun (idx, _) ->
+      if idx >= first && idx < first + pages_per_slot then
+        Memory.unmap rt.mem
+          ~addr:(Int64.shift_left (Int64.of_int idx) Memory.page_bits)
+          ~len:page)
+    (Memory.mapped_pages rt.mem);
+  if child.Proc.slot <> 0 then
+    rt.free_slots <- child.Proc.slot :: rt.free_slots
+
+let reap rt (parent : Proc.t) (cpid : int) (code : int)
+    ~(status_addr : int64) ~(set_result : int64 -> unit) =
+  (match Hashtbl.find_opt rt.procs cpid with
+  | Some child -> release_slot rt child
+  | None -> ());
+  Hashtbl.remove rt.procs cpid;
+  parent.Proc.children <-
+    List.filter (fun c -> c <> cpid) parent.Proc.children;
+  if not (Int64.equal status_addr 0L) then
+    ignore
+      (write_user_bytes rt parent status_addr
+         (let b = Bytes.create 4 in
+          Bytes.set_int32_le b 0 (Int32.of_int code);
+          b));
+  set_result (Int64.of_int cpid)
+
+(** Try to complete a blocked process's pending operation. *)
+let try_wake rt (p : Proc.t) =
+  let set_result v = p.Proc.snapshot.Machine.s_regs.(0) <- v in
+  match p.Proc.state with
+  | Proc.Blocked (Proc.On_read { fd; addr; len }) -> (
+      match Proc.fd p fd with
+      | Some (Vfs.Pipe_read pipe) -> (
+          match Vfs.pipe_read pipe len with
+          | `Data b ->
+              (match write_user_bytes rt p addr b with
+              | Ok () -> set_result (Int64.of_int (Bytes.length b))
+              | Error e -> set_result (Int64.of_int e));
+              p.Proc.state <- Proc.Runnable
+          | `Eof ->
+              set_result 0L;
+              p.Proc.state <- Proc.Runnable
+          | `Would_block -> ())
+      | _ ->
+          set_result (Int64.of_int Vfs.ebadf);
+          p.Proc.state <- Proc.Runnable)
+  | Proc.Blocked (Proc.On_write { fd; addr; len }) -> (
+      match Proc.fd p fd with
+      | Some (Vfs.Pipe_write pipe) -> (
+          match read_user_bytes rt p addr len with
+          | Error e ->
+              set_result (Int64.of_int e);
+              p.Proc.state <- Proc.Runnable
+          | Ok b -> (
+              match Vfs.pipe_write pipe b with
+              | `Wrote n ->
+                  set_result (Int64.of_int n);
+                  p.Proc.state <- Proc.Runnable
+              | `Broken ->
+                  set_result (Int64.of_int Vfs.epipe);
+                  p.Proc.state <- Proc.Runnable
+              | `Would_block -> ()))
+      | _ ->
+          set_result (Int64.of_int Vfs.ebadf);
+          p.Proc.state <- Proc.Runnable)
+  | Proc.Blocked (Proc.On_wait { status_addr }) -> (
+      match find_zombie_child rt p with
+      | Some (cpid, code) ->
+          reap rt p cpid code ~status_addr ~set_result;
+          p.Proc.state <- Proc.Runnable
+      | None -> ())
+  | Proc.Runnable | Proc.Zombie _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Runtime call dispatch                                               *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Continue | Switch | Died of exit_reason
+
+let do_exit rt (p : Proc.t) (code : int) : outcome =
+  Proc.close_all p;
+  p.Proc.state <- Proc.Zombie code;
+  rt.exit_log <- (p.Proc.pid, Exited code) :: rt.exit_log;
+  Died (Exited code)
+
+let handle_call rt (p : Proc.t) (k : int) : outcome =
+  let m = rt.machine in
+  let arg n = m.Machine.regs.(n) in
+  let ret v =
+    m.Machine.regs.(0) <- v;
+    Continue
+  in
+  let reti v = ret (Int64.of_int v) in
+  rt.rtcalls <- rt.rtcalls + 1;
+  p.Proc.rtcalls <- p.Proc.rtcalls + 1;
+  if rt.cfg.spectre_hardening then
+    (* SCXTNUM_EL0 is rewritten when entering and when leaving the
+       runtime (§7.1) *)
+    m.Machine.cycles <-
+      m.Machine.cycles +. (2.0 *. rt.cfg.uarch.Cost_model.scxtnum_switch);
+  (* the optimized direct yield skips the general runtime-call
+     entry/exit path: it only saves/restores callee-saved registers
+     (§5.3) and is priced in its own handler *)
+  if k <> Sysno.yield_to then
+    m.Machine.cycles <- m.Machine.cycles +. syscall_entry_cost rt p;
+  if k = Sysno.exit then do_exit rt p (Int64.to_int (arg 0))
+  else if k = Sysno.write then begin
+    let fd = Int64.to_int (arg 0) and addr = arg 1
+    and len = min (Int64.to_int (arg 2)) (1 lsl 20) in
+    if len < 0 then reti Vfs.einval
+    else
+      match Proc.fd p fd with
+      | Some Vfs.Console_out -> (
+          match read_user_bytes rt p addr len with
+          | Error e -> reti e
+          | Ok b ->
+              Buffer.add_bytes p.Proc.stdout b;
+              if rt.cfg.echo_stdout then print_string (Bytes.to_string b);
+              reti len)
+      | Some (Vfs.File f) when f.writable -> (
+          match read_user_bytes rt p addr len with
+          | Error e -> reti e
+          | Ok b ->
+              Vfs.file_write f.file ~pos:f.pos b;
+              f.pos <- f.pos + len;
+              reti len)
+      | Some (Vfs.Pipe_write pipe) -> (
+          match read_user_bytes rt p addr len with
+          | Error e -> reti e
+          | Ok b -> (
+              match Vfs.pipe_write pipe b with
+              | `Wrote n -> reti n
+              | `Broken -> reti Vfs.epipe
+              | `Would_block ->
+                  p.Proc.state <- Proc.Blocked (Proc.On_write { fd; addr; len });
+                  Switch))
+      | Some _ | None -> reti Vfs.ebadf
+  end
+  else if k = Sysno.read then begin
+    let fd = Int64.to_int (arg 0) and addr = arg 1
+    and len = min (Int64.to_int (arg 2)) (1 lsl 20) in
+    if len < 0 then reti Vfs.einval
+    else
+      match Proc.fd p fd with
+      | Some Vfs.Console_in -> reti 0
+      | Some (Vfs.File f) ->
+          let b = Vfs.file_read f.file ~pos:f.pos ~len in
+          (match write_user_bytes rt p addr b with
+          | Error e -> reti e
+          | Ok () ->
+              f.pos <- f.pos + Bytes.length b;
+              reti (Bytes.length b))
+      | Some (Vfs.Pipe_read pipe) -> (
+          match Vfs.pipe_read pipe len with
+          | `Data b -> (
+              match write_user_bytes rt p addr b with
+              | Error e -> reti e
+              | Ok () -> reti (Bytes.length b))
+          | `Eof -> reti 0
+          | `Would_block ->
+              p.Proc.state <- Proc.Blocked (Proc.On_read { fd; addr; len });
+              Switch)
+      | Some _ | None -> reti Vfs.ebadf
+  end
+  else if k = Sysno.openat then begin
+    match read_user_string rt p (arg 0) with
+    | Error e -> reti e
+    | Ok path -> (
+        let writable = not (Int64.equal (arg 1) 0L) in
+        match Vfs.open_file rt.vfs ~path ~writable with
+        | Ok obj -> reti (Proc.alloc_fd p obj)
+        | Error e -> reti e)
+  end
+  else if k = Sysno.close then reti (Proc.close_fd p (Int64.to_int (arg 0)))
+  else if k = Sysno.pipe then begin
+    let pipe = Vfs.make_pipe () in
+    let fd_r = Proc.alloc_fd p (Vfs.Pipe_read pipe) in
+    let fd_w = Proc.alloc_fd p (Vfs.Pipe_write pipe) in
+    let b = Bytes.create 8 in
+    Bytes.set_int32_le b 0 (Int32.of_int fd_r);
+    Bytes.set_int32_le b 4 (Int32.of_int fd_w);
+    match write_user_bytes rt p (arg 0) b with
+    | Error e -> reti e
+    | Ok () -> reti 0
+  end
+  else if k = Sysno.fork then reti (do_fork rt p)
+  else if k = Sysno.wait then begin
+    let status_addr = arg 0 in
+    match find_zombie_child rt p with
+    | Some (cpid, code) ->
+        reap rt p cpid code ~status_addr ~set_result:(fun v ->
+            m.Machine.regs.(0) <- v);
+        Continue
+    | None ->
+        if p.Proc.children = [] then reti (-10 (* ECHILD *))
+        else begin
+          p.Proc.state <- Proc.Blocked (Proc.On_wait { status_addr });
+          Switch
+        end
+  end
+  else if k = Sysno.yield then begin
+    ignore (ret 0L);
+    Switch
+  end
+  else if k = Sysno.getpid then reti p.Proc.pid
+  else if k = Sysno.mmap then begin
+    let len = align_up (Int64.to_int (arg 0)) in
+    if len <= 0 || len > 1 lsl 30 then reti Vfs.einval
+    else begin
+      let addr = p.Proc.heap_end in
+      let limit =
+        Int64.add p.Proc.base
+          (Int64.of_int (Lfi_core.Layout.stack_top - rt.cfg.stack_size))
+      in
+      if Int64.compare (Int64.add addr (Int64.of_int len)) limit > 0 then
+        reti (-12 (* ENOMEM *))
+      else begin
+        Memory.map rt.mem ~addr ~len ~perm:Memory.perm_rw;
+        p.Proc.heap_end <- Int64.add addr (Int64.of_int len);
+        ret addr
+      end
+    end
+  end
+  else if k = Sysno.munmap then begin
+    let addr = uaddr p (arg 0) and len = align_up (Int64.to_int (arg 1)) in
+    let off = Int64.to_int (Int64.sub addr p.Proc.base) in
+    if off < Lfi_core.Layout.code_origin || len <= 0 then reti Vfs.einval
+    else begin
+      (try Memory.unmap rt.mem ~addr:(Int64.of_int (align_down (Int64.to_int addr))) ~len
+       with Invalid_argument _ -> ());
+      reti 0
+    end
+  end
+  else if k = Sysno.brk then begin
+    let want = arg 0 in
+    if Int64.equal want 0L then ret (Int64.sub p.Proc.heap_end p.Proc.base)
+    else begin
+      let new_end = uaddr p want in
+      if Int64.compare new_end p.Proc.heap_end > 0 then begin
+        let len =
+          align_up (Int64.to_int (Int64.sub new_end p.Proc.heap_end))
+        in
+        Memory.map rt.mem ~addr:p.Proc.heap_end ~len ~perm:Memory.perm_rw;
+        p.Proc.heap_end <- Int64.add p.Proc.heap_end (Int64.of_int len)
+      end;
+      ret (Int64.sub p.Proc.heap_end p.Proc.base)
+    end
+  end
+  else if k = Sysno.yield_to then begin
+    let target = Int64.to_int (arg 0) in
+    match Hashtbl.find_opt rt.procs target with
+    | Some tp when Proc.is_runnable tp && tp.Proc.pid <> p.Proc.pid ->
+        ignore (ret 0L);
+        (* direct invocation: put the target at the head of the queue *)
+        rt.runq <- target :: List.filter (fun x -> x <> target) rt.runq;
+        m.Machine.cycles <-
+          m.Machine.cycles +. rt.cfg.uarch.Cost_model.lfi_yield_direct;
+        Switch
+    | _ -> reti Vfs.einval
+  end
+  else if k = Sysno.cycles then ret (Int64.of_float m.Machine.cycles)
+  else reti (-38 (* ENOSYS *))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Deadlock
+
+let next_runnable rt : Proc.t option =
+  (* poll blocked processes first (the "signals" of our runtime) *)
+  Hashtbl.iter (fun _ p -> try_wake rt p) rt.procs;
+  let rec go seen = function
+    | [] -> None
+    | pid :: tl -> (
+        match Hashtbl.find_opt rt.procs pid with
+        | Some p when Proc.is_runnable p ->
+            rt.runq <- (tl @ List.rev seen) @ [ pid ];
+            Some p
+        | Some _ -> go (pid :: seen) tl
+        | None -> go seen tl)
+  in
+  let q = rt.runq in
+  rt.runq <- [];
+  let r = go [] q in
+  (match r with
+  | None ->
+      rt.runq <- List.filter (fun pid -> Hashtbl.mem rt.procs pid) q
+  | Some _ -> ());
+  r
+
+(** Run until every process has exited.  Returns the exit log (most
+    recent first). *)
+let run rt : (int * exit_reason) list =
+  let m = rt.machine in
+  let rec schedule () =
+    match next_runnable rt with
+    | None ->
+        let blocked =
+          Hashtbl.fold
+            (fun _ p acc ->
+              match p.Proc.state with Proc.Blocked _ -> acc + 1 | _ -> acc)
+            rt.procs 0
+        in
+        if blocked > 0 then raise Deadlock else ()
+    | Some p ->
+        rt.ctx_switches <- rt.ctx_switches + 1;
+        m.Machine.cycles <- m.Machine.cycles +. switch_cost rt p;
+        if rt.cfg.spectre_hardening then
+          m.Machine.cycles <-
+            m.Machine.cycles +. rt.cfg.uarch.Cost_model.scxtnum_switch;
+        Machine.restore m p.Proc.snapshot;
+        execute p;
+        schedule ()
+  and execute (p : Proc.t) =
+    let start_insns = m.Machine.insns in
+    let finish () =
+      p.Proc.user_insns <- p.Proc.user_insns + (m.Machine.insns - start_insns)
+    in
+    match Exec.run m ~quantum:rt.cfg.quantum with
+    | Exec.Quantum_expired ->
+        (* timer preemption (setitimer in the real runtime) *)
+        rt.preemptions <- rt.preemptions + 1;
+        p.Proc.snapshot <- Machine.snapshot m;
+        finish ()
+    | Exec.Runtime_entry pc ->
+        let k =
+          Int64.to_int (Int64.sub pc Machine.host_region_start) / 8
+        in
+        (* return address: blr x30 left it in x30 *)
+        m.Machine.pc <- m.Machine.regs.(30);
+        run_call p k ~finish
+    | Exec.Trap (Exec.Svc_trap k) ->
+        if p.Proc.personality = Proc.Lfi then begin
+          (* a verified binary can never reach here *)
+          p.Proc.snapshot <- Machine.snapshot m;
+          kill p "svc from sandboxed code";
+          finish ()
+        end
+        else run_call p k ~finish
+    | Exec.Trap (Exec.Mem_fault f) ->
+        kill p (Format.asprintf "%a" Memory.pp_fault f);
+        finish ()
+    | Exec.Trap (Exec.Undefined pc) ->
+        kill p (Printf.sprintf "undefined instruction at 0x%Lx" pc);
+        finish ()
+  and run_call (p : Proc.t) (k : int) ~finish =
+    match handle_call rt p k with
+    | Continue -> execute p
+    | Switch ->
+        p.Proc.snapshot <- Machine.snapshot m;
+        finish ()
+    | Died _ -> finish ()
+  and kill (p : Proc.t) reason =
+    Proc.close_all p;
+    p.Proc.state <- Proc.Zombie (-1);
+    rt.exit_log <- (p.Proc.pid, Killed reason) :: rt.exit_log
+  in
+  schedule ();
+  rt.exit_log
+
+(** Run a single program to completion and return
+    [(exit_reason, stdout, cycles, insns)]. *)
+let run_one rt (p : Proc.t) =
+  let log = run rt in
+  let reason =
+    match List.assoc_opt p.Proc.pid log with
+    | Some r -> r
+    | None -> Killed "did not exit"
+  in
+  (reason, stdout_of p, cycles rt, insns rt)

@@ -1,0 +1,46 @@
+(** Runtime call numbers.
+
+    Entry [k] of the runtime-call table lives at sandbox offset [8k]
+    (Section 4.4).  Entry 0 is intentionally unused and points to an
+    unmapped page, as in the paper, so that a [blr] through a zeroed
+    table slot traps. *)
+
+let invalid = 0
+let exit = 1
+let write = 2
+let read = 3
+let openat = 4
+let close = 5
+let pipe = 6
+let fork = 7
+let wait = 8
+let yield = 9
+let getpid = 10
+let mmap = 11
+let munmap = 12
+(* optimized direct IPC yield (§5.3) *)
+let yield_to = 13
+(* read the virtual cycle counter *)
+let cycles = 14
+let brk = 15
+
+let count = 16
+
+let name = function
+  | 0 -> "invalid"
+  | 1 -> "exit"
+  | 2 -> "write"
+  | 3 -> "read"
+  | 4 -> "open"
+  | 5 -> "close"
+  | 6 -> "pipe"
+  | 7 -> "fork"
+  | 8 -> "wait"
+  | 9 -> "yield"
+  | 10 -> "getpid"
+  | 11 -> "mmap"
+  | 12 -> "munmap"
+  | 13 -> "yield_to"
+  | 14 -> "cycles"
+  | 15 -> "brk"
+  | n -> Printf.sprintf "sys_%d" n

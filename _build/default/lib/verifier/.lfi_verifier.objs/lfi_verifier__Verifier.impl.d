@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Array Buffer Bytes Decode Format Insn Lfi_arm64 Lfi_core List Printer Printf Reg

@@ -1,0 +1,262 @@
+(** The LFI static verifier (Section 5.2).
+
+    A single linear pass over the *machine code* of a text segment.  The
+    verifier decodes the bytes itself — the compiler and rewriter that
+    produced them are untrusted — and checks that executing any path
+    through the code can never leave the sandbox:
+
+    1. loads, stores and indirect branches only go through reserved
+       registers (x18/x23/x24, sp, x21, x30) or the guarded addressing
+       mode [\[x21, wN, uxtw\]];
+    2. reserved registers are only written by invariant-preserving
+       guards: x21 never, x18/x23/x24 only via [add xR, x21, wN, uxtw],
+       x22 only with a 32-bit destination, x30 only by bl/blr, its
+       guard, the runtime-table load immediately followed by [blr x30],
+       or any write immediately followed by the x30 guard; sp only via
+       its two-instruction guard, sp-based pre/post-indexing, or a
+       small immediate adjustment followed by an sp access;
+    3. no unsafe instructions ([svc], [mrs]/[msr], undefined encodings,
+       and — when configured, cf. §7.1 — LL/SC exclusives);
+    4. direct branches stay within the text segment.
+
+    The pass is strictly local: each rule looks at one instruction and
+    at most a bounded forward window, which is what keeps the verifier
+    small and fast. *)
+
+open Lfi_arm64
+
+type config = {
+  sandbox_loads : bool;
+      (** verify loads too (full isolation); [false] checks a
+          stores-and-jumps-only binary *)
+  allow_exclusives : bool;
+}
+
+let default_config = { sandbox_loads = true; allow_exclusives = true }
+
+type violation = {
+  index : int;  (** instruction index within the text segment *)
+  offset : int;  (** byte offset of the instruction *)
+  insn : Insn.t;
+  rule : string;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "+0x%x: %s: %s" v.offset (Printer.to_string v.insn)
+    v.rule
+
+type result_ok = { checked : int; bytes : int }
+
+(* Register classification *)
+
+let reserved_addr_number = function 18 | 23 | 24 -> true | _ -> false
+
+let is_guarded_addressing = function
+  (* the zero-cost guard: [x21, wN, uxtw] with no shift *)
+  | Insn.Reg_off (Reg.R (Reg.W64, 21), Reg.R (Reg.W32, _), Insn.Uxtw, 0) ->
+      true
+  | _ -> false
+
+let x30_guard = Insn.Alu
+    { op = Insn.ADD; flags = false; dst = Reg.R (Reg.W64, 30);
+      src = Reg.R (Reg.W64, 21);
+      op2 = Insn.Ext (Reg.R (Reg.W32, 30), Insn.Uxtw, 0) }
+
+let is_x30_guard i = Insn.equal i x30_guard
+
+let is_guard_write_to n = function
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; dst = Reg.R (Reg.W64, d);
+        src = Reg.R (Reg.W64, 21);
+        op2 = Insn.Ext (Reg.R (Reg.W32, _), Insn.Uxtw, 0) } ->
+      d = n
+  | _ -> false
+
+let is_sp_guard = function
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; dst = Reg.SP Reg.W64;
+        src = Reg.R (Reg.W64, 21);
+        op2 = Insn.Ext (Reg.R (Reg.W64, 22), Insn.Uxtx, 0) } ->
+      true
+  | _ -> false
+
+let is_table_load = function
+  | Insn.Ldr
+      { sz = Insn.X; signed = false; dst = Reg.R (Reg.W64, 30);
+        addr = Insn.Imm_off (Reg.R (Reg.W64, 21), n) } ->
+      n >= 0 && n < Lfi_core.Layout.rtcall_table_size && n mod 8 = 0
+  | _ -> false
+
+let is_blr_x30 = function
+  | Insn.Blr (Reg.R (Reg.W64, 30)) -> true
+  | _ -> false
+
+let is_sp_based_access (i : Insn.t) =
+  Insn.is_memory i
+  &&
+  match Insn.addr_of i with
+  | Some (Insn.Imm_off (b, _) | Insn.Pre (b, _) | Insn.Post (b, _)) ->
+      Reg.is_sp b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+
+let verify ?(config = default_config) ~(code : bytes) () :
+    (result_ok, violation list) result =
+  let insns = Decode.decode_all code in
+  let n = Array.length insns in
+  let violations = ref [] in
+  let fail index rule =
+    violations := { index; offset = index * 4; insn = insns.(index); rule }
+                  :: !violations
+  in
+  let next_is index p = index + 1 < n && p insns.(index + 1) in
+
+  (* Forward scan for the §4.2 sp rules.  After an sp-modifying
+     instruction, what re-anchors sp first?
+     [`Guard]  — the full sp guard overwrites sp with a valid address,
+                 which heals *any* prior modification;
+     [`Access] — an sp-based access traps in a guard page, which only
+                 covers small-immediate drift;
+     [`Nothing] — a branch, another sp write, or the end of code is
+                 reached first: unsafe. *)
+  let sp_anchor index =
+    let rec go j =
+      if j >= n then `Nothing
+      else
+        let i = insns.(j) in
+        if is_sp_guard i then `Guard
+        else if is_sp_based_access i then `Access
+        else if Insn.writes_sp i then `Nothing
+        else if Insn.is_branch i then `Nothing
+        else if (match i with Insn.Udf _ -> true | _ -> false) then `Nothing
+        else go (j + 1)
+    in
+    go (index + 1)
+  in
+
+  for idx = 0 to n - 1 do
+    let i = insns.(idx) in
+    (* ---- rule 3: instruction allow-list ---- *)
+    (match i with
+    | Insn.Udf _ -> fail idx "undefined or unsupported encoding"
+    | Insn.Svc _ -> fail idx "direct system calls are forbidden"
+    | Insn.Mrs _ | Insn.Msr _ -> fail idx "system register access forbidden"
+    | Insn.Ldxr _ | Insn.Stxr _ | Insn.Ldar _ | Insn.Stlr _
+      when not config.allow_exclusives ->
+        fail idx "LL/SC and acquire/release disabled (S2C hardening)"
+    | _ -> ());
+    (* ---- rule 1: memory accesses ---- *)
+    (if Insn.is_memory i
+        && (Insn.is_store i || (Insn.is_load i && config.sandbox_loads))
+     then
+       match Insn.addr_of i with
+       | None -> ()
+       | Some addr -> (
+           let base = Insn.addr_base addr in
+           match addr with
+           | _ when is_guarded_addressing addr -> ()
+           | Insn.Imm_off (b, _) when Reg.is_sp b -> ()
+           | (Insn.Pre (b, _) | Insn.Post (b, _)) when Reg.is_sp b -> ()
+           | Insn.Imm_off (Reg.R (Reg.W64, bn), _)
+             when reserved_addr_number bn || bn = 21 ->
+               (* offsets are capped at 32KiB by the encoding, within
+                  the 48KiB guard regions *)
+               ()
+           | (Insn.Pre (Reg.R (Reg.W64, bn), _)
+             | Insn.Post (Reg.R (Reg.W64, bn), _))
+             when reserved_addr_number bn ->
+               (* writes back to a reserved register: caught below
+                  unless it is also guarded, which it never is *)
+               fail idx "writeback to reserved register"
+           | _ ->
+               fail idx
+                 (Printf.sprintf "unguarded memory access via %s"
+                    (Reg.to_string base))))
+    ;
+    (* ---- rule 2: reserved register writes ---- *)
+    List.iter
+      (function
+        | `Sp ->
+            if is_sp_guard i then ()
+            else if is_sp_based_access i then
+              (* sp-based pre/post indexing: immediate capped at 256
+                 bytes by the encoding, within guard-region drift *)
+              ()
+            else (
+              match (i, sp_anchor idx) with
+              | _, `Guard ->
+                  (* the full guard re-anchors sp before any use *)
+                  ()
+              | Insn.Alu
+                  { op = Insn.ADD | Insn.SUB; flags = false;
+                    dst = Reg.SP Reg.W64; src = Reg.SP Reg.W64;
+                    op2 = Insn.Imm (v, 0) },
+                `Access
+                when v < Lfi_core.Layout.max_sp_drift ->
+                  (* small drift, trapped by the next sp access *)
+                  ()
+              | _, `Access ->
+                  fail idx "sp drift too large for the guard region"
+              | _, `Nothing -> fail idx "unguarded write to sp")
+        | `R (w, rn) -> (
+            match rn with
+            | 21 -> fail idx "write to x21 (sandbox base) forbidden"
+            | 18 | 23 | 24 ->
+                if not (is_guard_write_to rn i) then
+                  fail idx
+                    (Printf.sprintf "x%d may only be written by its guard"
+                       rn)
+            | 22 ->
+                if w <> Reg.W32 then
+                  fail idx "x22 must be written as w22 (32-bit)"
+            | 30 -> (
+                match i with
+                | Insn.Bl _ | Insn.Blr _ -> ()
+                | _ when is_x30_guard i -> ()
+                | _ when is_table_load i ->
+                    if not (next_is idx is_blr_x30) then
+                      fail idx
+                        "runtime-table load must be followed by blr x30"
+                | _ ->
+                    if not (next_is idx is_x30_guard) then
+                      fail idx
+                        "write to x30 must be followed by its guard")
+            | _ -> ()))
+      (Insn.writes i);
+    (* ---- rule 1 (branches) + rule 4 ---- *)
+    (match i with
+    | Insn.Br r | Insn.Blr r | Insn.Ret r -> (
+        match r with
+        | Reg.R (Reg.W64, rn) when reserved_addr_number rn || rn = 30 -> ()
+        | _ ->
+            fail idx
+              (Printf.sprintf "indirect branch through %s"
+                 (Reg.to_string r)))
+    | Insn.B t | Insn.Bl t | Insn.Bcond (_, t)
+    | Insn.Cbz { target = t; _ } | Insn.Tbz { target = t; _ } -> (
+        match t with
+        | Insn.Off d ->
+            let target = (idx * 4) + d in
+            if target < 0 || target >= n * 4 then
+              fail idx "direct branch leaves the text segment"
+        | Insn.Sym _ -> fail idx "unresolved symbol in machine code")
+    | _ -> ())
+  done;
+  if !violations = [] then Ok { checked = n; bytes = Bytes.length code }
+  else Error (List.rev !violations)
+
+(** Verify and raise on failure (for loaders). *)
+let verify_exn ?config ~code () =
+  match verify ?config ~code () with
+  | Ok r -> r
+  | Error vs ->
+      let b = Buffer.create 256 in
+      List.iteri
+        (fun k v ->
+          if k < 10 then
+            Buffer.add_string b (Format.asprintf "%a@." pp_violation v))
+        vs;
+      failwith
+        (Printf.sprintf "verification failed (%d violations):\n%s"
+           (List.length vs) (Buffer.contents b))

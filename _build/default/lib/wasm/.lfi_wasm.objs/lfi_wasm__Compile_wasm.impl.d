@@ -1,0 +1,1 @@
+lib/wasm/compile_wasm.ml: Array Char Engine Insn Int64 Ir Lfi_arm64 Lfi_core Lfi_minic Lfi_runtime List Printf Reg Source String Validate

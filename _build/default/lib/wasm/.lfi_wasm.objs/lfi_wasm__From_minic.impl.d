@@ -1,0 +1,1 @@
+lib/wasm/from_minic.ml: Array Bytes Hashtbl Int64 Ir Lfi_minic Lfi_runtime List Option Printf String

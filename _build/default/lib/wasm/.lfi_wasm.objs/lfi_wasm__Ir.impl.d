@@ -1,0 +1,1 @@
+lib/wasm/ir.ml: Array Buffer Bytes Int64 Lfi_minic List Printf String

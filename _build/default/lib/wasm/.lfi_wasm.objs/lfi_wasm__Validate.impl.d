@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Array Ir Lfi_minic List Printf Result

@@ -1,0 +1,58 @@
+(** Engine configurations for the Wasm → ARM64 compiler, mirroring the
+    systems benchmarked in Figure 4 / Table 4.
+
+    All engines use guard pages rather than explicit bounds checks —
+    the configuration the paper selected ("All engines were also
+    configured to omit bounds checks and use guard pages for
+    protection"). The mechanisms that differ are exactly the ones the
+    paper discusses:
+
+    - codegen quality: Cranelift (Wasmtime) keeps Wasm locals in stack
+      slots and materializes every constant; the LLVM-class backends
+      (Wasm2c, WAMR) register-allocate locals and fold immediates;
+    - where the heap base lives: Wasm2c reloads it from the context
+      structure at every access unless it is pinned in a register
+      (§6.2, "Optimizations to Wasm2c");
+    - the spec-conformance compiler barrier that stops redundant
+      heap-base loads from being eliminated (removed in the
+      "no barrier" variant);
+    - indirect-call type checks (all engines);
+    - WAMR's per-function stack-overflow check. *)
+
+type codegen = Cranelift | Llvm
+
+type heap_base =
+  | Pinned  (** kept permanently in x28 *)
+  | In_struct of { barrier : bool }
+      (** loaded from the context struct; with [barrier = true] the
+          load cannot be cached across accesses *)
+
+type t = {
+  name : string;
+  codegen : codegen;
+  heap_base : heap_base;
+  indirect_checks : bool;
+  stack_check : bool;  (** per-function stack-limit check (WAMR AOT) *)
+}
+
+let wasmtime =
+  { name = "Wasmtime"; codegen = Cranelift; heap_base = Pinned;
+    indirect_checks = true; stack_check = false }
+
+let wasm2c =
+  { name = "Wasm2c"; codegen = Llvm;
+    heap_base = In_struct { barrier = true }; indirect_checks = true;
+    stack_check = false }
+
+let wasm2c_no_barrier =
+  { wasm2c with name = "Wasm2c (no barrier)";
+    heap_base = In_struct { barrier = false } }
+
+let wasm2c_pinned =
+  { wasm2c with name = "Wasm2c (pinned register)"; heap_base = Pinned }
+
+let wamr =
+  { name = "WAMR"; codegen = Llvm; heap_base = Pinned;
+    indirect_checks = true; stack_check = true }
+
+let all = [ wasmtime; wasm2c; wasm2c_no_barrier; wasm2c_pinned; wamr ]

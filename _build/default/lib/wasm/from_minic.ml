@@ -1,0 +1,310 @@
+(** MiniC → Wasm IR lowering.
+
+    This is the extra compilation step that language-based sandboxing
+    imposes (§6.2: "The compiler first targets the safe Wasm IR...
+    These additional steps make it more difficult for the compiler to
+    make correct decisions"): address arithmetic that the native
+    backend folds into ARM64 addressing modes becomes explicit stack
+    arithmetic here, function pointers become table indices, and every
+    global lives in the 32-bit linear memory. *)
+
+open Lfi_minic.Ast
+module W = Ir
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(** Linear-memory layout for globals: the first KiB is kept as a null
+    guard, mirroring C toolchains for Wasm. *)
+let globals_base = 1024
+
+type genv = {
+  prog : program;
+  fidx : (string, int) Hashtbl.t;  (** function name -> index *)
+  table_slot : (string, int) Hashtbl.t;  (** function name -> table slot *)
+  mutable table : int list;  (** reversed table (function indices) *)
+  gaddr : (string, int) Hashtbl.t;  (** global name -> memory offset *)
+  mutable types : W.functype list;  (** reversed *)
+  fenv : (string * ty) list;
+}
+
+let wasm_ty : ty -> W.valtype = function Int -> W.I64 | Float -> W.F64
+
+let type_index (g : genv) (ft : W.functype) : int =
+  let tys = List.rev g.types in
+  match List.find_index (fun t -> t = ft) tys with
+  | Some i -> i
+  | None ->
+      g.types <- ft :: g.types;
+      List.length tys
+
+let table_index (g : genv) (fname : string) : int =
+  match Hashtbl.find_opt g.table_slot fname with
+  | Some s -> s
+  | None ->
+      let fi =
+        match Hashtbl.find_opt g.fidx fname with
+        | Some i -> i
+        | None -> errorf "address of unknown function %s" fname
+      in
+      let s = List.length g.table in
+      g.table <- fi :: g.table;
+      Hashtbl.replace g.table_slot fname s;
+      s
+
+type fctx = {
+  g : genv;
+  lidx : (string, int) Hashtbl.t;
+  mutable env : (string * ty) list;
+}
+
+let local ctx name =
+  match Hashtbl.find_opt ctx.lidx name with
+  | Some i -> i
+  | None -> errorf "unbound variable %s" name
+
+let ibin_of : binop -> W.ibinop option = function
+  | Add -> Some W.Add
+  | Sub -> Some W.Sub
+  | Mul -> Some W.Mul
+  | Div -> Some W.Div_s
+  | Rem -> Some W.Rem_s
+  | And -> Some W.And
+  | Or -> Some W.Or
+  | Xor -> Some W.Xor
+  | Shl -> Some W.Shl
+  | Shr -> Some W.Shr_s
+  | Lshr -> Some W.Shr_u
+  | _ -> None
+
+let icmp_of : binop -> W.icmp option = function
+  | Eq -> Some W.Eq
+  | Ne -> Some W.Ne
+  | Lt -> Some W.Lt_s
+  | Le -> Some W.Le_s
+  | Gt -> Some W.Gt_s
+  | Ge -> Some W.Ge_s
+  | Ult -> Some W.Lt_u
+  | _ -> None
+
+let fbin_of : binop -> W.fbinop option = function
+  | FAdd -> Some W.Fadd
+  | FSub -> Some W.Fsub
+  | FMul -> Some W.Fmul
+  | FDiv -> Some W.Fdiv
+  | _ -> None
+
+let fcmp_of : binop -> W.fcmp option = function
+  | FEq -> Some W.Feq
+  | FLt -> Some W.Flt
+  | FLe -> Some W.Fle
+  | _ -> None
+
+let rec compile_expr (ctx : fctx) (e : expr) : W.instr list =
+  match e with
+  | Int v -> [ W.Const v ]
+  | Flt v -> [ W.Fconst v ]
+  | Var name -> [ W.Local_get (local ctx name) ]
+  | Addr name -> (
+      match Hashtbl.find_opt ctx.g.gaddr name with
+      | Some off -> [ W.Const off ]
+      | None -> [ W.Const (table_index ctx.g name) ])
+  | Bin (op, a, b) -> (
+      let ca = compile_expr ctx a and cb = compile_expr ctx b in
+      match (ibin_of op, icmp_of op, fbin_of op, fcmp_of op) with
+      | Some o, _, _, _ -> ca @ cb @ [ W.Ibin o ]
+      | _, Some o, _, _ -> ca @ cb @ [ W.Icmp o ]
+      | _, _, Some o, _ -> ca @ cb @ [ W.Fbin o ]
+      | _, _, _, Some o -> ca @ cb @ [ W.Fcmp o ]
+      | _ -> assert false)
+  | Un (Neg, a) -> compile_expr ctx a @ [ W.Ineg ]
+  | Un (Not, a) -> compile_expr ctx a @ [ W.Inot ]
+  | Un (FNeg, a) -> compile_expr ctx a @ [ W.Fneg ]
+  | Un (FSqrt, a) -> compile_expr ctx a @ [ W.Fsqrt ]
+  | Un (FAbs, a) -> compile_expr ctx a @ [ W.Fabs ]
+  | Cvt (ItoF, a) -> compile_expr ctx a @ [ W.I_to_f ]
+  | Cvt (FtoI, a) -> compile_expr ctx a @ [ W.F_to_i ]
+  | Load (elt, a) -> compile_address ctx a @ [ W.Load (elt, snd (split_offset a)) ]
+  | Call (name, args) -> (
+      match Hashtbl.find_opt ctx.g.fidx name with
+      | Some i -> List.concat_map (compile_expr ctx) args @ [ W.Call i ]
+      | None -> errorf "unknown function %s" name)
+  | Call_indirect (fp, args, rty) ->
+      let ft =
+        { W.params = List.map (fun a -> wasm_ty (typeof_e ctx a)) args;
+          result = wasm_ty (Option.value rty ~default:Int) }
+      in
+      let ti = type_index ctx.g ft in
+      List.concat_map (compile_expr ctx) args
+      @ compile_expr ctx fp
+      @ [ W.Call_indirect ti ]
+  | Syscall (k, args) ->
+      List.concat_map (compile_expr ctx) args
+      @ [ W.Host_call (k, List.length args) ]
+
+and typeof_e ctx e = typeof ~fenv:ctx.g.fenv ~env:ctx.env e
+
+(** Wasm folds [base + const] into the static load offset. *)
+and split_offset = function
+  | Bin (Add, _, Int k) when k >= 0 && k < 4096 -> (true, k)
+  | _ -> (false, 0)
+
+and compile_address ctx (a : expr) : W.instr list =
+  match a with
+  | Bin (Add, base, Int k) when k >= 0 && k < 4096 -> compile_expr ctx base
+  | _ -> compile_expr ctx a
+
+let rec compile_stmt (ctx : fctx) (s : stmt) : W.instr list =
+  match s with
+  | Decl (name, t, e) ->
+      ctx.env <- (name, t) :: ctx.env;
+      compile_expr ctx e @ [ W.Local_set (local ctx name) ]
+  | Assign (name, e) -> compile_expr ctx e @ [ W.Local_set (local ctx name) ]
+  | Store (elt, a, v) ->
+      compile_address ctx a
+      @ compile_expr ctx v
+      @ [ W.Store (elt, snd (split_offset a)) ]
+  | If (c, t, e) ->
+      compile_expr ctx c
+      @ [ W.If (List.concat_map (compile_stmt ctx) t,
+                List.concat_map (compile_stmt ctx) e) ]
+  | While (c, body) ->
+      [ W.Block
+          [ W.Loop
+              (compile_expr ctx c
+              @ [ W.Const 0; W.Icmp W.Eq; W.Br_if 1 ]
+              @ List.concat_map (compile_stmt ctx) body
+              @ [ W.Br 0 ]) ] ]
+  | Return e -> compile_expr ctx e @ [ W.Return ]
+  | Expr e -> compile_expr ctx e @ [ W.Drop ]
+  | Break -> [ W.Br 1 ]  (* resolved properly below *)
+  | Continue -> [ W.Br 0 ]
+
+(* Break/Continue need label depths relative to intervening If/Block
+   labels; we rewrite them in a post-pass that tracks nesting. *)
+let fix_breaks (body : W.instr list) : W.instr list =
+  (* depth = number of labels between the instruction and the
+     innermost Loop (for Continue) / its enclosing Block (for Break) *)
+  let rec go (depth_to_loop : int option) instrs =
+    List.map
+      (fun (i : W.instr) ->
+        match i with
+        | W.Block inner -> W.Block (go (Option.map (fun d -> d + 1) depth_to_loop) inner)
+        | W.Loop inner -> W.Loop (go (Some 0) inner)
+        | W.If (t, e) ->
+            W.If
+              ( go (Option.map (fun d -> d + 1) depth_to_loop) t,
+                go (Option.map (fun d -> d + 1) depth_to_loop) e )
+        | W.Br 0 -> (
+            (* Continue marker: branch to the loop *)
+            match depth_to_loop with
+            | Some d -> W.Br d
+            | None -> i)
+        | W.Br 1 -> (
+            (* Break marker: branch past the loop's Block *)
+            match depth_to_loop with
+            | Some d -> W.Br (d + 1)
+            | None -> i)
+        | i -> i)
+      instrs
+  in
+  go None body
+
+let collect_locals = Lfi_minic.Compile.collect_decls
+
+(* ------------------------------------------------------------------ *)
+
+(** Lower a MiniC program to a Wasm module. *)
+let lower (prog : program) : W.module_ =
+  let fenv = List.map (fun f -> (f.name, f.ret)) prog.funcs in
+  let fidx = Hashtbl.create 16 in
+  List.iteri (fun k f -> Hashtbl.replace fidx f.name k) prog.funcs;
+  (* globals layout *)
+  let gaddr = Hashtbl.create 16 in
+  let data = ref [] in
+  let cursor = ref globals_base in
+  let align16 v = (v + 15) / 16 * 16 in
+  List.iter
+    (fun g ->
+      let name, size, init =
+        match g with
+        | Zeroed (n, s) -> (n, s, None)
+        | Init64 (n, ws) ->
+            let b = Bytes.create (8 * List.length ws) in
+            List.iteri (fun k wv -> Bytes.set_int64_le b (8 * k) (Int64.of_int wv)) ws;
+            (n, Bytes.length b, Some (Bytes.to_string b))
+        | InitF64 (n, fs) ->
+            let b = Bytes.create (8 * List.length fs) in
+            List.iteri
+              (fun k fv -> Bytes.set_int64_le b (8 * k) (Int64.bits_of_float fv))
+              fs;
+            (n, Bytes.length b, Some (Bytes.to_string b))
+        | Str (n, s) -> (n, String.length s + 1, Some (s ^ "\000"))
+      in
+      let off = align16 !cursor in
+      Hashtbl.replace gaddr name off;
+      (match init with
+      | Some bytes -> data := { W.offset = off; bytes } :: !data
+      | None -> ());
+      cursor := off + size)
+    prog.globals;
+  let g =
+    { prog; fidx; table_slot = Hashtbl.create 8; table = []; gaddr;
+      types = []; fenv }
+  in
+  let funcs =
+    List.map
+      (fun (f : func) ->
+        let lidx = Hashtbl.create 16 in
+        let all = List.rev (collect_locals (List.rev f.params) f.body) in
+        List.iteri (fun k (n, _) -> Hashtbl.replace lidx n k) all;
+        let ctx = { g; lidx; env = all } in
+        let implicit_return =
+          match f.ret with
+          | Int -> [ W.Const 0; W.Return ]
+          | Float -> [ W.Fconst 0.0; W.Return ]
+        in
+        let body =
+          fix_breaks (List.concat_map (compile_stmt ctx) f.body)
+          @ implicit_return
+        in
+        let nparams = List.length f.params in
+        let locals =
+          List.filteri (fun k _ -> k >= nparams) all
+          |> List.map (fun (_, t) -> wasm_ty t)
+        in
+        {
+          W.ftype =
+            { W.params = List.map (fun (_, t) -> wasm_ty t) f.params;
+              result = wasm_ty f.ret };
+          locals;
+          body;
+          name = f.name;
+        })
+      prog.funcs
+  in
+  (* entry: call main, then exit with its result *)
+  let main_idx =
+    match Hashtbl.find_opt fidx "main" with
+    | Some i -> i
+    | None -> errorf "no main function"
+  in
+  let start_body =
+    [ W.Call main_idx; W.Host_call (Lfi_runtime.Sysno.exit, 1); W.Drop;
+      W.Const 0; W.Return ]
+  in
+  let start_func =
+    { W.ftype = { W.params = []; result = W.I64 }; locals = [];
+      body = start_body; name = "_start" }
+  in
+  let funcs = Array.of_list (funcs @ [ start_func ]) in
+  let mem_bytes = !cursor + (4 * 1024 * 1024) (* heap slack *) in
+  {
+    W.types = List.rev g.types;
+    funcs;
+    table = Array.of_list (List.rev g.table);
+    memory_pages = ((mem_bytes + 65535) / 65536);
+    data = List.rev !data;
+    start = Array.length funcs - 1;
+  }

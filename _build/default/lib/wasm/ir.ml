@@ -1,0 +1,354 @@
+(** A WebAssembly-like stack IR.
+
+    This is the language-based-sandboxing baseline of the paper's
+    Figure 4: programs are lowered to a typed stack machine with a
+    32-bit linear memory, validated (the "required validation step"
+    the paper benchmarks against WABT), and then compiled to ARM64 by
+    {!Compile_wasm} under several engine configurations (Wasmtime-,
+    Wasm2c- and WAMR-like).
+
+    The IR is structurally faithful to Wasm where it matters to the
+    experiments — stack discipline, structured control flow, 32-bit
+    memory indices, an indirect-call table with runtime type checks —
+    and simplified elsewhere (two value types, [i64] and [f64]; host
+    calls instead of imports). *)
+
+type valtype = I64 | F64
+
+let valtype_to_string = function I64 -> "i64" | F64 -> "f64"
+
+type elt = Lfi_minic.Ast.elt
+
+type ibinop =
+  | Add | Sub | Mul | Div_s | Rem_s
+  | And | Or | Xor | Shl | Shr_s | Shr_u
+
+type icmp = Eq | Ne | Lt_s | Le_s | Gt_s | Ge_s | Lt_u
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type fcmp = Feq | Flt | Fle
+
+type instr =
+  | Const of int
+  | Fconst of float
+  | Local_get of int
+  | Local_set of int
+  | Ibin of ibinop
+  | Icmp of icmp
+  | Fbin of fbinop
+  | Fcmp of fcmp
+  | Ineg
+  | Inot
+  | Fneg
+  | Fsqrt
+  | Fabs
+  | I_to_f  (** f64.convert_i64_s *)
+  | F_to_i  (** i64.trunc_f64_s *)
+  | Load of elt * int  (** element type, static offset *)
+  | Store of elt * int
+  | Call of int  (** function index *)
+  | Call_indirect of int  (** type index; pops the table index *)
+  | Host_call of int * int  (** runtime call number, arity *)
+  | Drop
+  | Block of instr list  (** label type: no result *)
+  | Loop of instr list
+  | If of instr list * instr list
+  | Br of int
+  | Br_if of int
+  | Return
+
+type functype = { params : valtype list; result : valtype }
+
+type func = {
+  ftype : functype;
+  locals : valtype list;  (** non-parameter locals *)
+  body : instr list;
+  name : string;  (** for diagnostics *)
+}
+
+type data_segment = { offset : int; bytes : string }
+
+type module_ = {
+  types : functype list;
+  funcs : func array;
+  table : int array;  (** table slot -> function index *)
+  memory_pages : int;  (** 64KiB wasm pages *)
+  data : data_segment list;
+  start : int;  (** index of the entry function *)
+}
+
+let local_type (f : func) (i : int) : valtype option =
+  let all = f.ftype.params @ f.locals in
+  List.nth_opt all i
+
+(* ------------------------------------------------------------------ *)
+(* A compact binary serialization (for size accounting and the
+   validator-throughput comparison; not the W3C format)                *)
+(* ------------------------------------------------------------------ *)
+
+let rec emit_leb buf (v : int) =
+  let b = v land 0x7f and rest = v lsr 7 in
+  if rest = 0 then Buffer.add_uint8 buf b
+  else begin
+    Buffer.add_uint8 buf (b lor 0x80);
+    emit_leb buf rest
+  end
+
+(* zigzag for signed values (constants may be negative) *)
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+let elt_code (e : elt) =
+  match e with
+  | Lfi_minic.Ast.U8 -> 0
+  | Lfi_minic.Ast.U16 -> 1
+  | Lfi_minic.Ast.I32 -> 2
+  | Lfi_minic.Ast.I64 -> 3
+  | Lfi_minic.Ast.F32 -> 4
+  | Lfi_minic.Ast.F64 -> 5
+
+let ibin_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div_s -> 3 | Rem_s -> 4 | And -> 5
+  | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr_s -> 9 | Shr_u -> 10
+
+let ibin_of_code = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Div_s | 4 -> Rem_s | 5 -> And
+  | 6 -> Or | 7 -> Xor | 8 -> Shl | 9 -> Shr_s | _ -> Shr_u
+
+let icmp_code = function
+  | Eq -> 0 | Ne -> 1 | Lt_s -> 2 | Le_s -> 3 | Gt_s -> 4 | Ge_s -> 5
+  | Lt_u -> 6
+
+let icmp_of_code = function
+  | 0 -> Eq | 1 -> Ne | 2 -> Lt_s | 3 -> Le_s | 4 -> Gt_s | 5 -> Ge_s
+  | _ -> Lt_u
+
+let fbin_code = function Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3
+let fbin_of_code = function 0 -> Fadd | 1 -> Fsub | 2 -> Fmul | _ -> Fdiv
+let fcmp_code = function Feq -> 0 | Flt -> 1 | Fle -> 2
+let fcmp_of_code = function 0 -> Feq | 1 -> Flt | _ -> Fle
+
+let elt_of_code : int -> elt = function
+  | 0 -> Lfi_minic.Ast.U8
+  | 1 -> Lfi_minic.Ast.U16
+  | 2 -> Lfi_minic.Ast.I32
+  | 3 -> Lfi_minic.Ast.I64
+  | 4 -> Lfi_minic.Ast.F32
+  | _ -> Lfi_minic.Ast.F64
+
+let rec emit_instr buf (i : instr) =
+  let op n = Buffer.add_uint8 buf n in
+  match i with
+  | Const v ->
+      op 0x01;
+      emit_leb buf (zigzag v)
+  | Fconst v ->
+      op 0x02;
+      Buffer.add_int64_le buf (Int64.bits_of_float v)
+  | Local_get n -> op 0x03; emit_leb buf n
+  | Local_set n -> op 0x04; emit_leb buf n
+  | Ibin o -> op 0x05; op (ibin_code o)
+  | Icmp o -> op 0x06; op (icmp_code o)
+  | Fbin o -> op 0x07; op (fbin_code o)
+  | Fcmp o -> op 0x08; op (fcmp_code o)
+  | Ineg -> op 0x09
+  | Inot -> op 0x0a
+  | Fneg -> op 0x0b
+  | Fsqrt -> op 0x0c
+  | Fabs -> op 0x0d
+  | I_to_f -> op 0x0e
+  | F_to_i -> op 0x0f
+  | Load (e, o) -> op 0x10; op (elt_code e); emit_leb buf o
+  | Store (e, o) -> op 0x11; op (elt_code e); emit_leb buf o
+  | Call n -> op 0x12; emit_leb buf n
+  | Call_indirect n -> op 0x13; emit_leb buf n
+  | Host_call (n, a) -> op 0x14; emit_leb buf n; emit_leb buf a
+  | Drop -> op 0x15
+  | Block body -> op 0x16; List.iter (emit_instr buf) body; op 0x1f
+  | Loop body -> op 0x17; List.iter (emit_instr buf) body; op 0x1f
+  | If (t, e) ->
+      op 0x18;
+      List.iter (emit_instr buf) t;
+      op 0x1e;
+      List.iter (emit_instr buf) e;
+      op 0x1f
+  | Br n -> op 0x19; emit_leb buf n
+  | Br_if n -> op 0x1a; emit_leb buf n
+  | Return -> op 0x1b
+
+(** Serialized module size in bytes (our stand-in for ".wasm size"). *)
+let serialize (m : module_) : bytes =
+  let buf = Buffer.create 4096 in
+  let vt t = match t with I64 -> 0 | F64 -> 1 in
+  let emit_types ts =
+    emit_leb buf (List.length ts);
+    List.iter (fun t -> Buffer.add_uint8 buf (vt t)) ts
+  in
+  emit_leb buf (List.length m.types);
+  List.iter
+    (fun t ->
+      emit_types t.params;
+      Buffer.add_uint8 buf (vt t.result))
+    m.types;
+  emit_leb buf (Array.length m.funcs);
+  Array.iter
+    (fun f ->
+      emit_types f.ftype.params;
+      Buffer.add_uint8 buf (vt f.ftype.result);
+      emit_types f.locals;
+      let body = Buffer.create 256 in
+      List.iter (emit_instr body) f.body;
+      emit_leb buf (Buffer.length body);
+      Buffer.add_buffer buf body)
+    m.funcs;
+  emit_leb buf (Array.length m.table);
+  Array.iter (fun n -> emit_leb buf n) m.table;
+  emit_leb buf m.memory_pages;
+  List.iter
+    (fun d ->
+      emit_leb buf d.offset;
+      emit_leb buf (String.length d.bytes);
+      Buffer.add_string buf d.bytes)
+    m.data;
+  Buffer.to_bytes buf
+
+let size_bytes m = Bytes.length (serialize m)
+
+(* ------------------------------------------------------------------ *)
+(* Deserialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_module of string
+
+(** Parse a serialized module back (the inverse of {!serialize}).  The
+    validator-throughput experiment measures [validate (deserialize b)]
+    — parse plus type-check, the work a real engine's required
+    validation step performs.  Parameter and local types are recorded
+    in full, so a deserialized module round-trips through the
+    type-checker. *)
+let deserialize (b : bytes) : module_ =
+  let pos = ref 0 in
+  let u8 () =
+    if !pos >= Bytes.length b then raise (Bad_module "truncated");
+    let v = Bytes.get_uint8 b !pos in
+    incr pos;
+    v
+  in
+  let rec leb_at shift acc =
+    let byte = u8 () in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 <> 0 then leb_at (shift + 7) acc else acc
+  in
+  let leb () = leb_at 0 0 in
+  let i64 () =
+    if !pos + 8 > Bytes.length b then raise (Bad_module "truncated");
+    let v = Bytes.get_int64_le b !pos in
+    pos := !pos + 8;
+    v
+  in
+  (* [parse_until stops] consumes instructions until one of the
+     sentinel opcodes (0x1e = else, 0x1f = end) appears, returning the
+     instructions and the sentinel. *)
+  let rec parse_until (stops : int list) acc : instr list * int =
+    let opcode = u8 () in
+    if List.mem opcode stops then (List.rev acc, opcode)
+    else parse_until stops (parse_body opcode :: acc)
+  and parse_body (opcode : int) : instr =
+    match opcode with
+    | 0x01 -> Const (unzigzag (leb ()))
+    | 0x02 -> Fconst (Int64.float_of_bits (i64 ()))
+    | 0x03 -> Local_get (leb ())
+    | 0x04 -> Local_set (leb ())
+    | 0x05 -> Ibin (ibin_of_code (u8 ()))
+    | 0x06 -> Icmp (icmp_of_code (u8 ()))
+    | 0x07 -> Fbin (fbin_of_code (u8 ()))
+    | 0x08 -> Fcmp (fcmp_of_code (u8 ()))
+    | 0x09 -> Ineg
+    | 0x0a -> Inot
+    | 0x0b -> Fneg
+    | 0x0c -> Fsqrt
+    | 0x0d -> Fabs
+    | 0x0e -> I_to_f
+    | 0x0f -> F_to_i
+    | 0x10 ->
+        let e = elt_of_code (u8 ()) in
+        Load (e, leb ())
+    | 0x11 ->
+        let e = elt_of_code (u8 ()) in
+        Store (e, leb ())
+    | 0x12 -> Call (leb ())
+    | 0x13 -> Call_indirect (leb ())
+    | 0x14 ->
+        let n = leb () in
+        Host_call (n, leb ())
+    | 0x15 -> Drop
+    | 0x16 ->
+        let body, _ = parse_until [ 0x1f ] [] in
+        Block body
+    | 0x17 ->
+        let body, _ = parse_until [ 0x1f ] [] in
+        Loop body
+    | 0x18 -> (
+        let t, stop = parse_until [ 0x1e; 0x1f ] [] in
+        if stop = 0x1f then If (t, [])
+        else
+          let e, _ = parse_until [ 0x1f ] [] in
+          If (t, e))
+    | 0x19 -> Br (leb ())
+    | 0x1a -> Br_if (leb ())
+    | 0x1b -> Return
+    | n -> raise (Bad_module (Printf.sprintf "bad opcode 0x%02x" n))
+  in
+  let valtype () = if u8 () = 0 then I64 else F64 in
+  let valtypes () =
+    let n = leb () in
+    List.init n (fun _ -> valtype ())
+  in
+  let ntypes = leb () in
+  let types =
+    List.init ntypes (fun _ ->
+        let params = valtypes () in
+        let result = valtype () in
+        { params; result })
+  in
+  let nfuncs = leb () in
+  let funcs =
+    Array.init nfuncs (fun k ->
+        let params = valtypes () in
+        let result = valtype () in
+        let locals = valtypes () in
+        let body_len = leb () in
+        let body_end = !pos + body_len in
+        let rec top acc =
+          if !pos > body_end then raise (Bad_module "body overrun")
+          else if !pos = body_end then List.rev acc
+          else top (parse_body (u8 ()) :: acc)
+        in
+        let body = top [] in
+        {
+          ftype = { params; result };
+          locals;
+          body;
+          name = Printf.sprintf "f%d" k;
+        })
+  in
+  let ntable = leb () in
+  let table = Array.init ntable (fun _ -> leb ()) in
+  let memory_pages = leb () in
+  let data = ref [] in
+  while !pos < Bytes.length b do
+    let offset = leb () in
+    let len = leb () in
+    if !pos + len > Bytes.length b then raise (Bad_module "truncated data");
+    data := { offset; bytes = Bytes.sub_string b !pos len } :: !data;
+    pos := !pos + len
+  done;
+  {
+    types;
+    funcs;
+    table;
+    memory_pages;
+    data = List.rev !data;
+    start = max 0 (Array.length funcs - 1);
+  }

@@ -1,0 +1,246 @@
+(** The Wasm validator — the "required validation step" whose
+    throughput the paper compares against the LFI verifier (§5.2:
+    "the WABT WebAssembly validator ... runs at 3 MB/s").
+
+    Performs full abstract-stack type checking of every function body:
+    operand types, branch label arity, local indices, call signatures
+    and table/type indices. *)
+
+open Ir
+
+type error = { func : string; msg : string }
+
+let errorf func fmt = Printf.ksprintf (fun msg -> Error { func; msg }) fmt
+
+let ( let* ) = Result.bind
+
+(** Abstract operand stack; labels carry the stack depth at entry so
+    that branches can be checked. *)
+type ctx = {
+  m : module_;
+  f : func;
+  mutable stack : valtype list;
+  mutable labels : int list;  (** stack depth at each enclosing label *)
+}
+
+let push ctx t = ctx.stack <- t :: ctx.stack
+
+let pop ctx (expect : valtype) : (unit, error) result =
+  match ctx.stack with
+  | t :: tl when t = expect ->
+      ctx.stack <- tl;
+      Ok ()
+  | t :: _ ->
+      errorf ctx.f.name "expected %s, found %s" (valtype_to_string expect)
+        (valtype_to_string t)
+  | [] -> errorf ctx.f.name "stack underflow"
+
+let pop_any ctx : (valtype, error) result =
+  match ctx.stack with
+  | t :: tl ->
+      ctx.stack <- tl;
+      Ok t
+  | [] -> errorf ctx.f.name "stack underflow"
+
+let elt_valtype (e : elt) : valtype =
+  match e with
+  | Lfi_minic.Ast.F32 | Lfi_minic.Ast.F64 -> F64
+  | _ -> I64
+
+(** Check a block body.  [Br]/[Return] terminate the block: following
+    instructions are dead code and skipped (real Wasm validates dead
+    code stack-polymorphically; skipping is the simple sound choice),
+    and the stack is reset to the block's entry depth. *)
+let rec check_block (ctx : ctx) (body : instr list) : (unit, error) result =
+  let entry_depth = List.length ctx.stack in
+  let reset_stack () =
+    let n = List.length ctx.stack in
+    if n > entry_depth then
+      ctx.stack <-
+        (let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+         drop (n - entry_depth) ctx.stack)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | i :: rest -> (
+        let* () = check_instr ctx i in
+        match i with
+        | Br _ | Return ->
+            reset_stack ();
+            Ok () (* dead code after an unconditional exit is skipped *)
+        | _ -> go rest)
+  in
+  go body
+
+and check_instr ctx (i : instr) : (unit, error) result =
+  let f = ctx.f in
+  match i with
+  | Const _ ->
+      push ctx I64;
+      Ok ()
+  | Fconst _ ->
+      push ctx F64;
+      Ok ()
+  | Local_get n -> (
+      match local_type f n with
+      | Some t ->
+          push ctx t;
+          Ok ()
+      | None -> errorf f.name "local %d out of range" n)
+  | Local_set n -> (
+      match local_type f n with
+      | Some t -> pop ctx t
+      | None -> errorf f.name "local %d out of range" n)
+  | Ibin _ ->
+      let* () = pop ctx I64 in
+      let* () = pop ctx I64 in
+      push ctx I64;
+      Ok ()
+  | Icmp _ ->
+      let* () = pop ctx I64 in
+      let* () = pop ctx I64 in
+      push ctx I64;
+      Ok ()
+  | Fbin _ ->
+      let* () = pop ctx F64 in
+      let* () = pop ctx F64 in
+      push ctx F64;
+      Ok ()
+  | Fcmp _ ->
+      let* () = pop ctx F64 in
+      let* () = pop ctx F64 in
+      push ctx I64;
+      Ok ()
+  | Ineg | Inot ->
+      let* () = pop ctx I64 in
+      push ctx I64;
+      Ok ()
+  | Fneg | Fsqrt | Fabs ->
+      let* () = pop ctx F64 in
+      push ctx F64;
+      Ok ()
+  | I_to_f ->
+      let* () = pop ctx I64 in
+      push ctx F64;
+      Ok ()
+  | F_to_i ->
+      let* () = pop ctx F64 in
+      push ctx I64;
+      Ok ()
+  | Load (e, off) ->
+      if off < 0 then errorf f.name "negative load offset"
+      else
+        let* () = pop ctx I64 in
+        push ctx (elt_valtype e);
+        Ok ()
+  | Store (e, off) ->
+      if off < 0 then errorf f.name "negative store offset"
+      else
+        let* () = pop ctx (elt_valtype e) in
+        pop ctx I64
+  | Call n ->
+      if n < 0 || n >= Array.length ctx.m.funcs then
+        errorf f.name "call index %d out of range" n
+      else begin
+        let callee = ctx.m.funcs.(n) in
+        let* () =
+          List.fold_left
+            (fun acc t ->
+              let* () = acc in
+              pop ctx t)
+            (Ok ())
+            (List.rev callee.ftype.params)
+        in
+        push ctx callee.ftype.result;
+        Ok ()
+      end
+  | Call_indirect tyn ->
+      if tyn < 0 || tyn >= List.length ctx.m.types then
+        errorf f.name "type index %d out of range" tyn
+      else begin
+        let ft = List.nth ctx.m.types tyn in
+        let* () = pop ctx I64 (* table index *) in
+        let* () =
+          List.fold_left
+            (fun acc t ->
+              let* () = acc in
+              pop ctx t)
+            (Ok ())
+            (List.rev ft.params)
+        in
+        push ctx ft.result;
+        Ok ()
+      end
+  | Host_call (_, arity) ->
+      let* () =
+        List.fold_left
+          (fun acc () ->
+            let* () = acc in
+            pop ctx I64)
+          (Ok ())
+          (List.init arity (fun _ -> ()))
+      in
+      push ctx I64;
+      Ok ()
+  | Drop ->
+      let* _ = pop_any ctx in
+      Ok ()
+  | Block body | Loop body ->
+      let depth = List.length ctx.stack in
+      ctx.labels <- depth :: ctx.labels;
+      let* () = check_block ctx body in
+      ctx.labels <- List.tl ctx.labels;
+      if List.length ctx.stack <> depth then
+        errorf f.name "block leaves operands on the stack"
+      else Ok ()
+  | If (then_b, else_b) ->
+      let* () = pop ctx I64 in
+      let depth = List.length ctx.stack in
+      ctx.labels <- depth :: ctx.labels;
+      let* () = check_block ctx then_b in
+      if List.length ctx.stack <> depth then
+        errorf f.name "then-branch leaves operands on the stack"
+      else begin
+        let* () = check_block ctx else_b in
+        ctx.labels <- List.tl ctx.labels;
+        if List.length ctx.stack <> depth then
+          errorf f.name "else-branch leaves operands on the stack"
+        else Ok ()
+      end
+  | Br n | Br_if n -> (
+      let* () = match i with Br_if _ -> pop ctx I64 | _ -> Ok () in
+      match List.nth_opt ctx.labels n with
+      | None -> errorf f.name "branch depth %d out of range" n
+      | Some depth ->
+          if List.length ctx.stack < depth then
+            errorf f.name "branch with underfull stack"
+          else Ok ())
+  | Return -> pop ctx f.ftype.result
+
+let check_func (m : module_) (f : func) : (unit, error) result =
+  let ctx = { m; f; stack = []; labels = [ 0 ] } in
+  let* () = check_block ctx f.body in
+  Ok ()
+
+(** Validate a whole module. *)
+let validate (m : module_) : (unit, error) result =
+  let* () =
+    Array.fold_left
+      (fun acc f ->
+        let* () = acc in
+        check_func m f)
+      (Ok ()) m.funcs
+  in
+  (* table entries must reference real functions *)
+  let* () =
+    Array.fold_left
+      (fun acc n ->
+        let* () = acc in
+        if n < 0 || n >= Array.length m.funcs then
+          errorf "table" "entry %d out of range" n
+        else Ok ())
+      (Ok ()) m.table
+  in
+  if m.start < 0 || m.start >= Array.length m.funcs then
+    errorf "module" "bad start function"
+  else Ok ()

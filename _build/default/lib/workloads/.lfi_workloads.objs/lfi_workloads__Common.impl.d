@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/coremark.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/deepsjeng.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/gcc.ml: Common Lfi_minic

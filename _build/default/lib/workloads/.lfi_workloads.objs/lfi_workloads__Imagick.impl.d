@@ -1,0 +1,1 @@
+lib/workloads/imagick.ml: Common Lfi_minic

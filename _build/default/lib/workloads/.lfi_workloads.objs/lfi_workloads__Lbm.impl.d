@@ -1,0 +1,1 @@
+lib/workloads/lbm.ml: Common Lfi_minic

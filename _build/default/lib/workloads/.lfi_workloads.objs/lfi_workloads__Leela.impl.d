@@ -1,0 +1,1 @@
+lib/workloads/leela.ml: Common Lfi_minic

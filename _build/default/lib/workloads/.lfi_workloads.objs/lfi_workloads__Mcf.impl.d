@@ -1,0 +1,1 @@
+lib/workloads/mcf.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/nab.ml: Common Lfi_minic

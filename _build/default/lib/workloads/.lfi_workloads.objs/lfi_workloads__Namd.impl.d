@@ -1,0 +1,1 @@
+lib/workloads/namd.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/omnetpp.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/parest.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/povray.ml: Common Lfi_minic

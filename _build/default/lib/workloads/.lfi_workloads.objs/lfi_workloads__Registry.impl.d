@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Common Deepsjeng Gcc Imagick Lbm Leela List Mcf Nab Namd Omnetpp Parest Povray X264 Xalancbmk Xz

@@ -1,0 +1,1 @@
+lib/workloads/xalancbmk.ml: Common Lfi_minic

@@ -1,0 +1,1 @@
+lib/workloads/xz.ml: Common Lfi_minic

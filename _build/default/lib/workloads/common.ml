@@ -1,0 +1,52 @@
+(** Shared pieces of the SPEC-proxy workloads.
+
+    Every workload is a deterministic MiniC program that initializes
+    its own data from a seeded xorshift PRNG, runs a kernel whose
+    memory/branch/FP mix mimics the corresponding SPEC CPU2017
+    benchmark, and exits with a checksum.  The checksum lets the test
+    suite confirm that native, all LFI optimization levels, and all
+    Wasm engines compute the same result. *)
+
+open Lfi_minic.Ast
+open Lfi_minic.Ast.Dsl
+[@@@warning "-33"]
+
+(** xorshift64 PRNG over the global [rng_state]; returns a positive
+    value (bit 63 cleared so MiniC's signed ops behave). *)
+let rng_global = Zeroed ("rng_state", 8)
+
+let rand_func =
+  func "rand"
+    [
+      decl "s" Int (ld I64 (addr "rng_state"));
+      set "s" (bxor (v "s") (band (shl (v "s") (i 13)) (i 0x3FFFFFFFFFFFFFFF)));
+      set "s" (bxor (v "s") (shr (v "s") (i 7)));
+      set "s" (bxor (v "s") (band (shl (v "s") (i 17)) (i 0x3FFFFFFFFFFFFFFF)));
+      store I64 (addr "rng_state") (v "s");
+      ret (band (v "s") (i 0x3FFFFFFFFFFFFFFF));
+    ]
+
+let seed_stmt seed = store I64 (addr "rng_state") (i seed)
+
+(** Reduce a checksum to a small positive exit code. *)
+let finish e = ret (band e (i 0x3FFFFFFF))
+
+(** i64 array element access helpers. *)
+let a64 name k = ld I64 (idx name k ~elt:I64)
+let set64 name k value = store I64 (idx name k ~elt:I64) value
+let af64 name k = ld F64 (idx name k ~elt:F64)
+let setf64 name k value = store F64 (idx name k ~elt:F64) value
+let a8 name k = ld U8 (idx name k ~elt:U8)
+let set8 name k value = store U8 (idx name k ~elt:U8) value
+let a32 name k = ld I32 (idx name k ~elt:I32)
+let set32 name k value = store I32 (idx name k ~elt:I32) value
+
+(** A workload: a program plus metadata for the experiment harness. *)
+type t = {
+  name : string;  (** SPEC-style name, e.g. "505.mcf" *)
+  short : string;
+  program : program;
+  wasm_ok : bool;
+      (** included in the 7-benchmark Wasm comparison subset of
+          Figure 4 *)
+}

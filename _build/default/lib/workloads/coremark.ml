@@ -1,0 +1,218 @@
+(** CoreMark proxy — the paper's artifact offers CoreMark as the
+    freely-available alternative to SPEC (Appendix A.6.3).
+
+    Real CoreMark mixes four kernels; the proxy implements all of
+    them over the same data shapes:
+    - linked-list find/reverse (pointer chasing),
+    - integer matrix multiply-accumulate (nested loops, MACs),
+    - a table-driven state machine over a character buffer,
+    - CRC-16 over the results (bit twiddling).
+
+    The experiment harness runs it like the SPEC proxies and reports
+    the same overhead statistic; the artifact's expected result is that
+    LFI overhead on CoreMark matches the SPEC picture. *)
+
+open Lfi_minic.Ast
+open Common
+
+let list_nodes = 2048
+let matrix_n = 24
+let input_size = 8192
+let iterations = 12
+
+let list_bytes = list_nodes * 16
+let list_mask = list_nodes - 1
+let mat_cells = matrix_n * matrix_n
+let mat_bytes = mat_cells * 8
+let crc_poly = 0xA001
+
+open Lfi_minic.Ast.Dsl
+
+(* list node: next at +0, value at +8 *)
+let node n = addr "list" + shl n (i 4)
+
+let program : program =
+  let crc16 =
+    (* CRC-16/ARC over a 64-bit value, bit-serial like CoreMark's *)
+    func "crc16" ~params:[ ("v", Int); ("crc", Int) ]
+      [
+        decl "k" Int (i 0);
+        while_ (v "k" < i 16)
+          [
+            decl "bit" Int (band (shr (v "v") (v "k")) (i 1));
+            decl "x" Int (bxor (band (v "crc") (i 1)) (v "bit"));
+            set "crc" (shr (v "crc") (i 1));
+            if_ (Bin (Ne, v "x", i 0))
+              [ set "crc" (bxor (v "crc") (i crc_poly)) ]
+              [];
+            set "k" (v "k" + i 1);
+          ];
+        ret (v "crc");
+      ]
+  in
+  let list_reverse =
+    (* reverse the list starting at head index; returns the new head *)
+    func "list_reverse" ~params:[ ("head", Int) ]
+      [
+        decl "prev" Int (i 0);
+        decl "cur" Int (v "head");
+        while_ (Bin (Ne, v "cur", i 0))
+          [
+            decl "cp" Int (node (v "cur"));
+            decl "next" Int (ld I64 (v "cp"));
+            store I64 (v "cp") (v "prev");
+            set "prev" (v "cur");
+            set "cur" (v "next");
+          ];
+        ret (v "prev");
+      ]
+  in
+  let list_find =
+    (* count nodes with value below a threshold *)
+    func "list_find" ~params:[ ("head", Int); ("thresh", Int) ]
+      [
+        decl "count" Int (i 0);
+        decl "cur" Int (v "head");
+        while_ (Bin (Ne, v "cur", i 0))
+          [
+            decl "cp" Int (node (v "cur"));
+            if_ (ld I64 (v "cp" + i 8) < v "thresh")
+              [ set "count" (v "count" + i 1) ]
+              [];
+            set "cur" (ld I64 (v "cp"));
+          ];
+        ret (v "count");
+      ]
+  in
+  let matrix_mul =
+    (* C += A * B over n x n int64 matrices; returns C[0][0] *)
+    func "matrix_mul"
+      [
+        decl "r" Int (i 0);
+        while_ (v "r" < i matrix_n)
+          [
+            decl "c" Int (i 0);
+            while_ (v "c" < i matrix_n)
+              [
+                decl "acc" Int (i 0);
+                decl "k" Int (i 0);
+                while_ (v "k" < i matrix_n)
+                  [
+                    set "acc"
+                      (v "acc"
+                      + ld I64 (addr "mat_a" + shl (v "r" * i matrix_n + v "k") (i 3))
+                        * ld I64 (addr "mat_b" + shl (v "k" * i matrix_n + v "c") (i 3)));
+                    set "k" (v "k" + i 1);
+                  ];
+                store I64
+                  (addr "mat_c" + shl (v "r" * i matrix_n + v "c") (i 3))
+                  (v "acc");
+                set "c" (v "c" + i 1);
+              ];
+            set "r" (v "r" + i 1);
+          ];
+        ret (ld I64 (addr "mat_c"));
+      ]
+  in
+  let state_machine =
+    (* CoreMark-style scanner: classify bytes into states and count
+       transitions *)
+    func "state_machine" ~params:[ ("len", Int) ]
+      [
+        decl "state" Int (i 0);
+        decl "transitions" Int (i 0);
+        decl "p" Int (i 0);
+        while_ (v "p" < v "len")
+          [
+            decl "ch" Int (a8 "input" (v "p"));
+            decl "next" Int (i 0);
+            if_ (band (v "ch" >= i 48) (v "ch" <= i 57))
+              [ set "next" (i 1) ] (* digit *)
+              [
+                if_ (Bin (Eq, v "ch", i 43))
+                  [ set "next" (i 2) ] (* sign *)
+                  [
+                    if_ (Bin (Eq, v "ch", i 46))
+                      [ set "next" (i 3) ] (* dot *)
+                      [ set "next" (i 0) ];
+                  ];
+              ];
+            if_ (Bin (Ne, v "next", v "state"))
+              [ set "transitions" (v "transitions" + i 1) ]
+              [];
+            set "state" (v "next");
+            set "p" (v "p" + i 1);
+          ];
+        ret (v "transitions");
+      ]
+  in
+  let main =
+    func "main"
+      ([ seed_stmt 0x5EED ]
+      (* build the linked list as a full-period LCG permutation
+         (a = 1 mod 4, c odd: single cycle, so every walk from node 1
+         reaches node 0 and terminates) *)
+      @ for_ "k" (i 1) (i list_nodes)
+          [
+            decl "np" Int (node (v "k"));
+            store I64 (v "np")
+              (band (v "k" * i 0x9E35 + i 1) (i list_mask));
+            store I64 (v "np" + i 8) (band (call "rand" []) (i 0xFFFF));
+          ]
+      @ for_ "k" (i 0) (i mat_cells)
+          [
+            store I64 (addr "mat_a" + shl (v "k") (i 3))
+              (band (call "rand" []) (i 255));
+            store I64 (addr "mat_b" + shl (v "k") (i 3))
+              (band (call "rand" []) (i 255));
+          ]
+      @ for_ "k" (i 0) (i input_size)
+          [
+            decl "r" Int (band (call "rand" []) (i 63));
+            if_ (v "r" < i 10)
+              [ set8 "input" (v "k") (v "r" + i 48) ]
+              [
+                if_ (v "r" < i 12)
+                  [ set8 "input" (v "k") (i 43) ]
+                  [
+                    if_ (v "r" < i 14)
+                      [ set8 "input" (v "k") (i 46) ]
+                      [ set8 "input" (v "k") (i 97) ];
+                  ];
+              ];
+          ]
+      @ [ decl "crc" Int (i 0xFFFF); decl "it" Int (i 0);
+          decl "head" Int (i 1) ]
+      @ [
+          while_ (v "it" < i iterations)
+            [
+              decl "found" Int (call "list_find" [ v "head"; i 0x8000 ]);
+              set "head" (call "list_reverse" [ v "head" ]);
+              decl "m" Int (call "matrix_mul" []);
+              decl "t" Int (call "state_machine" [ i input_size ]);
+              set "crc" (call "crc16" [ v "found"; v "crc" ]);
+              set "crc" (call "crc16" [ v "head"; v "crc" ]);
+              set "crc" (call "crc16" [ v "m"; v "crc" ]);
+              set "crc" (call "crc16" [ v "t"; v "crc" ]);
+              set "it" (v "it" + i 1);
+            ];
+        ]
+      @ [ finish (v "crc") ])
+  in
+  {
+    globals =
+      [
+        rng_global;
+        Zeroed ("list", list_bytes);
+        Zeroed ("mat_a", mat_bytes);
+        Zeroed ("mat_b", mat_bytes);
+        Zeroed ("mat_c", mat_bytes);
+        Zeroed ("input", input_size);
+      ];
+    funcs =
+      [ rand_func; crc16; list_reverse; list_find; matrix_mul; state_machine;
+        main ];
+  }
+
+let workload =
+  { name = "coremark"; short = "coremark"; program; wasm_ok = true }

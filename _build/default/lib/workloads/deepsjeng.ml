@@ -1,0 +1,79 @@
+(** 531.deepsjeng proxy — bitboard move generation with alpha-beta
+    recursion.
+
+    Chess engines live on 64-bit masks, shifts, population counts, a
+    transposition table and deep recursion.  The proxy runs a toy
+    negamax over a bitboard-ish position state with a hash-table
+    cutoff. *)
+
+open Lfi_minic.Ast
+open Common
+
+let tt_size = 1 lsl 12
+let depth = 9
+
+let tt_mask = tt_size - 1
+let tt_bytes = tt_size * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let popcount =
+    (* Kernighan loop: unpredictable-trip-count branch pattern *)
+    func "popcount" ~params:[ ("b", Int) ]
+      [
+        decl "n" Int (i 0);
+        while_ (Bin (Ne, v "b", i 0))
+          [ set "b" (band (v "b") (v "b" - i 1)); set "n" (v "n" + i 1) ];
+        ret (v "n");
+      ]
+  in
+  let search =
+    func "search" ~params:[ ("pos", Int); ("d", Int); ("alpha", Int) ]
+      [
+        if_ (Bin (Eq, v "d", i 0))
+          [ ret (call "popcount" [ v "pos" ] - i 8) ]
+          [];
+        (* transposition-table probe *)
+        decl "slot" Int (band (v "pos" * i 0x9E3779B9 / i 1024) (i tt_mask));
+        decl "entry" Int (a64 "tt" (v "slot"));
+        if_ (Bin (Eq, v "entry", v "pos"))
+          [ ret (band (v "pos") (i 63) - i 16) ]
+          [];
+        decl "best" Int (i (-100000));
+        decl "moves" Int (band (v "pos") (i 3) + i 2);
+        decl "mv" Int (i 0);
+        while_ (v "mv" < v "moves")
+          [
+            (* generate a successor position with shifts and masks *)
+            decl "np" Int
+              (bxor
+                 (band
+                    (bor (shl (v "pos") (i 1)) (shr (v "pos") (i 13)))
+                    (i 0x3FFFFFFFFFFFFFF))
+                 (v "mv" * i 0x10001));
+            decl "s" Int (neg (call "search" [ v "np"; v "d" - i 1; neg (v "best") ]));
+            if_ (v "s" > v "best") [ set "best" (v "s") ] [];
+            if_ (v "best" > v "alpha") [ Break ] [];
+            set "mv" (v "mv" + i 1);
+          ];
+        store I64 (idx "tt" (v "slot") ~elt:I64) (v "pos");
+        ret (v "best");
+      ]
+  in
+  let main =
+    func "main"
+      [
+        seed_stmt 64;
+        decl "score" Int
+          (call "search" [ i 0x123456789ABCD; i depth; i 100000 ]);
+        decl "chk" Int (v "score" + i 200000);
+        finish (v "chk");
+      ]
+  in
+  {
+    globals = [ rng_global; Zeroed ("tt", tt_bytes) ];
+    funcs = [ rand_func; popcount; search; main ];
+  }
+
+let workload =
+  { name = "531.deepsjeng"; short = "deepsjeng"; program; wasm_ok = true }

@@ -1,0 +1,113 @@
+(** 502.gcc proxy — tokenizing, hashing and branchy dispatch.
+
+    gcc is dominated by pointer-and-branch code over small structures:
+    the proxy tokenizes a synthetic character buffer, interns tokens
+    into an open-addressing hash table, and runs an if-chain "switch"
+    over token kinds — lots of unpredictable branches and byte loads. *)
+
+open Lfi_minic.Ast
+open Common
+
+let input_size = 48 * 1024
+let table_size = 1 lsl 12
+
+let table_mask = table_size - 1
+let buf_alloc = input_size + 16
+let tab_bytes = table_size * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 2718 ]
+      @ for_ "k" (i 0) (i input_size)
+          [
+            decl "r" Int (band (call "rand" []) (i 63));
+            (* letters, digits, punctuation, spaces *)
+            if_ (v "r" < i 26)
+              [ set8 "buf" (v "k") (v "r" + i 97) ]
+              [
+                if_ (v "r" < i 36)
+                  [ set8 "buf" (v "k") (v "r" - i 26 + i 48) ]
+                  [
+                    if_ (v "r" < i 48)
+                      [ set8 "buf" (v "k") (i 32) ]
+                      [ set8 "buf" (v "k") (i 43) ];
+                  ];
+              ];
+          ]
+      @ [
+          decl "pos" Int (i 0);
+          decl "idents" Int (i 0);
+          decl "nums" Int (i 0);
+          decl "ops" Int (i 0);
+          decl "chk" Int (i 0);
+        ]
+      @ [
+          while_ (v "pos" < i input_size)
+            [
+              decl "c" Int (a8 "buf" (v "pos"));
+              if_ (band (v "c" >= i 97) (v "c" <= i 122))
+                [
+                  (* identifier: scan and hash *)
+                  decl "h" Int (i 5381);
+                  while_
+                    (band (v "pos" < i input_size)
+                       (band (a8 "buf" (v "pos") >= i 97)
+                          (a8 "buf" (v "pos") <= i 122)))
+                    [
+                      set "h"
+                        (band (v "h" * i 33 + a8 "buf" (v "pos"))
+                           (i 0xFFFFFF));
+                      set "pos" (v "pos" + i 1);
+                    ];
+                  (* intern into the hash table (linear probing) *)
+                  decl "slot" Int (band (v "h") (i table_mask));
+                  decl "probes" Int (i 0);
+                  while_
+                    (band
+                       (Bin (Ne, a64 "tab" (v "slot"), i 0))
+                       (band
+                          (Bin (Ne, a64 "tab" (v "slot"), v "h" + i 1))
+                          (v "probes" < i 16)))
+                    [
+                      set "slot" (band (v "slot" + i 1) (i table_mask));
+                      set "probes" (v "probes" + i 1);
+                    ];
+                  set64 "tab" (v "slot") (v "h" + i 1);
+                  set "idents" (v "idents" + i 1);
+                  set "chk" (bxor (v "chk") (v "h"));
+                ]
+                [
+                  if_ (band (v "c" >= i 48) (v "c" <= i 57))
+                    [
+                      decl "n" Int (i 0);
+                      while_
+                        (band (v "pos" < i input_size)
+                           (band (a8 "buf" (v "pos") >= i 48)
+                              (a8 "buf" (v "pos") <= i 57)))
+                        [
+                          set "n" (v "n" * i 10 + a8 "buf" (v "pos") - i 48);
+                          set "pos" (v "pos" + i 1);
+                        ];
+                      set "nums" (v "nums" + i 1);
+                      set "chk" (v "chk" + band (v "n") (i 0xFFFF));
+                    ]
+                    [
+                      if_ (Bin (Eq, v "c", i 43))
+                        [ set "ops" (v "ops" + i 1); set "pos" (v "pos" + i 1) ]
+                        [ set "pos" (v "pos" + i 1) ];
+                    ];
+                ];
+            ];
+        ]
+      @ [ finish (v "chk" + v "idents" * i 3 + v "nums" * i 5 + v "ops") ])
+  in
+  {
+    globals =
+      [ rng_global; Zeroed ("buf", buf_alloc);
+        Zeroed ("tab", tab_bytes) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "502.gcc"; short = "gcc"; program; wasm_ok = false }

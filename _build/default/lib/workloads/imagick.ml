@@ -1,0 +1,60 @@
+(** 538.imagick proxy — image convolution and thresholding.
+
+    A 3x3 blur over a byte image with integer weights followed by a
+    histogram pass: dense short loops with mixed byte/word traffic,
+    the shape of ImageMagick's pixel kernels. *)
+
+open Lfi_minic.Ast
+open Common
+
+let width = 256
+let height = 128
+let iters = 3
+
+let pixels = width * height
+let dim1h = height - 1
+let dim1w = width - 1
+
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 8080 ]
+      @ for_ "k" (i 0) (i pixels)
+          [ set8 "img" (v "k") (band (call "rand" []) (i 255)) ]
+      @ for_ "t" (i 0) (i iters)
+          (for_ "y" (i 1) (i dim1h)
+             (for_ "x" (i 1) (i dim1w)
+                [
+                  decl "p" Int (v "y" * i width + v "x");
+                  decl "acc" Int
+                    (a8 "img" (v "p") * i 4
+                    + a8 "img" (v "p" - i 1)
+                    + a8 "img" (v "p" + i 1)
+                    + a8 "img" (v "p" - i width)
+                    + a8 "img" (v "p" + i width));
+                  set8 "out" (v "p") (shr (v "acc") (i 3));
+                ])
+          @ for_ "k" (i 0) (i pixels)
+              [ set8 "img" (v "k") (a8 "out" (v "k")) ])
+      @ for_ "k" (i 0) (i 256) [ set32 "hist" (v "k") (i 0) ]
+      @ for_ "k" (i 0) (i pixels)
+          [
+            decl "px" Int (a8 "img" (v "k"));
+            set32 "hist" (v "px") (a32 "hist" (v "px") + i 1);
+          ]
+      @ [ decl "chk" Int (i 0) ]
+      @ for_ "k" (i 0) (i 256)
+          [ set "chk" (bxor (v "chk") (a32 "hist" (v "k") * v "k")) ]
+      @ [ finish (v "chk") ])
+  in
+  {
+    globals =
+      [ rng_global; Zeroed ("img", pixels); Zeroed ("out", pixels);
+        Zeroed ("hist", 1024) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload =
+  { name = "538.imagick"; short = "imagick"; program; wasm_ok = false }

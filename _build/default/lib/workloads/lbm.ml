@@ -1,0 +1,56 @@
+(** 519.lbm proxy — lattice-Boltzmann-style stencil sweeps.
+
+    Regular strided double-precision loads/stores with a fixed 5-point
+    stencil and streaming writes: the memory pattern that gives lbm its
+    very low SFI overhead (most accesses are base+immediate and hoist
+    well). *)
+
+open Lfi_minic.Ast
+open Common
+
+let dim = 128
+let iters = 12
+
+let cells = dim * dim
+
+let dim1 = dim - 1
+let cell_bytes = cells * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 42 ]
+      @ for_ "k" (i 0) (i cells)
+          [ setf64 "src" (v "k") (itof (band (call "rand" []) (i 1023))) ]
+      @ for_ "t" (i 0) (i iters)
+          (for_ "y" (i 1) (i dim1)
+             (for_ "x" (i 1) (i dim1)
+                [
+                  decl "c" Int (v "y" * i dim + v "x");
+                  decl "acc" Float
+                    (af64 "src" (v "c")
+                    *. f 0.6
+                    +. (af64 "src" (v "c" - i 1) +. af64 "src" (v "c" + i 1))
+                       *. f 0.1
+                    +. (af64 "src" (v "c" - i dim)
+                       +. af64 "src" (v "c" + i dim))
+                       *. f 0.1);
+                  setf64 "dst" (v "c") (v "acc");
+                ])
+          @ (* swap via copy-back sweep (streaming writes) *)
+          for_ "k" (i 0) (i cells) [ setf64 "src" (v "k") (af64 "dst" (v "k")) ])
+      @ [
+          decl "sum" Float (f 0.0);
+        ]
+      @ for_ "k" (i 0) (i cells)
+          [ set "sum" (v "sum" +. af64 "src" (v "k")) ]
+      @ [ finish (ftoi (v "sum")) ])
+  in
+  {
+    globals =
+      [ rng_global; Zeroed ("src", cell_bytes); Zeroed ("dst", cell_bytes) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "519.lbm"; short = "lbm"; program; wasm_ok = true }

@@ -1,0 +1,122 @@
+(** 541.leela proxy — Monte-Carlo tree search.
+
+    leela interleaves float UCT scoring with pointer-linked tree
+    expansion and pseudo-random playouts; in the paper it is LFI's
+    worst benchmark (~17% on M1) because nearly every access is an
+    irregular pointer-offset load.  The proxy keeps a node pool
+    (visits +0, wins +8, first-child +16, sibling +24) accessed through
+    node pointers held in registers — the Figure 2 pattern that
+    redundant guard elimination targets — and runs
+    select/expand/playout/backup iterations. *)
+
+open Lfi_minic.Ast
+open Common
+
+let pool_size = 8192
+let iterations = 2600
+let node_bytes = pool_size * 32
+let pool_limit = pool_size - 8
+
+open Lfi_minic.Ast.Dsl
+
+(* pointer to node [n] of the pool *)
+let node n = addr "pool" + shl n (i 5)
+
+let program : program =
+  let playout =
+    (* pseudo-random game rollout: mixes RNG, branches and float
+       scoring *)
+    func "playout" ~params:[ ("seed", Int) ]
+      [
+        decl "s" Int (v "seed");
+        decl "score" Int (i 0);
+        decl "m" Int (i 0);
+        while_ (v "m" < i 24)
+          [
+            set "s" (band (v "s" * i 6364136223846793 + i 1442695040888963)
+                       (i 0x3FFFFFFFFFFFFFFF));
+            if_ (band (shr (v "s") (i 33)) (i 1) == i 1)
+              [ set "score" (v "score" + i 1) ]
+              [ set "score" (v "score" - i 1) ];
+            set "m" (v "m" + i 1);
+          ];
+        if_ (v "score" > i 0) [ ret (i 1) ] [ ret (i 0) ];
+      ]
+  in
+  let main =
+    func "main"
+      ([
+         seed_stmt 3333;
+         store I64 (addr "pool_used") (i 1);
+         decl "chk" Int (i 0);
+         decl "it" Int (i 0);
+       ]
+      @ [
+          while_ (v "it" < i iterations)
+            [
+              (* selection: walk down by best UCT child *)
+              decl "curp" Int (addr "pool");
+              decl "depth" Int (i 0);
+              while_ (band (Bin (Ne, ld I64 (v "curp" + i 16), i 0))
+                        (v "depth" < i 24))
+                [
+                  decl "best" Int (ld I64 (v "curp" + i 16));
+                  decl "bestv" Float (f (-1.0));
+                  decl "ch" Int (v "best");
+                  while_ (Bin (Ne, v "ch", i 0))
+                    [
+                      decl "chp" Int (node (v "ch"));
+                      decl "vis" Int (ld I64 (v "chp") + i 1);
+                      decl "uct" Float
+                        (itof (ld I64 (v "chp" + i 8))
+                         /. itof (v "vis")
+                        +. f 1.4 /. fsqrt (itof (v "vis")));
+                      if_ (v "bestv" <. v "uct")
+                        [ set "bestv" (v "uct"); set "best" (v "ch") ]
+                        [];
+                      set "ch" (ld I64 (v "chp" + i 24));
+                    ];
+                  set "curp" (node (v "best"));
+                  set "depth" (v "depth" + i 1);
+                ];
+              (* expansion: add up to 4 children if the pool allows *)
+              decl "used" Int (ld I64 (addr "pool_used"));
+              if_ (band (v "used" < i pool_limit)
+                     (ld I64 (v "curp") > i 0))
+                [
+                  decl "kk" Int (i 0);
+                  decl "prev" Int (i 0);
+                  while_ (v "kk" < i 4)
+                    [
+                      decl "np" Int (node (v "used" + v "kk"));
+                      store I64 (v "np") (i 0);
+                      store I64 (v "np" + i 8) (i 0);
+                      store I64 (v "np" + i 16) (i 0);
+                      store I64 (v "np" + i 24) (v "prev");
+                      set "prev" (v "used" + v "kk");
+                      set "kk" (v "kk" + i 1);
+                    ];
+                  store I64 (v "curp" + i 16) (v "prev");
+                  store I64 (addr "pool_used") (v "used" + i 4);
+                ]
+                [];
+              (* playout + backup along cur and the root (the seed uses
+                 only position-independent values) *)
+              decl "win" Int
+                (call "playout" [ v "it" * i 31 + v "depth" * i 7 + v "used" ]);
+              store I64 (v "curp") (ld I64 (v "curp") + i 1);
+              store I64 (v "curp" + i 8) (ld I64 (v "curp" + i 8) + v "win");
+              decl "rootp" Int (addr "pool");
+              store I64 (v "rootp") (ld I64 (v "rootp") + i 1);
+              set "chk" (v "chk" + v "win");
+              set "it" (v "it" + i 1);
+            ];
+        ]
+      @ [ finish (v "chk" * i 3 + ld I64 (addr "pool_used")) ])
+  in
+  {
+    globals = [ rng_global; Zeroed ("pool", node_bytes); Zeroed ("pool_used", 8) ];
+    funcs = [ rand_func; playout; main ];
+  }
+
+let workload = { name = "541.leela"; short = "leela"; program; wasm_ok = false }

@@ -1,0 +1,61 @@
+(** 505.mcf proxy — network-simplex-style pointer chasing.
+
+    mcf spends its time following arc/node pointers through a working
+    set far larger than the caches.  The proxy builds a random cyclic
+    permutation over 128Ki 16-byte nodes (2MiB, enough to stress the
+    TLB model) and chases it, plus an arc-relaxation sweep with
+    data-dependent branches. *)
+
+open Lfi_minic.Ast
+open Common
+
+let nodes = 1 lsl 17
+let steps = 120_000
+
+let node_mask = nodes - 1
+let node_mask2 = (nodes * 2) - 1
+let node_bytes = nodes * 16
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([
+         seed_stmt 0x1E3779B97F4A7C15;
+         (* next pointer at +0, value at +8; a*k+b with odd a is a
+            permutation of 2^n *)
+         decl "chk" Int (i 0);
+       ]
+      @ for_ "k" (i 0) (i nodes)
+          [
+            store I64
+              (addr "nodes" + shl (v "k") (i 4))
+              (band (v "k" * i 0x27220A95 + i 7) (i node_mask));
+            store I64
+              (addr "nodes" + shl (v "k") (i 4) + i 8)
+              (band (call "rand" []) (i 0xFFFF));
+          ]
+      @ [ decl "cur" Int (i 0) ]
+      @ for_ "s" (i 0) (i steps)
+          [
+            decl "p" Int (addr "nodes" + shl (v "cur") (i 4));
+            set "cur" (ld I64 (v "p"));
+            set "chk" (v "chk" + ld I64 (v "p" + i 8));
+          ]
+      (* arc relaxation: data-dependent branching over two arrays *)
+      @ for_ "k" (i 0) (i nodes)
+          [
+            decl "c" Int (a64 "nodes" (band (v "k" * i 5 + i 3) (i node_mask2)));
+            if_ (band (v "c") (i 1) == i 1)
+              [ set "chk" (v "chk" + v "c") ]
+              [ set "chk" (v "chk" - band (v "c") (i 255)) ];
+          ]
+      @ [ finish (v "chk" + v "cur") ])
+  in
+  {
+    globals = [ rng_global; Zeroed ("nodes", node_bytes) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload =
+  { name = "505.mcf"; short = "mcf"; program; wasm_ok = true }

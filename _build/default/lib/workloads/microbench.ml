@@ -1,0 +1,97 @@
+(** Microbenchmark programs for Table 5 (isolation-domain switching).
+
+    Three guests, mirroring the paper's artifact:
+    - [syscall_prog]: a getpid loop (the "syscall" row);
+    - [pipe_parent]: forks a child and ping-pongs one byte over two
+      pipes (the "pipe" row);
+    - [yield_pair]: two sandboxes calling the optimized direct yield
+      back and forth (the "yield" row, microkernel-style IPC). *)
+
+open Lfi_minic.Ast
+open Common
+
+let syscall_iters = 2000
+let pipe_iters = 300
+let yield_iters = 1000
+
+open Lfi_minic.Ast.Dsl
+
+(** getpid in a loop. *)
+let syscall_prog : program =
+  let main =
+    func "main"
+      ([ decl "s" Int (i 0) ]
+      @ for_ "k" (i 0) (i syscall_iters)
+          [ set "s" (v "s" + sys_getpid ()) ]
+      @ [ finish (v "s") ])
+  in
+  { globals = []; funcs = [ main ] }
+
+(** The same loop without the runtime call, to subtract loop overhead
+    when computing per-call cost. *)
+let syscall_baseline_prog : program =
+  let main =
+    func "main"
+      ([ decl "s" Int (i 0) ]
+      @ for_ "k" (i 0) (i syscall_iters) [ set "s" (v "s" + i 1) ]
+      @ [ finish (v "s") ])
+  in
+  { globals = []; funcs = [ main ] }
+
+(** Parent/child one-byte ping-pong over two pipes.  The child inherits
+    the pipe fds across fork; fd numbers are identical in both. *)
+let pipe_prog : program =
+  let main =
+    func "main"
+      [
+        (* fds: a.read, a.write stored at fds+0; b at fds+8 *)
+        expr (sys_pipe (addr "fds"));
+        expr (sys_pipe (addr "fds" + i 8));
+        decl "a_r" Int (ld I32 (addr "fds"));
+        decl "a_w" Int (ld I32 (addr "fds" + i 4));
+        decl "b_r" Int (ld I32 (addr "fds" + i 8));
+        decl "b_w" Int (ld I32 (addr "fds" + i 12));
+        decl "pid" Int (sys_fork ());
+        if_ (Bin (Eq, v "pid", i 0))
+          ((* child: read from a, write to b *)
+           for_ "k" (i 0) (i pipe_iters)
+             [
+               expr (sys_read (v "a_r") (addr "buf") (i 1));
+               expr (sys_write (v "b_w") (addr "buf") (i 1));
+             ]
+          @ [ ret (i 0) ])
+          ((* parent: write to a, read from b *)
+           [ store U8 (addr "buf") (i 7) ]
+          @ for_ "k" (i 0) (i pipe_iters)
+              [
+                expr (sys_write (v "a_w") (addr "buf") (i 1));
+                expr (sys_read (v "b_r") (addr "buf") (i 1));
+              ]
+          @ [
+              decl "st" Int (i 0);
+              expr (sys_wait (addr "status"));
+              set "st" (v "st");
+              ret (a8 "buf" (i 0));
+            ]);
+      ]
+  in
+  {
+    globals = [ Zeroed ("fds", 16); Zeroed ("buf", 8); Zeroed ("status", 8) ];
+    funcs = [ main ];
+  }
+
+(** Direct-yield ping-pong: process 1 yields to process 2 and back.
+    [peer] is passed as the program argument (in x0 at entry). *)
+let yield_prog : program =
+  let main =
+    (* main's argument: the peer pid (0 means "I am the first; my peer
+       is pid 2") *)
+    func "main" ~params:[ ("peer", Int) ]
+      ([
+         if_ (Bin (Eq, v "peer", i 0)) [ set "peer" (i 2) ] [];
+       ]
+      @ for_ "k" (i 0) (i yield_iters)
+          [ expr (sys_yield_to (v "peer")) ]
+      @ [ finish (i 0) ])
+  in
+  { globals = []; funcs = [ main ] }

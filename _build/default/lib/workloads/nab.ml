@@ -1,0 +1,77 @@
+(** 544.nab proxy — molecular mechanics force field.
+
+    nab (nucleic acid builder) computes bonded and non-bonded energy
+    terms over neighbor lists: double-precision arithmetic with
+    indexed gathers through an integer pair list. *)
+
+open Lfi_minic.Ast
+open Common
+
+let atoms = 1024
+let pairs = 6000
+let iters = 8
+
+let abytes = atoms * 8
+let pbytes = pairs * 8
+let atom_mask = atoms - 1
+
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 4242 ]
+      @ for_ "k" (i 0) (i atoms)
+          [
+            setf64 "pos" (v "k") (itof (band (call "rand" []) (i 4095)) /. f 128.0);
+            setf64 "vel" (v "k") (f 0.0);
+            setf64 "q" (v "k")
+              (itof (band (call "rand" []) (i 127)) /. f 64.0 -. f 1.0);
+          ]
+      @ for_ "k" (i 0) (i pairs)
+          [
+            set64 "pa" (v "k") (band (call "rand" []) (i atom_mask));
+            set64 "pb" (v "k") (band (call "rand" []) (i atom_mask));
+          ]
+      @ for_ "t" (i 0) (i iters)
+          (for_ "k" (i 0) (i pairs)
+             [
+               decl "a" Int (a64 "pa" (v "k"));
+               decl "b" Int (a64 "pb" (v "k"));
+               decl "dx" Float (af64 "pos" (v "a") -. af64 "pos" (v "b"));
+               decl "r2" Float (v "dx" *. v "dx" +. f 0.04);
+               decl "inv" Float (f 1.0 /. v "r2");
+               (* Lennard-Jones-ish + coulomb term *)
+               decl "lj" Float
+                 (v "inv" *. v "inv" *. v "inv"
+                 *. (v "inv" *. v "inv" *. v "inv" -. f 1.0));
+               decl "coul" Float
+                 (af64 "q" (v "a") *. af64 "q" (v "b") /. fsqrt (v "r2"));
+               decl "force" Float (v "lj" *. f 0.0625 +. v "coul" *. f 0.25);
+               setf64 "vel" (v "a") (af64 "vel" (v "a") +. v "force" *. v "dx");
+               setf64 "vel" (v "b") (af64 "vel" (v "b") -. v "force" *. v "dx");
+             ]
+          @ for_ "k" (i 0) (i atoms)
+              [
+                setf64 "pos" (v "k")
+                  (af64 "pos" (v "k") +. af64 "vel" (v "k") *. f 0.0001);
+              ])
+      @ [ decl "e" Float (f 0.0) ]
+      @ for_ "k" (i 0) (i atoms)
+          [ set "e" (v "e" +. fabs' (af64 "vel" (v "k"))) ]
+      @ [ finish (ftoi (v "e")) ])
+  in
+  {
+    globals =
+      [
+        rng_global;
+        Zeroed ("pos", abytes);
+        Zeroed ("vel", abytes);
+        Zeroed ("q", abytes);
+        Zeroed ("pa", pbytes);
+        Zeroed ("pb", pbytes);
+      ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "544.nab"; short = "nab"; program; wasm_ok = true }

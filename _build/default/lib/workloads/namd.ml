@@ -1,0 +1,75 @@
+(** 508.namd proxy — pairwise particle force computation.
+
+    Structure-of-arrays double math with reciprocal square roots and a
+    cutoff branch, iterated over a neighbor window: namd's inner loop
+    shape. *)
+
+open Lfi_minic.Ast
+open Common
+
+let particles = 600
+let window = 24
+let iters = 3
+
+let pbytes = particles * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 7 ]
+      @ for_ "k" (i 0) (i particles)
+          [
+            setf64 "px" (v "k") (itof (band (call "rand" []) (i 255)) /. f 16.0);
+            setf64 "py" (v "k") (itof (band (call "rand" []) (i 255)) /. f 16.0);
+            setf64 "pz" (v "k") (itof (band (call "rand" []) (i 255)) /. f 16.0);
+            setf64 "fx" (v "k") (f 0.0);
+            setf64 "fy" (v "k") (f 0.0);
+            setf64 "fz" (v "k") (f 0.0);
+          ]
+      @ for_ "t" (i 0) (i iters)
+          (for_ "a" (i 0) (i particles)
+             (for_ "w" (i 1) (i window)
+                [
+                  decl "b" Int (band (v "a" + v "w" * i 37) (i 511));
+                  if_ (v "b" >= i particles) [ set "b" (v "b" - i particles) ] [];
+                  decl "dx" Float (af64 "px" (v "a") -. af64 "px" (v "b"));
+                  decl "dy" Float (af64 "py" (v "a") -. af64 "py" (v "b"));
+                  decl "dz" Float (af64 "pz" (v "a") -. af64 "pz" (v "b"));
+                  decl "r2" Float
+                    (v "dx" *. v "dx" +. v "dy" *. v "dy" +. v "dz" *. v "dz"
+                    +. f 0.01);
+                  if_ (v "r2" <. f 36.0)
+                    [
+                      decl "inv" Float (f 1.0 /. fsqrt (v "r2"));
+                      decl "s" Float (v "inv" *. v "inv" *. v "inv");
+                      setf64 "fx" (v "a") (af64 "fx" (v "a") +. v "dx" *. v "s");
+                      setf64 "fy" (v "a") (af64 "fy" (v "a") +. v "dy" *. v "s");
+                      setf64 "fz" (v "a") (af64 "fz" (v "a") +. v "dz" *. v "s");
+                    ]
+                    [];
+                ]))
+      @ [ decl "sum" Float (f 0.0) ]
+      @ for_ "k" (i 0) (i particles)
+          [
+            set "sum"
+              (v "sum" +. fabs' (af64 "fx" (v "k")) +. fabs' (af64 "fy" (v "k"))
+              +. fabs' (af64 "fz" (v "k")));
+          ]
+      @ [ finish (ftoi (v "sum")) ])
+  in
+  {
+    globals =
+      [
+        rng_global;
+        Zeroed ("px", pbytes);
+        Zeroed ("py", pbytes);
+        Zeroed ("pz", pbytes);
+        Zeroed ("fx", pbytes);
+        Zeroed ("fy", pbytes);
+        Zeroed ("fz", pbytes);
+      ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "508.namd"; short = "namd"; program; wasm_ok = true }

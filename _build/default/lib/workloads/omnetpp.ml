@@ -1,0 +1,160 @@
+(** 520.omnetpp proxy — discrete event simulation on a binary heap.
+
+    omnetpp's hot path is future-event-set maintenance: pop the
+    earliest event, process it, schedule successors.  The proxy runs a
+    sift-up/sift-down binary heap of (time, kind) events with
+    data-dependent comparisons — pointer-ish, branch-heavy integer
+    code. *)
+
+open Lfi_minic.Ast
+open Common
+
+let heap_cap = 4096
+let events = 12_000
+let state_bytes = 2 * 1024 * 1024
+let state_mask = (state_bytes / 8) - 1
+
+let cap_limit = heap_cap - 4
+let heap_bytes = heap_cap * 16
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  (* heap of (time, kind) pairs, 16 bytes each, accessed through entry
+     pointers so that time/kind loads share a base register *)
+  let entry k = Bin (Add, Addr "heap", shl k (i 4)) in
+  let time = entry in
+  let push =
+    func "push" ~params:[ ("t", Int); ("kd", Int) ]
+      [
+        decl "n" Int (ld I64 (addr "hsize"));
+        decl "np" Int (entry (v "n"));
+        store I64 (v "np") (v "t");
+        store I64 (v "np" + i 8) (v "kd");
+        store I64 (addr "hsize") (v "n" + i 1);
+        (* sift up *)
+        decl "c" Int (v "n");
+        while_ (v "c" > i 0)
+          [
+            decl "p" Int (sar (v "c" - i 1) (i 1));
+            decl "pp" Int (entry (v "p"));
+            decl "cp" Int (entry (v "c"));
+            if_ (ld I64 (v "pp") <= ld I64 (v "cp"))
+              [ Break ]
+              [
+                decl "tt" Int (ld I64 (v "pp"));
+                decl "tk" Int (ld I64 (v "pp" + i 8));
+                store I64 (v "pp") (ld I64 (v "cp"));
+                store I64 (v "pp" + i 8) (ld I64 (v "cp" + i 8));
+                store I64 (v "cp") (v "tt");
+                store I64 (v "cp" + i 8) (v "tk");
+                set "c" (v "p");
+              ];
+          ];
+        ret (i 0);
+      ]
+  in
+  let pop =
+    func "pop"
+      [
+        decl "n" Int (ld I64 (addr "hsize") - i 1);
+        decl "rootp" Int (entry (i 0));
+        decl "lastp" Int (entry (v "n"));
+        decl "top" Int (ld I64 (v "rootp" + i 8));
+        store I64 (addr "ptime") (ld I64 (v "rootp"));
+        store I64 (v "rootp") (ld I64 (v "lastp"));
+        store I64 (v "rootp" + i 8) (ld I64 (v "lastp" + i 8));
+        store I64 (addr "hsize") (v "n");
+        (* sift down *)
+        decl "c" Int (i 0);
+        while_ (i 1)
+          [
+            decl "l" Int (v "c" * i 2 + i 1);
+            decl "r" Int (v "c" * i 2 + i 2);
+            decl "m" Int (v "c");
+            (* nested ifs: MiniC's band is not short-circuiting, and
+               time(l)/time(r) may be out of bounds when l/r >= n *)
+            if_ (v "l" < v "n")
+              [ if_ (ld I64 (time (v "l")) < ld I64 (time (v "m")))
+                  [ set "m" (v "l") ] [] ] [];
+            if_ (v "r" < v "n")
+              [ if_ (ld I64 (time (v "r")) < ld I64 (time (v "m")))
+                  [ set "m" (v "r") ] [] ] [];
+            if_ (Bin (Eq, v "m", v "c")) [ Break ] [];
+            decl "mp" Int (entry (v "m"));
+            decl "cp" Int (entry (v "c"));
+            decl "tt" Int (ld I64 (v "mp"));
+            decl "tk" Int (ld I64 (v "mp" + i 8));
+            store I64 (v "mp") (ld I64 (v "cp"));
+            store I64 (v "mp" + i 8) (ld I64 (v "cp" + i 8));
+            store I64 (v "cp") (v "tt");
+            store I64 (v "cp" + i 8) (v "tk");
+            set "c" (v "m");
+          ];
+        ret (v "top");
+      ]
+  in
+  let main =
+    func "main"
+      ([ seed_stmt 5150; store I64 (addr "hsize") (i 0) ]
+      @ for_ "k" (i 0) (i 512)
+          [
+            expr
+              (call "push"
+                 [ band (call "rand" []) (i 0xFFFFF); band (call "rand" []) (i 7) ]);
+          ]
+      @ [ decl "chk" Int (i 0); decl "processed" Int (i 0) ]
+      @ [
+          while_ (v "processed" < i events)
+            [
+              decl "kd" Int (call "pop" []);
+              decl "now" Int (ld I64 (addr "ptime"));
+              (* the event handler touches its module's state (the
+                 source of omnetpp's TLB pressure) *)
+              decl "mi" Int (band (v "now" * i 2654435761) (i state_mask));
+              set64 "mstate" (v "mi") (a64 "mstate" (v "mi") + v "kd" + i 1);
+              set "chk" (bxor (v "chk") (v "now" + v "kd"));
+              (* each event schedules 1-2 successors, bounded by cap *)
+              if_ (ld I64 (addr "hsize") < i cap_limit)
+                [
+                  expr
+                    (call "push"
+                       [
+                         v "now" + band (call "rand" []) (i 1023) + i 1;
+                         band (v "kd" + i 1) (i 7);
+                       ]);
+                  if_ (Bin (Eq, band (v "kd") (i 3), i 0))
+                    [
+                      expr
+                        (call "push"
+                           [
+                             v "now" + band (call "rand" []) (i 255) + i 1;
+                             band (v "kd" + i 5) (i 7);
+                           ]);
+                    ]
+                    [];
+                ]
+                [];
+              (* never let the event set drain completely *)
+              if_ (Bin (Eq, ld I64 (addr "hsize"), i 0))
+                [ expr (call "push" [ v "now" + i 17; i 1 ]) ]
+                [];
+              set "processed" (v "processed" + i 1);
+            ];
+        ]
+      @ [ finish (v "chk" + v "processed") ])
+  in
+  {
+    globals =
+      [
+        (* the 2MiB state array goes last: adr reaches only +-1MiB *)
+        rng_global;
+        Zeroed ("hsize", 8);
+        Zeroed ("ptime", 8);
+        Zeroed ("heap", heap_bytes);
+        Zeroed ("mstate", state_bytes);
+      ];
+    funcs = [ rand_func; push; pop; main ];
+  }
+
+let workload =
+  { name = "520.omnetpp"; short = "omnetpp"; program; wasm_ok = false }

@@ -1,0 +1,70 @@
+(** 510.parest proxy — sparse matrix-vector products (CG-style).
+
+    parest is a finite-element solver; its kernel is repeated sparse
+    matrix-vector multiplication in CSR form: indexed double loads
+    through an integer column index — an addressing pattern SFI must
+    guard on every element. *)
+
+open Lfi_minic.Ast
+open Common
+
+let rows = 4096
+let nnz_per_row = 9
+let iters = 10
+
+let nnz = rows * nnz_per_row
+
+let rows_mask = rows - 1
+let nnz_bytes = nnz * 8
+let row_bytes = rows * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 31415 ]
+      @ for_ "k" (i 0) (i nnz)
+          [
+            set64 "cols" (v "k")
+              (band (v "k" * i 193 + band (call "rand" []) (i 63)) (i rows_mask));
+            setf64 "vals" (v "k")
+              (itof (band (call "rand" []) (i 127)) /. f 64.0);
+          ]
+      @ for_ "k" (i 0) (i rows)
+          [ setf64 "x" (v "k") (itof (band (call "rand" []) (i 255)) /. f 256.0) ]
+      @ for_ "t" (i 0) (i iters)
+          (for_ "r" (i 0) (i rows)
+             ([
+                decl "acc" Float (f 0.0);
+                decl "base" Int (v "r" * i nnz_per_row);
+              ]
+             @ for_ "e" (i 0) (i nnz_per_row)
+                 [
+                   decl "idx0" Int (v "base" + v "e");
+                   set "acc"
+                     (v "acc"
+                     +. af64 "vals" (v "idx0")
+                        *. af64 "x" (a64 "cols" (v "idx0")));
+                 ]
+             @ [ setf64 "y" (v "r") (v "acc") ])
+          @ (* x := normalized y *)
+          for_ "r" (i 0) (i rows)
+            [ setf64 "x" (v "r") (af64 "y" (v "r") *. f 0.124) ])
+      @ [ decl "sum" Float (f 0.0) ]
+      @ for_ "r" (i 0) (i rows) [ set "sum" (v "sum" +. af64 "x" (v "r")) ]
+      @ [ finish (ftoi (v "sum" *. f 1000.0)) ])
+  in
+  {
+    globals =
+      [
+        rng_global;
+        Zeroed ("cols", nnz_bytes);
+        Zeroed ("vals", nnz_bytes);
+        Zeroed ("x", row_bytes);
+        Zeroed ("y", row_bytes);
+      ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload =
+  { name = "510.parest"; short = "parest"; program; wasm_ok = false }

@@ -1,0 +1,89 @@
+(** 511.povray proxy — ray/sphere intersection with shading.
+
+    Scalar double math with square roots and data-dependent control
+    flow (hit/miss), over a small scene traversed per-pixel: povray's
+    characteristic mix of FP arithmetic and branching. *)
+
+open Lfi_minic.Ast
+open Common
+
+let spheres = 16
+let rays = 9000
+
+let sbytes = spheres * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 1001 ]
+      @ for_ "k" (i 0) (i spheres)
+          [
+            setf64 "sx" (v "k") (itof (band (call "rand" []) (i 63)) /. f 8.0);
+            setf64 "sy" (v "k") (itof (band (call "rand" []) (i 63)) /. f 8.0);
+            setf64 "sz" (v "k") (itof (band (call "rand" []) (i 31)) +. f 4.0);
+            setf64 "sr" (v "k")
+              (itof (band (call "rand" []) (i 15)) /. f 8.0 +. f 0.5);
+          ]
+      @ [ decl "hits" Int (i 0); decl "shade" Float (f 0.0) ]
+      @ for_ "r" (i 0) (i rays)
+          ([
+             decl "dx" Float
+               (itof (band (call "rand" []) (i 255)) /. f 256.0 -. f 0.5);
+             decl "dy" Float
+               (itof (band (call "rand" []) (i 255)) /. f 256.0 -. f 0.5);
+             decl "dz" Float (f 1.0);
+             decl "norm" Float
+               (f 1.0
+               /. fsqrt (v "dx" *. v "dx" +. v "dy" *. v "dy" +. f 1.0));
+             decl "best" Float (f 1.0e9);
+           ]
+          @ [ set "dx" (v "dx" *. v "norm"); set "dy" (v "dy" *. v "norm");
+              set "dz" (v "dz" *. v "norm") ]
+          @ for_ "s" (i 0) (i spheres)
+              [
+                decl "ox" Float (fneg (af64 "sx" (v "s")));
+                decl "oy" Float (fneg (af64 "sy" (v "s")));
+                decl "oz" Float (fneg (af64 "sz" (v "s")));
+                decl "b" Float
+                  (fneg
+                     (v "ox" *. v "dx" +. v "oy" *. v "dy" +. v "oz" *. v "dz"));
+                decl "c" Float
+                  (v "ox" *. v "ox" +. v "oy" *. v "oy" +. v "oz" *. v "oz"
+                  -. af64 "sr" (v "s") *. af64 "sr" (v "s"));
+                decl "disc" Float (v "b" *. v "b" -. v "c");
+                if_ (f 0.0 <. v "disc")
+                  [
+                    decl "t" Float (v "b" -. fsqrt (v "disc"));
+                    if_ (band (f 0.001 <. v "t") (v "t" <. v "best"))
+                      [ set "best" (v "t") ]
+                      [];
+                  ]
+                  [];
+              ]
+          @ [
+              if_ (v "best" <. f 1.0e8)
+                [
+                  set "hits" (v "hits" + i 1);
+                  set "shade"
+                    (v "shade" +. f 1.0 /. (f 1.0 +. v "best" *. f 0.25));
+                ]
+                [];
+            ])
+      @ [ finish (v "hits" * i 17 + ftoi (v "shade" *. f 64.0)) ])
+  in
+  {
+    globals =
+      [
+        rng_global;
+        Zeroed ("sx", sbytes);
+        Zeroed ("sy", sbytes);
+        Zeroed ("sz", sbytes);
+        Zeroed ("sr", sbytes);
+      ];
+    funcs = [ rand_func; main ];
+  }
+
+
+let workload =
+  { name = "511.povray"; short = "povray"; program; wasm_ok = false }

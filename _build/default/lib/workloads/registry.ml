@@ -1,0 +1,30 @@
+(** All SPEC CPU2017 proxy workloads, in benchmark-number order
+    (the 14 C/C++ benchmarks the paper's LFI toolchain supports,
+    Section 6). *)
+
+let all : Common.t list =
+  [
+    Gcc.workload;
+    Mcf.workload;
+    Namd.workload;
+    Parest.workload;
+    Povray.workload;
+    Lbm.workload;
+    Omnetpp.workload;
+    Xalancbmk.workload;
+    X264.workload;
+    Deepsjeng.workload;
+    Imagick.workload;
+    Leela.workload;
+    Nab.workload;
+    Xz.workload;
+  ]
+
+(** The 7-benchmark subset that compiles for WebAssembly/WASI in the
+    paper (Figure 4: mcf, namd, lbm, x264, deepsjeng, nab, xz). *)
+let wasm_subset = List.filter (fun w -> w.Common.wasm_ok) all
+
+let find (short : string) : Common.t option =
+  List.find_opt
+    (fun w -> w.Common.short = short || w.Common.name = short)
+    all

@@ -1,0 +1,67 @@
+(** 525.x264 proxy — sum-of-absolute-differences motion search.
+
+    Byte loads over two frames with small fixed offsets inside 16x16
+    blocks, an abs-diff reduction, and a best-score argmin: the classic
+    video-encoder inner loop (dense [base + #imm] traffic that LFI's
+    zero-instruction guards make nearly free). *)
+
+open Lfi_minic.Ast
+open Common
+
+let width = 320
+let height = 96
+let blocks = 40
+let candidates = 24
+
+let frame = width * height
+
+let pbytes = frame
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 1234 ]
+      @ for_ "k" (i 0) (i frame)
+          [
+            set8 "ref" (v "k") (band (call "rand" []) (i 255));
+            set8 "cur" (v "k")
+              (band (a8 "ref" (v "k") + band (call "rand" []) (i 7)) (i 255));
+          ]
+      @ [ decl "total" Int (i 0) ]
+      @ for_ "b" (i 0) (i blocks)
+          ([
+             decl "bx" Int (band (v "b" * i 53) (i 255) + i 16);
+             decl "by" Int (band (v "b" * i 31) (i 63) + i 8);
+             decl "best" Int (i 99999999);
+           ]
+          @ for_ "c" (i 0) (i candidates)
+              ([
+                 decl "mx" Int (v "bx" + band (v "c" * i 7) (i 15) - i 8);
+                 decl "my" Int (v "by" + band (v "c" * i 3) (i 7) - i 4);
+                 decl "sad" Int (i 0);
+               ]
+              @ for_ "y" (i 0) (i 16)
+                  ([
+                     decl "rc" Int (Bin (Add, Addr "cur",
+                                         (v "by" + v "y") * i width + v "bx"));
+                     decl "rr" Int (Bin (Add, Addr "ref",
+                                         (v "my" + v "y") * i width + v "mx"));
+                   ]
+                  @ for_ "x" (i 0) (i 16)
+                      [
+                        decl "dd" Int
+                          (ld U8 (v "rc" + v "x") - ld U8 (v "rr" + v "x"));
+                        if_ (v "dd" < i 0) [ set "dd" (neg (v "dd")) ] [];
+                        set "sad" (v "sad" + v "dd");
+                      ])
+              @ [ if_ (v "sad" < v "best") [ set "best" (v "sad") ] [] ])
+          @ [ set "total" (v "total" + v "best") ])
+      @ [ finish (v "total") ])
+  in
+  {
+    globals = [ rng_global; Zeroed ("ref", pbytes); Zeroed ("cur", pbytes) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "525.x264"; short = "x264"; program; wasm_ok = true }

@@ -1,0 +1,92 @@
+(** 523.xalancbmk proxy — DOM-style tree traversal with name matching.
+
+    An XSLT processor walks a node tree comparing element names.  The
+    proxy builds a random n-ary tree (nodes: name-id +0, first-child
+    +8, next-sibling +16, value +24, accessed through node pointers in
+    registers) and repeatedly runs selector queries that compare
+    interned 8-byte name keys — pointer-offset loads and call-heavy
+    recursion. *)
+
+open Lfi_minic.Ast
+open Common
+
+let node_count = 60_000
+let names = 64
+let queries = 4
+
+let tree_bytes = node_count * 32
+let name_bytes = names * 8
+let name_mask = names - 1
+
+open Lfi_minic.Ast.Dsl
+
+(* pointer to node [n]; index 0 is the null sentinel, the root is 1 *)
+let node n = addr "tree" + shl n (i 5)
+
+let program : program =
+  let visit =
+    (* recursive traversal counting nodes whose name matches *)
+    func "visit" ~params:[ ("n", Int); ("want", Int) ]
+      [
+        decl "acc" Int (i 0);
+        decl "cur" Int (v "n");
+        while_ (Bin (Ne, v "cur", i 0))
+          [
+            decl "cp" Int (node (v "cur"));
+            decl "nm" Int (ld I64 (v "cp"));
+            (* compare interned name keys *)
+            if_ (Bin (Eq, a64 "namekeys" (v "nm"), a64 "namekeys" (v "want")))
+              [ set "acc" (v "acc" + ld I64 (v "cp" + i 24)) ]
+              [];
+            decl "child" Int (ld I64 (v "cp" + i 8));
+            if_ (Bin (Ne, v "child", i 0))
+              [ set "acc" (v "acc" + call "visit" [ v "child"; v "want" ]) ]
+              [];
+            set "cur" (ld I64 (v "cp" + i 16));
+          ];
+        ret (v "acc");
+      ]
+  in
+  let main =
+    func "main"
+      ([ seed_stmt 777 ]
+      @ for_ "k" (i 0) (i names)
+          [ set64 "namekeys" (v "k") (call "rand" []) ]
+      (* build the tree; node k gets a random earlier parent *)
+      @ [
+          decl "rp" Int (node (i 1));
+          store I64 (v "rp") (i 0);
+          store I64 (v "rp" + i 8) (i 0);
+          store I64 (v "rp" + i 16) (i 0);
+          store I64 (v "rp" + i 24) (i 1);
+        ]
+      @ for_ "k" (i 2) (i node_count)
+          [
+            decl "parent" Int (call "rand" [] % (v "k" - i 1) + i 1);
+            decl "kp" Int (node (v "k"));
+            decl "pp" Int (node (v "parent"));
+            store I64 (v "kp") (band (call "rand" []) (i name_mask));
+            store I64 (v "kp" + i 8) (i 0);
+            store I64 (v "kp" + i 24) (band (call "rand" []) (i 7));
+            (* push as first child *)
+            store I64 (v "kp" + i 16) (ld I64 (v "pp" + i 8));
+            store I64 (v "pp" + i 8) (v "k");
+          ]
+      @ [ decl "chk" Int (i 0) ]
+      @ for_ "qq" (i 0) (i queries)
+          [
+            set "chk"
+              (v "chk" + call "visit" [ i 1; band (v "qq" * i 11) (i name_mask) ]);
+          ]
+      @ [ finish (v "chk") ])
+  in
+  {
+    globals =
+      (* small globals first: adr reaches only +-1MiB, and the tree is
+         ~2MiB *)
+      [ rng_global; Zeroed ("namekeys", name_bytes); Zeroed ("tree", tree_bytes) ];
+    funcs = [ rand_func; visit; main ];
+  }
+
+let workload =
+  { name = "523.xalancbmk"; short = "xalancbmk"; program; wasm_ok = false }

@@ -1,0 +1,82 @@
+(** 557.xz proxy — LZ77 match finding with a hash chain.
+
+    Byte scanning, a hash-head table, chained match extension and a
+    small adaptive counter model: the integer/branch/byte-load mix of a
+    general-purpose compressor. *)
+
+open Lfi_minic.Ast
+open Common
+
+let input_size = 96 * 1024
+let hash_size = 1 lsl 12
+
+let input_last = input_size - 8
+let hash_mask = hash_size - 1
+let input_alloc = input_size + 128
+let head_bytes = hash_size * 8
+open Lfi_minic.Ast.Dsl
+
+let program : program =
+  let main =
+    func "main"
+      ([ seed_stmt 99 ]
+      (* synthetic input with repetitions: random bytes with a skewed
+         distribution; the array is over-allocated by 128 bytes so the
+         (non-short-circuit) match extension below stays in bounds *)
+      @ for_ "k" (i 0) (i input_size)
+          [
+            decl "r" Int (call "rand" []);
+            set8 "inp" (v "k")
+              (band (v "r") (i 15) + band (shr (v "r") (i 8)) (i 3) * i 16);
+          ]
+      @ for_ "k" (i 0) (i hash_size) [ set64 "head" (v "k") (i 0 - i 1) ]
+      @ [ decl "pos" Int (i 0); decl "out" Int (i 0); decl "lit" Int (i 0) ]
+      @ [
+          while_ (v "pos" < i input_last)
+            [
+              decl "h"
+                Int
+                (band
+                   ((a8 "inp" (v "pos") * i 256
+                    + a8 "inp" (v "pos" + i 1) * i 16
+                    + a8 "inp" (v "pos" + i 2))
+                   * i 2654435761
+                   / i 65536)
+                   (i hash_mask));
+              decl "cand" Int (a64 "head" (v "h"));
+              set64 "head" (v "h") (v "pos");
+              decl "len" Int (i 0);
+              if_ (v "cand" >= i 0)
+                [
+                  (* extend the match *)
+                  while_
+                    (band (v "len" < i 64)
+                       (Bin
+                          ( Eq,
+                            a8 "inp" (v "cand" + v "len"),
+                            a8 "inp" (v "pos" + v "len") )))
+                    [ set "len" (v "len" + i 1) ];
+                ]
+                [];
+              if_ (v "len" >= i 4)
+                [
+                  set "out" (v "out" + i 3);
+                  set "pos" (v "pos" + v "len");
+                  set "lit" (bxor (v "lit") (v "len"));
+                ]
+                [
+                  set "out" (v "out" + i 1);
+                  set "pos" (v "pos" + i 1);
+                  set "lit" (v "lit" + a8 "inp" (v "pos"));
+                ];
+            ];
+        ]
+      @ [ finish (v "out" * i 7 + v "lit") ])
+  in
+  {
+    globals =
+      [ rng_global; Zeroed ("inp", input_alloc); Zeroed ("head", head_bytes) ];
+    funcs = [ rand_func; main ];
+  }
+
+let workload = { name = "557.xz"; short = "xz"; program; wasm_ok = true }

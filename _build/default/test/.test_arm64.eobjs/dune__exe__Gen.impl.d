@@ -1,0 +1,1 @@
+test/gen.ml: Encode Insn Lfi_arm64 Printer QCheck Reg

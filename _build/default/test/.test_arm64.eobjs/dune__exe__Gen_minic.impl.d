@@ -1,0 +1,1 @@
+test/gen_minic.ml: Ast Compile Lfi_arm64 Lfi_minic QCheck

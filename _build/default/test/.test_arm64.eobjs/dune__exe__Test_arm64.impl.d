@@ -1,0 +1,1 @@
+test/test_arm64.ml: Alcotest Assemble Bytes Char Decode Encode Gen Insn Int32 Int64 Lfi_arm64 Lfi_elf List Parser Printer Printf QCheck QCheck_alcotest Reg Source

@@ -1,0 +1,1 @@
+test/test_arm64.mli:

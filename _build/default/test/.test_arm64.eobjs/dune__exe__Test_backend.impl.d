@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Ast Bytes Int64 Lfi_core Lfi_emulator Lfi_experiments Lfi_minic Lfi_runtime List Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest Array Assemble Bytes Exec Format Int64 Lfi_arm64 Lfi_emulator Machine Memory Tlb

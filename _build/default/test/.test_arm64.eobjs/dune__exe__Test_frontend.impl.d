@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Bytes Gen_minic Lfi_core Lfi_emulator Lfi_experiments Lfi_minic Lfi_runtime Lfi_wasm List QCheck QCheck_alcotest

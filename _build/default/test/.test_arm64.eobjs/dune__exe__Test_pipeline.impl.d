@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Ast Gen_minic Int64 Interp Lfi_core Lfi_experiments Lfi_minic Lfi_wasm List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Assemble Char Lfi_arm64 Lfi_core Lfi_elf Lfi_runtime List Parser Printf String

@@ -1,0 +1,1 @@
+test/test_sfi.ml: Alcotest Assemble Buffer Format Gen Insn Lfi_arm64 Lfi_core Lfi_verifier List Parser Printer QCheck QCheck_alcotest Reg Source String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Lfi_core Lfi_elf Lfi_emulator Lfi_experiments Lfi_wasm Lfi_workloads List Option

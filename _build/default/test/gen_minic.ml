@@ -1,0 +1,150 @@
+(** Random MiniC program generator shared by the differential tests
+    and the serializer round-trip properties. *)
+
+open Lfi_minic
+module G = QCheck.Gen
+
+(* ---------------- random MiniC programs ---------------- *)
+
+let vars = [ "x"; "y"; "z" ]
+
+let gen_var = G.oneofl vars
+
+let gen_ibinop =
+  G.oneofl
+    Ast.[ Add; Sub; Mul; Div; Rem; And; Or; Xor; Eq; Ne; Lt; Le; Gt; Ge; Ult ]
+
+let small_int = G.map (fun n -> Ast.Int n) (G.int_range (-100) 100)
+
+(* loads stay within the 64-element global array *)
+let gen_load e = Ast.Load (Ast.I64, Ast.Bin (Ast.Add, Ast.Addr "g",
+    Ast.Bin (Ast.Mul, Ast.Bin (Ast.And, e, Ast.Int 63), Ast.Int 8)))
+
+let rec gen_expr depth : Ast.expr G.t =
+  if depth = 0 then
+    G.frequency [ (3, small_int); (3, G.map (fun v -> Ast.Var v) gen_var) ]
+  else
+    G.frequency
+      [
+        (2, small_int);
+        (3, G.map (fun v -> Ast.Var v) gen_var);
+        ( 5,
+          G.map3
+            (fun op a b -> Ast.Bin (op, a, b))
+            gen_ibinop (gen_expr (depth - 1)) (gen_expr (depth - 1)) );
+        ( 1,
+          G.map2
+            (fun k e -> Ast.Bin (Ast.Shl, e, Ast.Int k))
+            (G.int_range 0 8) (gen_expr (depth - 1)) );
+        ( 1,
+          G.map2
+            (fun k e -> Ast.Bin (Ast.Lshr, e, Ast.Int k))
+            (G.int_range 0 8) (gen_expr (depth - 1)) );
+        (1, G.map (fun e -> Ast.Un (Ast.Neg, e)) (gen_expr (depth - 1)));
+        (1, G.map (fun e -> Ast.Un (Ast.Not, e)) (gen_expr (depth - 1)));
+        (2, G.map gen_load (gen_expr (depth - 1)));
+        ( 1,
+          (* float excursion: int -> float math -> saturating back *)
+          G.map2
+            (fun a b ->
+              Ast.Cvt
+                ( Ast.FtoI,
+                  Ast.Bin
+                    ( Ast.FMul,
+                      Ast.Cvt (Ast.ItoF, Ast.Bin (Ast.And, a, Ast.Int 1023)),
+                      Ast.Cvt (Ast.ItoF, Ast.Bin (Ast.And, b, Ast.Int 255)) ) ))
+            (gen_expr (depth - 1)) (gen_expr (depth - 1)) );
+        (1, G.map (fun args -> Ast.Call ("mix", args))
+             (G.map2 (fun a b -> [ a; b ]) (gen_expr (depth - 1)) (gen_expr (depth - 1))));
+      ]
+
+let gen_store e v =
+  Ast.Store
+    ( Ast.I64,
+      Ast.Bin (Ast.Add, Ast.Addr "g",
+        Ast.Bin (Ast.Mul, Ast.Bin (Ast.And, e, Ast.Int 63), Ast.Int 8)),
+      v )
+
+let rec gen_stmt depth : Ast.stmt G.t =
+  G.frequency
+    ([
+       ( 4,
+         G.map2 (fun v e -> Ast.Assign (v, e)) gen_var (gen_expr 2) );
+       (3, G.map2 gen_store (gen_expr 1) (gen_expr 2));
+     ]
+    @ (if depth > 0 then
+         [
+           ( 2,
+             G.map3
+               (fun c t e -> Ast.If (c, t, e))
+               (gen_expr 1)
+               (G.list_size (G.int_range 1 3) (gen_stmt (depth - 1)))
+               (G.list_size (G.int_range 0 2) (gen_stmt (depth - 1))) );
+         ]
+       else [])
+    @
+    if depth > 0 then
+      [
+        ( 1,
+          (* bounded loop with a fresh counter *)
+          G.map2
+            (fun n body ->
+              Ast.If
+                ( Ast.Int 1,
+                  Ast.Decl ("c", Ast.Int, Ast.Int 0)
+                  :: [
+                       Ast.While
+                         ( Ast.Bin (Ast.Lt, Ast.Var "c", Ast.Int n),
+                           body @ [ Ast.Assign ("c", Ast.Bin (Ast.Add, Ast.Var "c", Ast.Int 1)) ] );
+                     ],
+                  [] ))
+            (G.int_range 1 6)
+            (G.list_size (G.int_range 1 4) (gen_stmt (depth - 1))) );
+      ]
+    else [])
+
+let gen_program : Ast.program G.t =
+  let open G in
+  list_size (int_range 3 12) (gen_stmt 2) >>= fun body ->
+  gen_expr 2 >>= fun result ->
+  let mix =
+    (* a helper function so that calls and the ABI are exercised *)
+    Ast.
+      {
+        name = "mix";
+        params = [ ("a", Int); ("b", Int) ];
+        ret = Int;
+        body =
+          [
+            Decl ("t", Int, Bin (Xor, Var "a", Bin (Mul, Var "b", Int 31)));
+            If
+              ( Bin (Lt, Var "t", Int 0),
+                [ Return (Un (Neg, Var "t")) ],
+                [] );
+            Return (Var "t");
+          ];
+      }
+  in
+  let main =
+    Ast.
+      {
+        name = "main";
+        params = [];
+        ret = Int;
+        body =
+          [
+            Decl ("x", Int, Int 3);
+            Decl ("y", Int, Int (-7));
+            Decl ("z", Int, Int 11);
+          ]
+          @ body
+          @ [ Return (Bin (Ast.And, result, Int 0xFFFFFF)) ];
+      }
+  in
+  return Ast.{ globals = [ Zeroed ("g", 512) ]; funcs = [ mix; main ] }
+
+let print_program (p : Ast.program) =
+  (* print via the native backend; good enough for shrink reports *)
+  try Lfi_arm64.Source.to_string (Compile.compile p)
+  with _ -> "<uncompilable>"
+

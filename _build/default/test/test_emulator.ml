@@ -1,0 +1,228 @@
+(* Tests for the emulator: memory protection, TLB, and instruction
+   semantics (via small assembled programs run on a bare machine). *)
+
+open Lfi_arm64
+open Lfi_emulator
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check64 = Alcotest.(check int64)
+
+(* ---------------- memory ---------------- *)
+
+let test_memory_map_rw () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x10000L ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.write m 0x10010L 8 0x1122334455667788L;
+  check64 "u64" 0x1122334455667788L (Memory.read m 0x10010L 8);
+  checki "u8" 0x88 (Int64.to_int (Memory.read m 0x10010L 1));
+  checki "u16" 0x7788 (Int64.to_int (Memory.read m 0x10010L 2));
+  check64 "u32" 0x55667788L (Memory.read m 0x10010L 4)
+
+let test_memory_faults () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x10000L ~len:Memory.page_size ~perm:Memory.perm_r;
+  (match Memory.read m 0x10000L 8 with _ -> ());
+  (match Memory.write m 0x10000L 8 0L with
+  | exception Memory.Fault f -> checkb "write" true (f.Memory.access = Memory.Write)
+  | _ -> Alcotest.fail "write to read-only page succeeded");
+  (match Memory.read m 0x90000L 8 with
+  | exception Memory.Fault f -> checkb "unmapped" true (f.Memory.access = Memory.Read)
+  | _ -> Alcotest.fail "read of unmapped page succeeded");
+  (match Memory.fetch m 0x10000L with
+  | exception Memory.Fault f -> checkb "nx" true (f.Memory.access = Memory.Fetch)
+  | _ -> Alcotest.fail "fetch from non-executable page succeeded")
+
+let test_memory_cross_page () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x0L ~len:(2 * Memory.page_size) ~perm:Memory.perm_rw;
+  let a = Int64.of_int (Memory.page_size - 3) in
+  Memory.write m a 8 0x0102030405060708L;
+  check64 "crossing" 0x0102030405060708L (Memory.read m a 8)
+
+let test_memory_protect_unmap () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x4000L ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.protect m ~addr:0x4000L ~len:Memory.page_size ~perm:Memory.perm_rx;
+  (match Memory.write m 0x4000L 1 1L with
+  | exception Memory.Fault _ -> ()
+  | _ -> Alcotest.fail "write after protect");
+  Memory.unmap m ~addr:0x4000L ~len:Memory.page_size;
+  checkb "unmapped" false (Memory.is_mapped m 0x4000L)
+
+let test_tlb () =
+  let t = Tlb.create ~entries:4 in
+  checkb "first miss" false (Tlb.access t 0x10000L);
+  checkb "then hit" true (Tlb.access t 0x10008L);
+  (* 5 distinct pages in a 4-entry direct-mapped TLB: conflict *)
+  for k = 0 to 4 do
+    ignore (Tlb.access t (Int64.of_int (k * Memory.page_size * 4)))
+  done;
+  checkb "miss rate > 0" true (Tlb.miss_rate t > 0.0)
+
+(* ---------------- semantics via small programs ---------------- *)
+
+(* Assemble [body] at origin, run until svc #1, return x0. *)
+let run_asm ?(steps = 100000) (body : string) : int64 =
+  let img = Assemble.assemble_string ("_start:\n" ^ body ^ "\tsvc #1\n\tb _start\n") in
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  let base = 0x10000 in
+  let len = (Bytes.length img.Assemble.text + Memory.page_size) / Memory.page_size * Memory.page_size in
+  Memory.map mem ~addr:(Int64.of_int base) ~len ~perm:Memory.perm_rx |> ignore;
+  (* write text via a temporary RW window *)
+  Memory.protect mem ~addr:(Int64.of_int base) ~len ~perm:Memory.perm_rw;
+  Memory.write_bytes mem (Int64.of_int base) img.Assemble.text;
+  Memory.protect mem ~addr:(Int64.of_int base) ~len ~perm:Memory.perm_rx;
+  (* data + stack *)
+  Memory.map mem ~addr:0x40000L ~len:(4 * Memory.page_size) ~perm:Memory.perm_rw;
+  Memory.write_bytes mem (Int64.of_int img.Assemble.data_origin |> fun v -> (Memory.map mem ~addr:(Int64.logand v (Int64.lognot (Int64.of_int (Memory.page_size - 1)))) ~len:(2*Memory.page_size) ~perm:Memory.perm_rw; v)) img.Assemble.data;
+  m.Machine.pc <- Int64.of_int base;
+  m.Machine.sp <- 0x48000L;
+  match Exec.run m ~quantum:steps with
+  | Exec.Trap (Exec.Svc_trap 1) -> m.Machine.regs.(0)
+  | e -> Alcotest.failf "unexpected event: %s"
+           (match e with
+            | Exec.Quantum_expired -> "quantum expired"
+            | Exec.Runtime_entry _ -> "runtime entry"
+            | Exec.Trap t -> Format.asprintf "%a" Exec.pp_trap t)
+
+let sem name body expect =
+  Alcotest.test_case name `Quick (fun () ->
+      check64 name expect (run_asm body))
+
+let semantics_cases =
+  [
+    sem "add imm" "\tmovz x1, #40\n\tadd x0, x1, #2\n" 42L;
+    sem "sub flags borrow"
+      "\tmovz x1, #5\n\tmovz x2, #7\n\tsubs x0, x1, x2\n\tcset x0, cc\n" 1L;
+    sem "adds carry"
+      "\tmovn x1, #0\n\tadds x0, x1, #1\n\tcset x0, cs\n" 1L;
+    sem "overflow v flag"
+      "\tmovz x1, #0x7FFF, lsl #48\n\tmovk x1, #0xFFFF, lsl #32\n\tmovk x1, #0xFFFF, lsl #16\n\tmovk x1, #0xFFFF\n\tadds x0, x1, #1\n\tcset x0, vs\n" 1L;
+    sem "32-bit wrap" "\tmovn w1, #0\n\tadd w0, w1, #5\n" 4L;
+    sem "mul" "\tmovz x1, #7\n\tmovz x2, #6\n\tmul x0, x1, x2\n" 42L;
+    sem "madd" "\tmovz x1, #7\n\tmovz x2, #6\n\tmovz x3, #100\n\tmadd x0, x1, x2, x3\n" 142L;
+    sem "sdiv" "\tmovn x1, #99\n\tmovz x2, #10\n\tsdiv x0, x1, x2\n" (-10L);
+    sem "sdiv by zero" "\tmovz x1, #5\n\tmovz x2, #0\n\tsdiv x0, x1, x2\n" 0L;
+    sem "udiv" "\tmovn x1, #0\n\tmovz x2, #2\n\tudiv x0, x1, x2\n" 0x7FFFFFFFFFFFFFFFL;
+    sem "msub rem" "\tmovz x1, #17\n\tmovz x2, #5\n\tsdiv x3, x1, x2\n\tmsub x0, x3, x2, x1\n" 2L;
+    sem "smulh" "\tmovn x1, #0\n\tmovn x2, #0\n\tsmulh x0, x1, x2\n" 0L;
+    sem "umulh" "\tmovn x1, #0\n\tmovz x2, #2\n\tumulh x0, x1, x2\n" 1L;
+    sem "smull" "\tmovn w1, #0\n\tmovz w2, #3\n\tsmull x0, w1, w2\n" (-3L);
+    sem "umull" "\tmovn w1, #0\n\tmovz w2, #2\n\tumull x0, w1, w2\n" 8589934590L;
+    sem "smaddl" "\tmovz w1, #7\n\tmovn w2, #1\n\tmovz x3, #100\n\tsmaddl x0, w1, w2, x3\n" 86L;
+    sem "ccmp taken"
+      "\tmovz x1, #3\n\tcmp x1, #3\n\tmovz x2, #5\n\tccmp x2, #5, #0, eq\n\tcset x0, eq\n" 1L;
+    sem "ccmp fallback nzcv"
+      "\tmovz x1, #3\n\tcmp x1, #4\n\tmovz x2, #5\n\tccmp x2, #5, #4, eq\n\tcset x0, eq\n" 1L;
+    sem "ccmp reg"
+      "\tmovz x1, #1\n\tcmp x1, #1\n\tmovz x2, #9\n\tmovz x3, #8\n\tccmp x2, x3, #0, eq\n\tcset x0, gt\n" 1L;
+    sem "lsl reg" "\tmovz x1, #1\n\tmovz x2, #63\n\tlsl x0, x1, x2\n" Int64.min_int;
+    sem "asr imm" "\tmovn x1, #0\n\tasr x0, x1, #17\n" (-1L);
+    sem "ror imm" "\tmovz x1, #1\n\tror x0, x1, #1\n" Int64.min_int;
+    sem "ubfx" "\tmovz x1, #0xAB, lsl #16\n\tubfx x0, x1, #16, #8\n" 0xABL;
+    sem "sbfx sign" "\tmovz x1, #0x80\n\tsbfx x0, x1, #0, #8\n" (-128L);
+    sem "bfi"
+      "\tmovz x0, #0xFFFF\n\tmovz x1, #0\n\tbfi x0, x1, #4, #8\n" 0xF00FL;
+    sem "clz" "\tmovz x1, #1, lsl #16\n\tclz x0, x1\n" 47L;
+    sem "clz zero" "\tmovz x1, #0\n\tclz x0, x1\n" 64L;
+    sem "rbit" "\tmovz x1, #1\n\trbit x0, x1\n" Int64.min_int;
+    sem "rev" "\tmovz x1, #0x1234\n\trev x0, x1\n" 0x3412000000000000L;
+    sem "rev16" "\tmovz w1, #0x1234\n\trev16 w0, w1\n" 0x3412L;
+    sem "csel taken" "\tmovz x3, #0\n\tcmp x3, #0\n\tmovz x1, #11\n\tmovz x2, #22\n\tcsel x0, x1, x2, eq\n" 11L;
+    sem "csinc" "\tmovz x3, #0\n\tcmp x3, #1\n\tmovz x1, #11\n\tmovz x2, #22\n\tcsinc x0, x1, x2, eq\n" 23L;
+    sem "csneg" "\tmovz x3, #0\n\tcmp x3, #1\n\tmovz x1, #11\n\tmovz x2, #22\n\tcsneg x0, x1, x2, eq\n" (-22L);
+    sem "extr" "\tmovz x1, #1\n\tmovz x2, #0\n\textr x0, x1, x2, #60\n" 16L;
+    sem "eor" "\tmovz x1, #0xFF\n\tmovz x2, #0x0F\n\teor x0, x1, x2\n" 0xF0L;
+    sem "bic" "\tmovz x1, #0xFF\n\tmovz x2, #0x0F\n\tbic x0, x1, x2\n" 0xF0L;
+    sem "movk" "\tmovz x0, #1\n\tmovk x0, #2, lsl #16\n" 0x20001L;
+    sem "movn" "\tmovn x0, #0\n" (-1L);
+    (* memory *)
+    sem "store load"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #77\n\tstr x2, [x1, #16]\n\tldr x0, [x1, #16]\n" 77L;
+    sem "pre index"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #5\n\tstr x2, [x1, #8]!\n\tsub x0, x1, #8\n\tldr x0, [x0, #8]\n" 5L;
+    sem "post index"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #9\n\tstr x2, [x1], #32\n\tmovz x3, #4, lsl #16\n\tldr x0, [x3]\n" 9L;
+    sem "reg offset lsl"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #3\n\tmovz x3, #55\n\tstr x3, [x1, x2, lsl #3]\n\tldr x0, [x1, x2, lsl #3]\n" 55L;
+    sem "ldrsb" "\tmovz x1, #4, lsl #16\n\tmovn w2, #0\n\tstrb w2, [x1]\n\tldrsb x0, [x1]\n" (-1L);
+    sem "ldrsw" "\tmovz x1, #4, lsl #16\n\tmovn w2, #0\n\tstr w2, [x1]\n\tldrsw x0, [x1]\n" (-1L);
+    sem "ldrh zero extend" "\tmovz x1, #4, lsl #16\n\tmovn w2, #0\n\tstrh w2, [x1]\n\tldrh w0, [x1]\n" 0xFFFFL;
+    sem "ldp stp"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #1\n\tmovz x3, #2\n\tstp x2, x3, [x1]\n\tldp x4, x5, [x1]\n\tadd x0, x4, x5\n" 3L;
+    sem "uxtw addressing"
+      (* garbage in the top 32 bits of the index is discarded *)
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #21\n\tstr x2, [x1]\n\tmovn x3, \
+       #0\n\tmovk x3, #4, lsl #16\n\tmovk x3, #0\n\tmovz x4, #0\n\tldr x0, \
+       [x4, w3, uxtw]\n"
+      21L;
+    (* exclusives *)
+    sem "ldxr stxr success"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #9\n\tstr x2, [x1]\n\tldxr x3, [x1]\n\tadd x3, x3, #1\n\tstxr w4, x3, [x1]\n\tldr x5, [x1]\n\tadd x0, x5, x4\n"
+      10L;
+    sem "stxr without monitor fails"
+      "\tmovz x1, #4, lsl #16\n\tmovz x3, #9\n\tstxr w4, x3, [x1]\n\tmov x0, x4\n" 1L;
+    (* branches *)
+    sem "cbnz loop"
+      "\tmovz x1, #5\n\tmovz x0, #0\nloop:\n\tadd x0, x0, #2\n\tsub x1, x1, #1\n\tcbnz x1, loop\n" 10L;
+    sem "tbz taken" "\tmovz x1, #4\n\tmovz x0, #1\n\ttbz x1, #2, skip\n\tmovz x0, #2\nskip:\n" 2L;
+    sem "bl ret"
+      "\tbl fn\n\tb done\nfn:\n\tmovz x0, #77\n\tret\ndone:\n" 77L;
+    (* floating point *)
+    sem "fp add"
+      "\tmovz x1, #0x4000, lsl #48\n\tfmov d1, x1\n\tfadd d0, d1, d1\n\tfcvtzs x0, d0\n" 4L;
+    sem "fdiv fcvt"
+      "\tmovz x1, #7\n\tscvtf d1, x1\n\tmovz x2, #2\n\tscvtf d2, x2\n\tfdiv d0, d1, d2\n\tfcvtzs x0, d0\n" 3L;
+    sem "fsqrt" "\tmovz x1, #81\n\tscvtf d1, x1\n\tfsqrt d0, d1\n\tfcvtzs x0, d0\n" 9L;
+    sem "fcmp lt" "\tmovz x1, #1\n\tscvtf d1, x1\n\tmovz x2, #2\n\tscvtf d2, x2\n\tfcmp d1, d2\n\tcset x0, mi\n" 1L;
+    sem "fcvtzs nan" "\tmovz x1, #0\n\tfmov d1, x1\n\tfdiv d0, d1, d1\n\tfcvtzs x0, d0\n" 0L;
+    sem "fneg fabs" "\tmovz x1, #5\n\tscvtf d1, x1\n\tfneg d2, d1\n\tfabs d0, d2\n\tfcvtzs x0, d0\n" 5L;
+    sem "fmadd" "\tmovz x1, #3\n\tscvtf d1, x1\n\tmovz x2, #4\n\tscvtf d2, x2\n\tmovz x3, #10\n\tscvtf d3, x3\n\tfmadd d0, d1, d2, d3\n\tfcvtzs x0, d0\n" 22L;
+    sem "ucvtf" "\tmovn x1, #0\n\tucvtf d0, x1\n\tmovz x2, #0x43F0, lsl #48\n\tfmov d1, x2\n\tfcmp d0, d1\n\tcset x0, eq\n" 1L;
+  ]
+
+let test_undefined_trap () =
+  let img = Assemble.assemble_string "_start:\n\tudf #7\n" in
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  Memory.map mem ~addr:0x10000L ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.write_bytes mem 0x10000L img.Assemble.text;
+  Memory.protect mem ~addr:0x10000L ~len:Memory.page_size ~perm:Memory.perm_rx;
+  m.Machine.pc <- 0x10000L;
+  match Exec.run m ~quantum:10 with
+  | Exec.Trap (Exec.Undefined _) -> ()
+  | _ -> Alcotest.fail "expected undefined trap"
+
+let test_runtime_entry () =
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  m.Machine.pc <- Machine.host_region_start;
+  match Exec.step m with
+  | Some (Exec.Runtime_entry pc) -> check64 "pc" Machine.host_region_start pc
+  | _ -> Alcotest.fail "expected runtime entry"
+
+let test_cost_accumulates () =
+  let v = run_asm "\tmovz x0, #1\n\tadd x0, x0, #1\n" in
+  checkb "result" true (Int64.equal v 2L)
+
+let () =
+  Alcotest.run "emulator"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "map rw" `Quick test_memory_map_rw;
+          Alcotest.test_case "faults" `Quick test_memory_faults;
+          Alcotest.test_case "cross page" `Quick test_memory_cross_page;
+          Alcotest.test_case "protect unmap" `Quick test_memory_protect_unmap;
+          Alcotest.test_case "tlb" `Quick test_tlb;
+        ] );
+      ("semantics", semantics_cases);
+      ( "traps",
+        [
+          Alcotest.test_case "undefined" `Quick test_undefined_trap;
+          Alcotest.test_case "runtime entry" `Quick test_runtime_entry;
+          Alcotest.test_case "cost" `Quick test_cost_accumulates;
+        ] );
+    ]

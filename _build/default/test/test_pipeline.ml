@@ -1,0 +1,177 @@
+(* Differential testing of the whole pipeline.
+
+   A random-program generator produces small MiniC programs; each must
+   compute the same result in the reference interpreter, compiled
+   natively, compiled + LFI-rewritten (O0 and O2), and compiled through
+   the Wasm IR under two engine configurations.  Any divergence is a
+   bug in a compiler, the rewriter, the verifier (false reject), or the
+   emulator. *)
+
+open Lfi_minic
+open Gen_minic
+
+(* ---------------- the differential property ---------------- *)
+
+let systems =
+  [
+    Lfi_experiments.Run.Native;
+    Lfi_experiments.Run.Lfi Lfi_core.Config.o0;
+    Lfi_experiments.Run.Lfi Lfi_core.Config.o2;
+    Lfi_experiments.Run.Wasm Lfi_wasm.Engine.wasmtime;
+    Lfi_experiments.Run.Wasm Lfi_wasm.Engine.wasm2c;
+  ]
+
+let prop_differential =
+  QCheck.Test.make ~count:60 ~name:"interp = native = lfi = wasm"
+    (QCheck.make ~print:print_program gen_program)
+    (fun prog ->
+      match Interp.run ~fuel:2_000_000 prog with
+      | exception Interp.Out_of_fuel -> true (* pathological loop; skip *)
+      | exception Interp.Unsupported _ -> true
+      | expected, _ ->
+          let expected = Int64.to_int expected in
+          List.for_all
+            (fun sys ->
+              let r = Lfi_experiments.Run.run sys prog in
+              if r.Lfi_experiments.Run.exit_code = expected then true
+              else
+                QCheck.Test.fail_reportf "%s: got %d, interp says %d"
+                  (Lfi_experiments.Run.system_name sys)
+                  r.Lfi_experiments.Run.exit_code expected)
+            systems)
+
+(* ---------------- fixed pipeline cases ---------------- *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let run_all_systems prog =
+  List.map
+    (fun sys -> (Lfi_experiments.Run.run sys prog).Lfi_experiments.Run.exit_code)
+    systems
+
+let test_indirect_calls () =
+  let open Ast.Dsl in
+  let double = Ast.{ name = "double"; params = [ ("a", Int) ]; ret = Int;
+                     body = [ ret (v "a" * i 2) ] } in
+  let triple = Ast.{ name = "triple"; params = [ ("a", Int) ]; ret = Int;
+                     body = [ ret (v "a" * i 3) ] } in
+  let main = Ast.{ name = "main"; params = []; ret = Int; body = [
+    decl "f" Int (addr "double");
+    decl "g" Int (addr "triple");
+    decl "a" Int (Ast.Call_indirect (v "f", [ i 10 ], Some Ast.Int));
+    decl "b" Int (Ast.Call_indirect (v "g", [ i 10 ], Some Ast.Int));
+    ret (v "a" + v "b") ] } in
+  let prog = Ast.{ globals = []; funcs = [ double; triple; main ] } in
+  List.iter (fun c -> checki "50" 50 c) (run_all_systems prog)
+
+let test_float_pipeline () =
+  let open Ast.Dsl in
+  let main = Ast.{ name = "main"; params = []; ret = Int; body = [
+    decl "a" Float (f 1.25);
+    decl "s" Float (f 0.0);
+    decl "k" Int (i 0);
+    while_ (v "k" < i 10) [
+      set "s" (v "s" +. v "a" *. itof (v "k"));
+      set "k" (v "k" + i 1) ];
+    ret (ftoi (v "s" *. f 100.0)) ] } in
+  let prog = Ast.{ globals = []; funcs = [ main ] } in
+  let expected = Int64.to_int (fst (Interp.run prog)) in
+  checki "interp" 5625 expected;
+  List.iter (fun c -> checki "float" expected c) (run_all_systems prog)
+
+let test_wasm_validator_catches () =
+  (* an ill-typed module must not validate *)
+  let m =
+    Lfi_wasm.Ir.
+      {
+        types = [];
+        funcs =
+          [|
+            { ftype = { params = []; result = I64 };
+              locals = [];
+              body = [ Fconst 1.0; Return ] (* f64 returned as i64 *);
+              name = "bad" };
+          |];
+        table = [||];
+        memory_pages = 1;
+        data = [];
+        start = 0;
+      }
+  in
+  match Lfi_wasm.Validate.validate m with
+  | Ok () -> Alcotest.fail "ill-typed module validated"
+  | Error _ -> ()
+
+let test_wasm_stack_discipline () =
+  let m =
+    Lfi_wasm.Ir.
+      {
+        types = [];
+        funcs =
+          [|
+            { ftype = { params = []; result = I64 };
+              locals = [];
+              body = [ Const 1; Const 2; Ibin Add; Drop; Const 0; Return ];
+              name = "ok" };
+          |];
+        table = [||];
+        memory_pages = 1;
+        data = [];
+        start = 0;
+      }
+  in
+  (match Lfi_wasm.Validate.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "good module rejected: %s" e.Lfi_wasm.Validate.msg);
+  let underflow =
+    Lfi_wasm.Ir.
+      { m with
+        funcs =
+          [|
+            { (m.funcs.(0)) with body = [ Ibin Add; Return ] };
+          |] }
+  in
+  match Lfi_wasm.Validate.validate underflow with
+  | Ok () -> Alcotest.fail "underflow validated"
+  | Error _ -> ()
+
+let test_wasm_serialization () =
+  let m = Lfi_wasm.From_minic.lower
+      Ast.{ globals = [ Zeroed ("g", 64) ];
+            funcs = [ { name = "main"; params = []; ret = Int;
+                        body = [ Return (Int 7) ] } ] } in
+  checkb "nonempty" true (Lfi_wasm.Ir.size_bytes m > 8)
+
+let test_interp_matches_expected () =
+  let open Ast.Dsl in
+  (* spot-check interpreter semantics on ARM edge cases *)
+  let run1 e =
+    let main = Ast.{ name = "main"; params = []; ret = Int; body = [ ret e ] } in
+    Int64.to_int (fst (Interp.run Ast.{ globals = []; funcs = [ main ] }))
+  in
+  checki "div0" 0 (run1 (i 5 / i 0));
+  checki "rem0" 5 (run1 (i 5 % i 0));
+  checki "shift mod" 2 (run1 (shl (i 1) (i 65)));
+  checki "ftoi nan" 0 (run1 (ftoi (f 0.0 /. f 0.0)))
+
+let mk name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_differential ] );
+      ( "fixed",
+        [
+          mk "indirect calls" test_indirect_calls;
+          mk "floats" test_float_pipeline;
+          mk "interp edge cases" test_interp_matches_expected;
+        ] );
+      ( "wasm",
+        [
+          mk "validator rejects ill-typed" test_wasm_validator_catches;
+          mk "stack discipline" test_wasm_stack_discipline;
+          mk "serialization" test_wasm_serialization;
+        ] );
+    ]

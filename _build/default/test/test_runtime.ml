@@ -1,0 +1,300 @@
+(* Integration tests for the runtime: loading, verification at load,
+   runtime calls, the VFS, pipes, fork, wait, scheduling, isolation. *)
+
+open Lfi_arm64
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let build ?(rewrite = true) asm =
+  let src = Parser.parse_string_exn asm in
+  let src = if rewrite then fst (Lfi_core.Rewriter.rewrite src) else src in
+  Lfi_elf.Elf.of_image (Assemble.assemble src)
+
+let run_lfi ?config asm =
+  let rt = Lfi_runtime.Runtime.create ?config () in
+  let p = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (build asm) in
+  Lfi_runtime.Runtime.run_one rt p
+
+let exit_code = function
+  | Lfi_runtime.Runtime.Exited c, _, _, _ -> c
+  | Lfi_runtime.Runtime.Killed why, _, _, _ -> Alcotest.failf "killed: %s" why
+
+(* ---------------- basic runtime calls ---------------- *)
+
+let test_exit () =
+  checki "code" 42 (exit_code (run_lfi "_start:\n\tmovz x0, #42\n\tsvc #1\n\tb _start\n"))
+
+let test_write_stdout () =
+  let reason, out, _, _ =
+    run_lfi
+      "_start:\n\tadr x1, msg\n\tmovz x0, #1\n\tmovz x2, #3\n\tsvc #2\n\tsvc \
+       #1\n\tb _start\n.data\nmsg:\n\t.asciz \"abc\"\n"
+  in
+  ignore reason;
+  checks "stdout" "abc" out
+
+let test_getpid () =
+  checki "pid" 1 (exit_code (run_lfi "_start:\n\tsvc #10\n\tsvc #1\n\tb _start\n"))
+
+let test_unknown_syscall () =
+  (* rewriter maps svc #40 to table entry 40 which is within Sysno
+     range? 40 >= count -> unmapped entry -> trap *)
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build "_start:\n\tsvc #40\n\tsvc #1\n\tb _start\n")
+  in
+  match Lfi_runtime.Runtime.run_one rt p with
+  | Lfi_runtime.Runtime.Killed _, _, _, _ -> ()
+  | Lfi_runtime.Runtime.Exited c, _, _, _ ->
+      Alcotest.failf "exited %d but should have trapped" c
+
+(* ---------------- load-time verification ---------------- *)
+
+let test_load_rejects_unverified () =
+  let rt = Lfi_runtime.Runtime.create () in
+  match
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build ~rewrite:false "_start:\n\tstr x0, [x1]\n\tsvc #1\n\tb _start\n")
+  with
+  | exception Lfi_runtime.Runtime.Load_error _ -> ()
+  | _ -> Alcotest.fail "unverified binary loaded"
+
+let test_native_skips_verification () =
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt
+      ~personality:Lfi_runtime.Proc.Native_in_lfi_runtime
+      (build ~rewrite:false
+         "_start:\n\tadr x1, d\n\tmovz x2, #7\n\tstr x2, [x1]\n\tldr x0, \
+          [x1]\n\tsvc #1\n\tb _start\n.data\nd:\n\t.quad 0\n")
+  in
+  checki "native" 7 (exit_code (Lfi_runtime.Runtime.run_one rt p))
+
+(* ---------------- files and access control ---------------- *)
+
+let asm_open_read =
+  (* open("/data/f"), read 3 bytes, exit with first byte *)
+  "_start:\n\tadr x0, path\n\tmovz x1, #0\n\tsvc #4\n\tmov x3, x0\n\tmov x0, \
+   x3\n\tadr x1, buf\n\tmovz x2, #3\n\tsvc #3\n\tadr x4, buf\n\tldrb w0, \
+   [x4]\n\tsvc #1\n\tb _start\n.data\npath:\n\t.asciz \
+   \"/data/f\"\nbuf:\n\t.zero 8\n"
+
+let test_file_read () =
+  let rt = Lfi_runtime.Runtime.create () in
+  Lfi_runtime.Vfs.add_file rt.Lfi_runtime.Runtime.vfs "/data/f" "XYZ";
+  let p = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (build asm_open_read) in
+  checki "first byte" (Char.code 'X') (exit_code (Lfi_runtime.Runtime.run_one rt p))
+
+let test_access_control () =
+  let config =
+    { Lfi_runtime.Runtime.default_config with allowed_prefixes = [ "/tmp" ] }
+  in
+  let rt = Lfi_runtime.Runtime.create ~config () in
+  Lfi_runtime.Vfs.add_file rt.Lfi_runtime.Runtime.vfs "/data/f" "XYZ";
+  (* open must fail with EACCES (-13); exit with open's result *)
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build
+         "_start:\n\tadr x0, path\n\tmovz x1, #0\n\tsvc #4\n\tsvc #1\n\tb \
+          _start\n.data\npath:\n\t.asciz \"/data/f\"\n")
+  in
+  checki "eacces" (-13) (exit_code (Lfi_runtime.Runtime.run_one rt p))
+
+let test_file_write_and_contents () =
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build
+         "_start:\n\tadr x0, path\n\tmovz x1, #1\n\tsvc #4\n\tmov x5, \
+          x0\n\tmov x0, x5\n\tadr x1, msg\n\tmovz x2, #2\n\tsvc #2\n\tmov x0, \
+          x5\n\tsvc #5\n\tmovz x0, #0\n\tsvc #1\n\tb _start\n.data\n\
+          path:\n\t.asciz \"/out\"\nmsg:\n\t.asciz \"hi\"\n")
+  in
+  checki "exit" 0 (exit_code (Lfi_runtime.Runtime.run_one rt p));
+  match Lfi_runtime.Vfs.lookup rt.Lfi_runtime.Runtime.vfs "/out" with
+  | Some f -> checks "contents" "hi" (Lfi_runtime.Vfs.file_contents f)
+  | None -> Alcotest.fail "file not created"
+
+(* ---------------- memory management ---------------- *)
+
+let test_mmap () =
+  (* mmap 2 pages, store/load across them *)
+  let code =
+    "_start:\n\tmovz x0, #0x8000\n\tsvc #11\n\tmov x1, x0\n\tmovz x2, \
+     #99\n\tstr x2, [x1, #4096]\n\tldr x0, [x1, #4096]\n\tsvc #1\n\tb _start\n"
+  in
+  checki "mmap rw" 99 (exit_code (run_lfi code))
+
+let test_brk () =
+  let code =
+    "_start:\n\tmovz x0, #0\n\tsvc #15\n\tmov x1, x0\n\tadd x0, x1, #2048\n\t\
+     svc #15\n\tmovz x2, #55\n\tstr x2, [x1]\n\tldr x0, [x1]\n\tsvc #1\n\tb _start\n"
+  in
+  checki "brk" 55 (exit_code (run_lfi code))
+
+(* ---------------- faults kill the process ---------------- *)
+
+let test_guard_page_fault () =
+  (* store through sp after moving it to the bottom of the stack region
+     is fine; loading from unmapped heap traps *)
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build
+         "_start:\n\tmovz x1, #0x2000, lsl #16\n\tldr x0, [x1]\n\tsvc #1\n\tb _start\n")
+  in
+  match Lfi_runtime.Runtime.run_one rt p with
+  | Lfi_runtime.Runtime.Killed why, _, _, _ ->
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      checkb "fault" true (contains why "fault")
+  | _ -> Alcotest.fail "expected kill"
+
+(* ---------------- fork / wait / pipes ---------------- *)
+
+let test_fork_pids () =
+  (* parent exits with child pid (2); child exits 0 *)
+  let code =
+    "_start:\n\tsvc #7\n\tsvc #1\n\tb _start\n"
+  in
+  let rt = Lfi_runtime.Runtime.create () in
+  let p = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (build code) in
+  let log = Lfi_runtime.Runtime.run rt in
+  (match List.assoc_opt p.Lfi_runtime.Proc.pid log with
+  | Some (Lfi_runtime.Runtime.Exited c) -> checki "parent sees child pid" 2 c
+  | _ -> Alcotest.fail "parent did not exit");
+  match List.assoc_opt 2 log with
+  | Some (Lfi_runtime.Runtime.Exited 0) -> ()
+  | _ -> Alcotest.fail "child did not exit 0"
+
+let test_fork_isolation () =
+  (* child increments a global then exits with it; parent waits and
+     exits with its own (unchanged) copy + child status *)
+  let code =
+    "_start:\n\tadr x9, cell\n\tmovz x1, #5\n\tstr x1, [x9]\n\tsvc #7\n\tcbnz \
+     x0, parent\n\tldr x1, [x9]\n\tadd x1, x1, #1\n\tstr x1, [x9]\n\tldr x0, \
+     [x9]\n\tsvc #1\nparent:\n\tadr x2, status\n\tmov x0, x2\n\tsvc #8\n\tadr \
+     x3, status\n\tldr w4, [x3]\n\tadr x9, cell\n\tldr x5, [x9]\n\tlsl x5, \
+     x5, #8\n\tadd x0, x5, x4\n\tsvc #1\n\tb _start\n.data\ncell:\n\t.quad \
+     0\nstatus:\n\t.quad 0\n"
+  in
+  (* parent: own cell (5) << 8 | child status (6) = 0x506 *)
+  checki "isolation" 0x506 (exit_code (run_lfi code))
+
+let test_wait_echild () =
+  let code = "_start:\n\tmovz x0, #0\n\tsvc #8\n\tsvc #1\n\tb _start\n" in
+  checki "echild" (-10) (exit_code (run_lfi code))
+
+let test_pipe_blocking () =
+  (* parent writes after child already blocked reading *)
+  let code =
+    "_start:\n\tadr x0, fds\n\tsvc #6\n\tsvc #7\n\tcbnz x0, parent\n\
+     child:\n\tadr x1, fds\n\tldr w0, [x1]\n\tadr x1, buf\n\tmovz x2, #1\n\t\
+     svc #3\n\tadr x1, buf\n\tldrb w0, [x1]\n\tsvc #1\n\
+     parent:\n\tadr x1, buf\n\tmovz x2, #65\n\tstrb w2, [x1]\n\tadr x3, \
+     fds\n\tldr w0, [x3, #4]\n\tmovz x2, #1\n\tsvc #2\n\tadr x4, status\n\t\
+     mov x0, x4\n\tsvc #8\n\tadr x4, status\n\tldr w0, [x4]\n\tsvc #1\n\tb \
+     _start\n.data\nfds:\n\t.quad 0\nbuf:\n\t.quad 0\nstatus:\n\t.quad 0\n"
+  in
+  (* child exits with the byte it read (65); parent exits with child's
+     status *)
+  checki "pipe byte" 65 (exit_code (run_lfi code))
+
+(* ---------------- scheduling ---------------- *)
+
+let test_preemption_interleaves () =
+  let config = { Lfi_runtime.Runtime.default_config with quantum = 1000 } in
+  let rt = Lfi_runtime.Runtime.create ~config () in
+  let elf =
+    build
+      "_start:\n\tmovz x1, #0\nloop:\n\tadd x1, x1, #1\n\tmovz x2, \
+       #1600\n\tcmp x1, x2\n\tb.lt loop\n\tsvc #10\n\tmov x0, x0\n\tsvc \
+       #1\n\tb _start\n"
+  in
+  let a = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi elf in
+  let b = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi elf in
+  let log = Lfi_runtime.Runtime.run rt in
+  checkb "both exited" true
+    (List.mem_assoc a.Lfi_runtime.Proc.pid log
+    && List.mem_assoc b.Lfi_runtime.Proc.pid log);
+  checkb "preempted" true (rt.Lfi_runtime.Runtime.preemptions > 0)
+
+let test_sandbox_isolation () =
+  (* two sandboxes write different values at the same offset; each must
+     read back its own *)
+  let mk v =
+    build
+      (Printf.sprintf
+         "_start:\n\tadr x1, cell\n\tmovz x2, #%d\n\tstr x2, [x1]\n\tsvc \
+          #9\n\tldr x0, [x1]\n\tsvc #1\n\tb _start\n.data\ncell:\n\t.quad 0\n"
+         v)
+  in
+  let rt = Lfi_runtime.Runtime.create () in
+  let a = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (mk 111) in
+  let b = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (mk 222) in
+  let log = Lfi_runtime.Runtime.run rt in
+  checkb "a" true
+    (List.assoc_opt a.Lfi_runtime.Proc.pid log = Some (Lfi_runtime.Runtime.Exited 111));
+  checkb "b" true
+    (List.assoc_opt b.Lfi_runtime.Proc.pid log = Some (Lfi_runtime.Runtime.Exited 222))
+
+let test_slot_reuse () =
+  (* a reaped child's slot must be recycled *)
+  let code =
+    "_start:\n\tsvc #7\n\tcbnz x0, parent\n\tmovz x0, #0\n\tsvc #1\n\
+     parent:\n\tmovz x0, #0\n\tsvc #8\n\tsvc #7\n\tcbnz x0, parent2\n\tmovz \
+     x0, #0\n\tsvc #1\nparent2:\n\tmovz x0, #0\n\tsvc #8\n\tmovz x0, #0\n\t\
+     svc #1\n\tb _start\n"
+  in
+  let rt = Lfi_runtime.Runtime.create () in
+  let p = Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi (build code) in
+  ignore (Lfi_runtime.Runtime.run rt);
+  ignore p;
+  (* two forks, but the second reuses the first child's slot *)
+  checki "slots used" 3 rt.Lfi_runtime.Runtime.next_slot
+
+let mk name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "calls",
+        [
+          mk "exit" test_exit;
+          mk "write stdout" test_write_stdout;
+          mk "getpid" test_getpid;
+          mk "unused table entry traps" test_unknown_syscall;
+        ] );
+      ( "loading",
+        [
+          mk "rejects unverified" test_load_rejects_unverified;
+          mk "native skips verification" test_native_skips_verification;
+        ] );
+      ( "vfs",
+        [
+          mk "file read" test_file_read;
+          mk "access control" test_access_control;
+          mk "file write" test_file_write_and_contents;
+        ] );
+      ("memory", [ mk "mmap" test_mmap; mk "brk" test_brk ]);
+      ("faults", [ mk "unmapped heap" test_guard_page_fault ]);
+      ( "processes",
+        [
+          mk "fork pids" test_fork_pids;
+          mk "fork isolation" test_fork_isolation;
+          mk "wait echild" test_wait_echild;
+          mk "pipe blocking" test_pipe_blocking;
+        ] );
+      ( "scheduling",
+        [
+          mk "preemption" test_preemption_interleaves;
+          mk "sandbox isolation" test_sandbox_isolation;
+          mk "slot reuse" test_slot_reuse;
+        ] );
+    ]
