@@ -1,0 +1,23 @@
+.PHONY: all build check test bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+check: build
+	dune runtest
+
+test: check
+
+# Full experiment suite (figures + tables + Bechamel wall-clock).
+bench:
+	dune exec bench/main.exe
+
+# Emulator/rewriter/verifier throughput snapshot for perf tracking.
+# Compare against BENCH_baseline.json (pre-overhaul emulator).
+bench-json:
+	dune exec bench/main.exe -- --quick --json BENCH_emulator.json
+
+clean:
+	dune clean

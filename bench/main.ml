@@ -102,11 +102,158 @@ let bechamel_benchmarks () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* JSON perf harness (--json FILE)                                     *)
+(*                                                                     *)
+(* Measures the host-side throughput of the components every           *)
+(* experiment is bottlenecked on — emulated instructions per second    *)
+(* on registry workloads under both uarch models, plus rewriter and    *)
+(* verifier wall-clock — and writes the numbers to a JSON file so      *)
+(* successive PRs have a perf trajectory to compare against.           *)
+(* ------------------------------------------------------------------ *)
+
+type emu_sample = {
+  workload : string;
+  uarch : string;
+  system : string;
+  insns : int;
+  sim_cycles : float;
+  wall_s : float;
+  insns_per_sec : float;
+}
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** Best-of-[reps] wall clock for one run of [f] (first call warms the
+    decode and translation caches' allocation paths). *)
+let best_of reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, dt = time_wall f in
+    result := Some r;
+    if dt < !best then best := dt
+  done;
+  (Option.get !result, !best)
+
+let emulator_samples ~reps workloads =
+  List.concat_map
+    (fun short ->
+      let w = Option.get (Lfi_workloads.Registry.find short) in
+      List.concat_map
+        (fun uarch ->
+          List.map
+            (fun (sysname, sys) ->
+              (* build outside the timed section: we are measuring the
+                 emulator, not the compiler *)
+              let elf = Lfi_experiments.Run.build sys w.Lfi_workloads.Common.program in
+              let r, wall =
+                best_of reps (fun () ->
+                    Lfi_experiments.Run.execute ~uarch sys elf)
+              in
+              {
+                workload = short;
+                uarch = uarch.Lfi_emulator.Cost_model.name;
+                system = sysname;
+                insns = r.Lfi_experiments.Run.insns;
+                sim_cycles = r.Lfi_experiments.Run.cycles;
+                wall_s = wall;
+                insns_per_sec = float_of_int r.Lfi_experiments.Run.insns /. wall;
+              })
+            [
+              ("native", Lfi_experiments.Run.Native);
+              ("lfi-o2", Lfi_experiments.Run.Lfi Lfi_core.Config.o2);
+            ])
+        [ Lfi_emulator.Cost_model.m1; Lfi_emulator.Cost_model.t2a ])
+    workloads
+
+let json_perf ~quick file =
+  let reps = if quick then 2 else 4 in
+  let workloads =
+    if quick then [ "mcf"; "xz" ] else [ "mcf"; "xz"; "deepsjeng" ]
+  in
+  Printf.printf "measuring emulator throughput on %s (%d reps)...\n%!"
+    (String.concat ", " workloads) reps;
+  let emu = emulator_samples ~reps workloads in
+  List.iter
+    (fun s ->
+      Printf.printf "  %-10s %-4s %-7s %9d insns  %8.3f ms  %10.0f insns/s\n%!"
+        s.workload s.uarch s.system s.insns (s.wall_s *. 1000.0)
+        s.insns_per_sec)
+    emu;
+  (* rewriter + verifier wall clock on the mcf proxy *)
+  let w = Option.get (Lfi_workloads.Registry.find "mcf") in
+  let native_src = Lfi_minic.Compile.compile w.Lfi_workloads.Common.program in
+  let (rewritten, _), rewrite_s =
+    best_of (reps * 2) (fun () -> Lfi_core.Rewriter.rewrite native_src)
+  in
+  let image = Lfi_arm64.Assemble.assemble rewritten in
+  let code =
+    match Lfi_elf.Elf.text_segment (Lfi_elf.Elf.of_image image) with
+    | Some seg -> seg.Lfi_elf.Elf.data
+    | None -> assert false
+  in
+  let verify_res, verify_s =
+    best_of (reps * 2) (fun () -> Lfi_verifier.Verifier.verify ~code ())
+  in
+  (match verify_res with
+  | Ok _ -> ()
+  | Error _ -> failwith "verifier rejected the mcf proxy");
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"lfi-bench/v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf "  \"emulator\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"uarch\": %S, \"system\": %S, \"insns\": \
+            %d, \"sim_cycles\": %.1f, \"wall_s\": %.6f, \"insns_per_sec\": \
+            %.0f}%s\n"
+           s.workload s.uarch s.system s.insns s.sim_cycles s.wall_s
+           s.insns_per_sec
+           (if i = List.length emu - 1 then "" else ",")))
+    emu;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"rewriter\": {\"input\": \"mcf\", \"wall_s\": %.6f},\n" rewrite_s);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"verifier\": {\"input\": \"mcf\", \"wall_s\": %.6f, \
+        \"text_bytes\": %d, \"mb_per_sec\": %.1f}\n"
+       verify_s (Bytes.length code)
+       (float_of_int (Bytes.length code) /. verify_s /. 1e6));
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  run_experiments ();
-  if not quick then bechamel_benchmarks ();
-  print_newline ();
-  print_endline
-    "Done.  Paper-vs-measured commentary for every experiment is in \
-     EXPERIMENTS.md."
+  let json_file =
+    let rec go i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+        Some Sys.argv.(i + 1)
+      else go (i + 1)
+    in
+    go 1
+  in
+  match json_file with
+  | Some file -> json_perf ~quick file
+  | None when Array.exists (fun a -> a = "--json") Sys.argv ->
+      prerr_endline "usage: main.exe [--quick] [--json FILE]";
+      exit 2
+  | None ->
+      run_experiments ();
+      if not quick then bechamel_benchmarks ();
+      print_newline ();
+      print_endline
+        "Done.  Paper-vs-measured commentary for every experiment is in \
+         EXPERIMENTS.md."

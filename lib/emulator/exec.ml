@@ -4,7 +4,16 @@
     cost model for every instruction and the TLB for every data access.
     Anything that must escape to the host — memory faults, [svc],
     undefined instructions, or control reaching the runtime region —
-    is reported as an {!event}; the runtime decides what it means. *)
+    is reported as an {!event}; the runtime decides what it means.
+
+    The step path is engineered to be allocation-free on the common
+    path: instruction fetch is an array probe into the machine's
+    per-page decode cache, effective addresses are computed by
+    {!addr_of} and written back by {!writeback} (no intermediate
+    [(addr, closure)] pair), cycle accounting goes through the
+    machine's unboxed accumulator, and [step] returns its event
+    directly — the only allocations left are the boxed [int64]
+    temporaries inherent to OCaml's int64 arithmetic. *)
 
 open Lfi_arm64
 open Machine
@@ -217,19 +226,24 @@ let rev_value (w : Reg.width) (group : int) (v : int64) =
 (* Addressing                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Effective address + optional post-access base update. *)
-let resolve_addr (m : Machine.t) (a : Insn.addr) : int64 * (unit -> unit) =
+(** Effective address of an addressing mode.  Base-register writeback
+    (pre/post-index) is applied separately by {!writeback}, so the pair
+    never materializes as an allocated [(addr, closure)] value. *)
+let[@inline] addr_of (m : Machine.t) (a : Insn.addr) : int64 =
   match a with
-  | Insn.Imm_off (b, i) -> (Int64.add (get m b) (Int64.of_int i), fun () -> ())
-  | Insn.Pre (b, i) ->
-      let addr = Int64.add (get m b) (Int64.of_int i) in
-      (addr, fun () -> set m b addr)
-  | Insn.Post (b, i) ->
-      let addr = get m b in
-      (addr, fun () -> set m b (Int64.add addr (Int64.of_int i)))
+  | Insn.Imm_off (b, i) | Insn.Pre (b, i) ->
+      Int64.add (get m b) (Int64.of_int i)
+  | Insn.Post (b, _) -> get m b
   | Insn.Reg_off (b, r, e, amt) ->
-      ( Int64.add (get m b) (Int64.shift_left (extend_value e (get m r)) amt),
-        fun () -> () )
+      Int64.add (get m b) (Int64.shift_left (extend_value e (get m r)) amt)
+
+(** Apply the base-register update of [a], given the effective address
+    previously computed by {!addr_of}. *)
+let[@inline] writeback (m : Machine.t) (a : Insn.addr) (addr : int64) =
+  match a with
+  | Insn.Imm_off _ | Insn.Reg_off _ -> ()
+  | Insn.Pre (b, _) -> set m b addr
+  | Insn.Post (b, i) -> set m b (Int64.add addr (Int64.of_int i))
 
 let ld_result (sz : Insn.mem_size) ~signed (w : Reg.width) (raw : int64) :
     int64 =
@@ -279,41 +293,68 @@ let ucvtf_value (v : int64) : float =
 (* Step                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(** Fetch (through the per-page decode cache) the instruction at the
+    current pc and charge its throughput cost.  The alignment check
+    runs before the cache probe so a misaligned pc can never alias a
+    cached aligned slot; on a hit the charge is an unboxed load from
+    the page's cost array — no [Cost_model.cost] dispatch per step. *)
 let fetch_insn (m : Machine.t) : Insn.t =
-  match Hashtbl.find_opt m.decode_cache m.pc with
-  | Some i -> i
-  | None ->
-      let word = Memory.fetch m.mem m.pc in
-      let i = Decode.decode word in
-      Hashtbl.replace m.decode_cache m.pc i;
-      i
+  let pc = m.pc in
+  if Int64.logand pc 3L <> 0L then
+    raise (Memory.Fault { Memory.addr = pc; access = Memory.Fetch;
+                          reason = "misaligned pc" });
+  let pci = Int64.to_int pc in
+  let pidx = pci lsr Memory.page_bits in
+  let slot = (pci land (Memory.page_size - 1)) lsr 2 in
+  if m.dc_idx <> pidx then Machine.decode_page m pidx;
+  let i = Array.unsafe_get m.dc_arr slot in
+  if i != Machine.undecoded then begin
+    add_cycles m (Array.unsafe_get m.dc_cost slot);
+    i
+  end
+  else begin
+    let word = Memory.fetch m.mem pc in
+    let i = Decode.decode word in
+    let c = Cost_model.cost m.uarch i in
+    Array.unsafe_set m.dc_arr slot i;
+    Array.unsafe_set m.dc_cost slot c;
+    add_cycles m c;
+    i
+  end
 
 let target_offset = function
   | Insn.Off n -> Int64.of_int n
   | Insn.Sym s -> failwith ("unresolved symbol at execution: " ^ s)
 
-(** Execute exactly one instruction.  Returns [None] for normal
-    completion (pc already updated) or [Some event]. *)
-let step (m : Machine.t) : event option =
-  if Int64.unsigned_compare m.pc host_region_start >= 0 then
+let[@inline] branch_to (m : Machine.t) t =
+  m.pc <- Int64.add m.pc (target_offset t)
+
+let[@inline] mem_read (m : Machine.t) (addr : int64) (size : int) : int64 =
+  charge_tlb m addr;
+  Memory.read m.mem addr size
+
+let[@inline] mem_write (m : Machine.t) (addr : int64) (size : int) (v : int64)
+    =
+  charge_tlb m addr;
+  Memory.write m.mem addr size v
+
+(** One instruction, letting {!Memory.Fault} escape — the quantum loop
+    in {!run} installs a single handler for the whole quantum instead
+    of one per step.  Returns [None] for normal completion (pc already
+    updated) or [Some event]. *)
+let host_region_start_i = Int64.to_int host_region_start
+
+let step_raw (m : Machine.t) : event option =
+  (* untagged compare: addresses are < 2^62, so [Int64.to_int] is exact
+     (a pc with the top bits set goes to the fetch path and faults as
+     unmapped, which is just as terminal) *)
+  if Int64.to_int m.pc >= host_region_start_i then
     Some (Runtime_entry m.pc)
   else
-    try
       let insn = fetch_insn m in
-      m.cycles <- m.cycles +. Cost_model.cost m.uarch insn;
       m.insns <- m.insns + 1;
       let next = Int64.add m.pc 4L in
-      let branch_to t = m.pc <- Int64.add m.pc (target_offset t) in
-      let mem_read addr size =
-        charge_tlb m addr;
-        Memory.read m.mem addr size
-      in
-      let mem_write addr size v =
-        charge_tlb m addr;
-        Memory.write m.mem addr size v
-      in
-      let ev = ref None in
-      (match insn with
+      match insn with
       | Insn.Alu { op; flags; dst; src; op2 } ->
           let w = Reg.width dst in
           let a = mask_w w (get m src) in
@@ -340,13 +381,15 @@ let step (m : Machine.t) : event option =
             | Insn.EON, _ -> Int64.logxor a (Int64.lognot b)
           in
           set m dst (mask_w w r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Shiftv { op; dst; src; amount } ->
           let w = Reg.width dst in
           let bits = match w with Reg.W64 -> 64 | Reg.W32 -> 32 in
           let a = Int64.to_int (Int64.logand (get m amount) (Int64.of_int (bits - 1))) in
           set m dst (shift_value w op (get m src) a);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Mov { op; dst; imm; hw } ->
           let w = Reg.width dst in
           let v = Int64.shift_left (Int64.of_int imm) (hw * 16) in
@@ -359,13 +402,15 @@ let step (m : Machine.t) : event option =
                 Int64.logor (Int64.logand (get m dst) (Int64.lognot hole)) v
           in
           set m dst (mask_w w r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Bitfield { op; dst; src; immr; imms } ->
           let w = Reg.width dst in
           set m dst
             (bitfield_result w op ~dst_old:(get m dst) ~src:(get m src) ~immr
                ~imms);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Extr { dst; src1; src2; lsb } ->
           let w = Reg.width dst in
           let bits = match w with Reg.W64 -> 64 | Reg.W32 -> 32 in
@@ -378,7 +423,8 @@ let step (m : Machine.t) : event option =
                 (Int64.shift_left hi (bits - lsb))
           in
           set m dst (mask_w w r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Madd { sub; dst; src1; src2; acc } ->
           let w = Reg.width dst in
           let p = Int64.mul (get m src1) (get m src2) in
@@ -386,10 +432,12 @@ let step (m : Machine.t) : event option =
             if sub then Int64.sub (get m acc) p else Int64.add (get m acc) p
           in
           set m dst (mask_w w r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Smulh { signed; dst; src1; src2 } ->
           set m dst (mulh ~signed (get m src1) (get m src2));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Maddl { signed; sub; dst; src1; src2; acc } ->
           let widen v =
             if signed then sext32 (Int64.logand v mask32)
@@ -400,7 +448,8 @@ let step (m : Machine.t) : event option =
             if sub then Int64.sub (get m acc) p else Int64.add (get m acc) p
           in
           set m dst r;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Ccmp { cmn; src; op2; nzcv; cond } ->
           (if cond_holds m cond then begin
              let w = Reg.width src in
@@ -417,7 +466,8 @@ let step (m : Machine.t) : event option =
                ~z:(nzcv land 4 <> 0)
                ~c:(nzcv land 2 <> 0)
                ~v:(nzcv land 1 <> 0));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Div { signed; dst; src1; src2 } ->
           let w = Reg.width dst in
           let a = get m src1 and b = get m src2 in
@@ -437,7 +487,8 @@ let step (m : Machine.t) : event option =
             else Int64.unsigned_div a b
           in
           set m dst (mask_w w r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Csel { op; dst; src1; src2; cond } ->
           let w = Reg.width dst in
           let r =
@@ -451,161 +502,189 @@ let step (m : Machine.t) : event option =
               | Insn.CSNEG -> mask_w w (Int64.neg b)
           in
           set m dst r;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Cls { count_zero; dst; src } ->
           let w = Reg.width dst in
           let v = mask_w w (get m src) in
           set m dst
             (Int64.of_int (if count_zero then clz_value w v else cls_value w v));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Rbit { dst; src } ->
           let w = Reg.width dst in
           set m dst (rbit_value w (mask_w w (get m src)));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Rev { bytes; dst; src } ->
           let w = Reg.width dst in
           set m dst (mask_w w (rev_value w bytes (mask_w w (get m src))));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Adr { page; dst; target } ->
           let off = target_offset target in
           let base =
             if page then Int64.logand m.pc (Int64.lognot 0xFFFL) else m.pc
           in
           set m dst (Int64.add base off);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Ldr { sz; signed; dst; addr } ->
-          let a, wb = resolve_addr m addr in
-          let raw = mem_read a (Insn.mem_bytes sz) in
-          wb ();
+          let a = addr_of m addr in
+          let raw = mem_read m a (Insn.mem_bytes sz) in
+          writeback m addr a;
           set m dst (ld_result sz ~signed (Reg.width dst) raw);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Str { sz; src; addr } ->
-          let a, wb = resolve_addr m addr in
-          mem_write a (Insn.mem_bytes sz) (get m src);
-          wb ();
-          m.pc <- next
+          let a = addr_of m addr in
+          mem_write m a (Insn.mem_bytes sz) (get m src);
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Ldp { w; r1; r2; addr } ->
           let size = match w with Reg.W64 -> 8 | Reg.W32 -> 4 in
-          let a, wb = resolve_addr m addr in
-          let v1 = mem_read a size in
-          let v2 = mem_read (Int64.add a (Int64.of_int size)) size in
-          wb ();
+          let a = addr_of m addr in
+          let v1 = mem_read m a size in
+          let v2 = mem_read m (Int64.add a (Int64.of_int size)) size in
+          writeback m addr a;
           set m r1 v1;
           set m r2 v2;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Stp { w; r1; r2; addr } ->
           let size = match w with Reg.W64 -> 8 | Reg.W32 -> 4 in
-          let a, wb = resolve_addr m addr in
-          mem_write a size (get m r1);
-          mem_write (Int64.add a (Int64.of_int size)) size (get m r2);
-          wb ();
-          m.pc <- next
+          let a = addr_of m addr in
+          mem_write m a size (get m r1);
+          mem_write m (Int64.add a (Int64.of_int size)) size (get m r2);
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Fldr { dst; addr } ->
-          let a, wb = resolve_addr m addr in
+          let a = addr_of m addr in
           let bytes = Reg.Fp.bytes dst in
           if bytes = 16 then begin
-            let lo = mem_read a 8 and hi = mem_read (Int64.add a 8L) 8 in
+            let lo = mem_read m a 8 and hi = mem_read m (Int64.add a 8L) 8 in
             m.vlo.(dst.Reg.Fp.n) <- lo;
             m.vhi.(dst.Reg.Fp.n) <- hi
           end
           else begin
-            let v = mem_read a bytes in
+            let v = mem_read m a bytes in
             m.vlo.(dst.Reg.Fp.n) <- v;
             m.vhi.(dst.Reg.Fp.n) <- 0L
           end;
-          wb ();
-          m.pc <- next
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Fstr { src; addr } ->
-          let a, wb = resolve_addr m addr in
+          let a = addr_of m addr in
           let bytes = Reg.Fp.bytes src in
           if bytes = 16 then begin
-            mem_write a 8 m.vlo.(src.Reg.Fp.n);
-            mem_write (Int64.add a 8L) 8 m.vhi.(src.Reg.Fp.n)
+            mem_write m a 8 m.vlo.(src.Reg.Fp.n);
+            mem_write m (Int64.add a 8L) 8 m.vhi.(src.Reg.Fp.n)
           end
           else
-            mem_write a bytes
+            mem_write m a bytes
               (if bytes = 4 then Int64.logand m.vlo.(src.Reg.Fp.n) mask32
                else m.vlo.(src.Reg.Fp.n));
-          wb ();
-          m.pc <- next
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Fldp { r1; r2; addr } ->
           let bytes = Reg.Fp.bytes r1 in
-          let a, wb = resolve_addr m addr in
+          let a = addr_of m addr in
           let rd (f : Reg.Fp.t) a =
             if bytes = 16 then begin
-              m.vlo.(f.Reg.Fp.n) <- mem_read a 8;
-              m.vhi.(f.Reg.Fp.n) <- mem_read (Int64.add a 8L) 8
+              m.vlo.(f.Reg.Fp.n) <- mem_read m a 8;
+              m.vhi.(f.Reg.Fp.n) <- mem_read m (Int64.add a 8L) 8
             end
             else begin
-              m.vlo.(f.Reg.Fp.n) <- mem_read a bytes;
+              m.vlo.(f.Reg.Fp.n) <- mem_read m a bytes;
               m.vhi.(f.Reg.Fp.n) <- 0L
             end
           in
           rd r1 a;
           rd r2 (Int64.add a (Int64.of_int bytes));
-          wb ();
-          m.pc <- next
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Fstp { r1; r2; addr } ->
           let bytes = Reg.Fp.bytes r1 in
-          let a, wb = resolve_addr m addr in
+          let a = addr_of m addr in
           let wr (f : Reg.Fp.t) a =
             if bytes = 16 then begin
-              mem_write a 8 m.vlo.(f.Reg.Fp.n);
-              mem_write (Int64.add a 8L) 8 m.vhi.(f.Reg.Fp.n)
+              mem_write m a 8 m.vlo.(f.Reg.Fp.n);
+              mem_write m (Int64.add a 8L) 8 m.vhi.(f.Reg.Fp.n)
             end
             else
-              mem_write a bytes
+              mem_write m a bytes
                 (if bytes = 4 then Int64.logand m.vlo.(f.Reg.Fp.n) mask32
                  else m.vlo.(f.Reg.Fp.n))
           in
           wr r1 a;
           wr r2 (Int64.add a (Int64.of_int bytes));
-          wb ();
-          m.pc <- next
+          writeback m addr a;
+          m.pc <- next;
+          None
       | Insn.Ldxr { sz; dst; base } ->
           let a = get m base in
-          let v = mem_read a (Insn.mem_bytes sz) in
+          let v = mem_read m a (Insn.mem_bytes sz) in
           m.exclusive <- Some a;
           set m dst v;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Stxr { sz; status; src; base } ->
           let a = get m base in
           (match m.exclusive with
           | Some e when Int64.equal e a ->
-              mem_write a (Insn.mem_bytes sz) (get m src);
+              mem_write m a (Insn.mem_bytes sz) (get m src);
               set m status 0L
           | _ -> set m status 1L);
           m.exclusive <- None;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Ldar { sz; dst; base } ->
-          set m dst (mem_read (get m base) (Insn.mem_bytes sz));
-          m.pc <- next
+          set m dst (mem_read m (get m base) (Insn.mem_bytes sz));
+          m.pc <- next;
+          None
       | Insn.Stlr { sz; src; base } ->
-          mem_write (get m base) (Insn.mem_bytes sz) (get m src);
-          m.pc <- next
-      | Insn.B t -> branch_to t
+          mem_write m (get m base) (Insn.mem_bytes sz) (get m src);
+          m.pc <- next;
+          None
+      | Insn.B t ->
+          branch_to m t;
+          None
       | Insn.Bl t ->
           m.regs.(30) <- next;
-          branch_to t
+          branch_to m t;
+          None
       | Insn.Bcond (c, t) ->
-          if cond_holds m c then branch_to t else m.pc <- next
+          if cond_holds m c then branch_to m t else m.pc <- next;
+          None
       | Insn.Cbz { nz; reg; target } ->
           let v = mask_w (Reg.width reg) (get m reg) in
           let zero = Int64.equal v 0L in
-          if (zero && not nz) || ((not zero) && nz) then branch_to target
-          else m.pc <- next
+          if (zero && not nz) || ((not zero) && nz) then branch_to m target
+          else m.pc <- next;
+          None
       | Insn.Tbz { nz; reg; bit; target } ->
           let b =
             Int64.logand (Int64.shift_right_logical (get m reg) bit) 1L
           in
           let taken = if nz then Int64.equal b 1L else Int64.equal b 0L in
-          if taken then branch_to target else m.pc <- next
-      | Insn.Br r -> m.pc <- get m r
+          if taken then branch_to m target else m.pc <- next;
+          None
+      | Insn.Br r ->
+          m.pc <- get m r;
+          None
       | Insn.Blr r ->
           let target = get m r in
           m.regs.(30) <- next;
-          m.pc <- target
-      | Insn.Ret r -> m.pc <- get m r
+          m.pc <- target;
+          None
+      | Insn.Ret r ->
+          m.pc <- get m r;
+          None
       | Insn.Fop2 { op; dst; src1; src2 } ->
           let a = get_float m src1 and b = get_float m src2 in
           let r =
@@ -618,7 +697,8 @@ let step (m : Machine.t) : event option =
             | Insn.FMAX -> Float.max a b
           in
           set_float m dst (round_to_size dst r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fop1 { op; dst; src } ->
           let a = get_float m src in
           let r =
@@ -629,14 +709,16 @@ let step (m : Machine.t) : event option =
             | Insn.FMOV -> a
           in
           set_float m dst (round_to_size dst r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fmadd { sub; dst; src1; src2; acc } ->
           let a = get_float m src1
           and b = get_float m src2
           and c = get_float m acc in
           let r = if sub then c -. (a *. b) else c +. (a *. b) in
           set_float m dst (round_to_size dst r);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fcmp { src1; src2 } ->
           let a = get_float m src1 in
           let b = match src2 with Some r -> get_float m r | None -> 0.0 in
@@ -645,10 +727,12 @@ let step (m : Machine.t) : event option =
           else if a < b then set_nzcv m ~n:true ~z:false ~c:false ~v:false
           else if a = b then set_nzcv m ~n:false ~z:true ~c:true ~v:false
           else set_nzcv m ~n:false ~z:false ~c:true ~v:false;
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fcvt { dst; src } ->
           set_float m dst (round_to_size dst (get_float m src));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Scvtf { signed; dst; src } ->
           let v = get m src in
           let v =
@@ -658,39 +742,51 @@ let step (m : Machine.t) : event option =
           in
           let f = if signed then Int64.to_float v else ucvtf_value v in
           set_float m dst (round_to_size dst f);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fcvtzs { signed; dst; src } ->
           set m dst (fcvtzs_value ~signed (Reg.width dst) (get_float m src));
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fmov_to_fp { dst; src } ->
           (match dst.Reg.Fp.size with
           | Reg.Fp.D | Reg.Fp.Q -> m.vlo.(dst.Reg.Fp.n) <- get m src
           | Reg.Fp.S ->
               m.vlo.(dst.Reg.Fp.n) <- Int64.logand (get m src) mask32);
-          m.pc <- next
+          m.pc <- next;
+          None
       | Insn.Fmov_from_fp { dst; src } ->
           let v = m.vlo.(src.Reg.Fp.n) in
           set m dst
             (match src.Reg.Fp.size with
             | Reg.Fp.D | Reg.Fp.Q -> v
             | Reg.Fp.S -> Int64.logand v mask32);
-          m.pc <- next
-      | Insn.Nop | Insn.Dmb -> m.pc <- next
+          m.pc <- next;
+          None
+      | Insn.Nop | Insn.Dmb ->
+          m.pc <- next;
+          None
       | Insn.Mrs { dst; _ } ->
           set m dst 0L;
-          m.pc <- next
-      | Insn.Msr _ -> m.pc <- next
+          m.pc <- next;
+          None
+      | Insn.Msr _ ->
+          m.pc <- next;
+          None
       | Insn.Svc n ->
           m.pc <- next;
-          ev := Some (Trap (Svc_trap n))
-      | Insn.Udf _ -> ev := Some (Trap (Undefined m.pc)));
-      !ev
-    with Memory.Fault f -> Some (Trap (Mem_fault f))
+          Some (Trap (Svc_trap n))
+      | Insn.Udf _ -> Some (Trap (Undefined m.pc))
+
+(** Execute exactly one instruction.  Returns [None] for normal
+    completion (pc already updated) or [Some event]. *)
+let step (m : Machine.t) : event option =
+  try step_raw m with Memory.Fault f -> Some (Trap (Mem_fault f))
 
 (** Run until an event occurs or [quantum] instructions have executed. *)
 let run (m : Machine.t) ~(quantum : int) : event =
   let rec go n =
     if n <= 0 then Quantum_expired
-    else match step m with None -> go (n - 1) | Some e -> e
+    else match step_raw m with None -> go (n - 1) | Some e -> e
   in
-  go quantum
+  try go quantum with Memory.Fault f -> Trap (Mem_fault f)

@@ -4,7 +4,20 @@
     a low and a high 64-bit half (the subset only computes on the low
     half; [q] loads/stores move both).  The machine also carries the
     cycle accounting state: a cost model, an optional TLB, and the
-    running cycle counter that every experiment reports. *)
+    running cycle counter that every experiment reports.
+
+    {2 Decode cache}
+
+    Decoded instructions are cached in flat per-executable-page arrays
+    ([Insn.t option array], one slot per 4-byte instruction word),
+    reached through a one-entry last-page pointer — the hot fetch path
+    is two integer compares and an array load, with no hashing and no
+    boxed [int64] key allocation.  The cache participates in the memory
+    system's invalidation protocol: {!create} registers a hook on the
+    machine's {!Memory.t} so that any [map] / [unmap] / [protect] of a
+    page, or any write into an executable page, drops the decoded
+    instructions covering the affected range.  A cached instruction
+    therefore always agrees with what {!Memory.fetch} would return. *)
 
 open Lfi_arm64
 
@@ -13,6 +26,17 @@ open Lfi_arm64
     fetching, which is how the runtime-call table of Section 4.4 hands
     control to the (native, trusted) runtime without a trampoline. *)
 let host_region_start = 0x7F00_0000_0000L
+
+(** Instruction slots per page (one per aligned 4-byte word). *)
+let decode_slots = Memory.page_size / 4
+
+(* Decode-cache slots hold this sentinel until first decode; it is
+   distinguished by physical equality, so a genuinely decoded [Udf]
+   (a fresh allocation) never aliases it. *)
+let undecoded : Insn.t = Insn.Udf (-1)
+
+let no_decode_page : Insn.t array = [||]
+let no_cost_page : float array = [||]
 
 type t = {
   mutable pc : int64;
@@ -30,36 +54,105 @@ type t = {
   tlb : Tlb.t;
   mutable nested_paging : bool;
       (** simulate running as a guest under virtualization *)
-  mutable cycles : float;
+  cycle_acc : float array;
+      (** running cycle counter; a 1-element flat float array so the
+          hot-path accumulate is an unboxed float store (a [mutable
+          float] field in this mixed record would box on every add) *)
   mutable insns : int;
-  decode_cache : (int64, Insn.t) Hashtbl.t;
+  decode_pages : (int, Insn.t array * float array) Hashtbl.t;
+      (** per-page decoded-instruction arrays ([undecoded] sentinel in
+          empty slots) plus each slot's cost under [uarch] (a flat
+          float array, so charging a cached instruction is an unboxed
+          load), keyed by page index *)
+  mutable dc_idx : int;  (** page index of [dc_arr]; -1 = none *)
+  mutable dc_arr : Insn.t array;  (** last decode page touched *)
+  mutable dc_cost : float array;  (** cost slots of [dc_arr] *)
 }
 
+(** Drop cached decoded instructions for every page overlapping
+    [addr, addr+len); called from the memory system's
+    [on_code_change] hook. *)
+let invalidate_code (m : t) (addr : int64) (len : int) =
+  if Hashtbl.length m.decode_pages > 0 then begin
+    let first = Memory.page_index addr in
+    let last =
+      if len <= 0 then first
+      else Memory.page_index (Int64.add addr (Int64.of_int (len - 1)))
+    in
+    for i = first to last do
+      Hashtbl.remove m.decode_pages i
+    done;
+    if m.dc_idx >= first && m.dc_idx <= last then begin
+      m.dc_idx <- -1;
+      m.dc_arr <- no_decode_page;
+      m.dc_cost <- no_cost_page
+    end
+  end
+
 let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
-  {
-    pc = 0L;
-    regs = Array.make 31 0L;
-    sp = 0L;
-    flag_n = false;
-    flag_z = false;
-    flag_c = false;
-    flag_v = false;
-    vlo = Array.make 32 0L;
-    vhi = Array.make 32 0L;
-    exclusive = None;
-    mem;
-    uarch;
-    tlb = Tlb.create ~entries:uarch.Cost_model.tlb_entries;
-    nested_paging = false;
-    cycles = 0.0;
-    insns = 0;
-    decode_cache = Hashtbl.create 4096;
-  }
+  let m =
+    {
+      pc = 0L;
+      regs = Array.make 31 0L;
+      sp = 0L;
+      flag_n = false;
+      flag_z = false;
+      flag_c = false;
+      flag_v = false;
+      vlo = Array.make 32 0L;
+      vhi = Array.make 32 0L;
+      exclusive = None;
+      mem;
+      uarch;
+      tlb = Tlb.create ~entries:uarch.Cost_model.tlb_entries;
+      nested_paging = false;
+      cycle_acc = Array.make 1 0.0;
+      insns = 0;
+      decode_pages = Hashtbl.create 64;
+      dc_idx = -1;
+      dc_arr = no_decode_page;
+      dc_cost = no_cost_page;
+    }
+  in
+  (* Join the memory system's invalidation protocol, preserving any
+     hook already installed (several machines may share one memory). *)
+  let prev = mem.Memory.on_code_change in
+  mem.Memory.on_code_change <-
+    (fun addr len ->
+      prev addr len;
+      invalidate_code m addr len);
+  m
+
+(** Install the decode page for page index [idx] as the last-page
+    pointer ([dc_idx] / [dc_arr] / [dc_cost]), creating it on first
+    touch. *)
+let decode_page (m : t) (idx : int) : unit =
+  let arr, costs =
+    match Hashtbl.find_opt m.decode_pages idx with
+    | Some (arr, costs) -> (arr, costs)
+    | None ->
+        let arr = Array.make decode_slots undecoded in
+        let costs = Array.make decode_slots 0.0 in
+        Hashtbl.replace m.decode_pages idx (arr, costs);
+        (arr, costs)
+  in
+  m.dc_idx <- idx;
+  m.dc_arr <- arr;
+  m.dc_cost <- costs
+
+(* ---------------- cycle accounting ---------------- *)
+
+let cycles (m : t) : float = Array.unsafe_get m.cycle_acc 0
+
+let[@inline] add_cycles (m : t) (c : float) =
+  Array.unsafe_set m.cycle_acc 0 (Array.unsafe_get m.cycle_acc 0 +. c)
+
+let set_cycles (m : t) (c : float) = m.cycle_acc.(0) <- c
 
 let mask32 = 0xFFFFFFFFL
 
 (** Read a general register operand. *)
-let get (m : t) (r : Reg.t) : int64 =
+let[@inline] get (m : t) (r : Reg.t) : int64 =
   match r with
   | Reg.R (Reg.W64, n) -> m.regs.(n)
   | Reg.R (Reg.W32, n) -> Int64.logand m.regs.(n) mask32
@@ -69,7 +162,7 @@ let get (m : t) (r : Reg.t) : int64 =
 
 (** Write a general register operand; 32-bit writes zero the top half
     (the property the LFI guard depends on). *)
-let set (m : t) (r : Reg.t) (v : int64) =
+let[@inline] set (m : t) (r : Reg.t) (v : int64) =
   match r with
   | Reg.R (Reg.W64, n) -> m.regs.(n) <- v
   | Reg.R (Reg.W32, n) -> m.regs.(n) <- Int64.logand v mask32
@@ -94,7 +187,7 @@ let set_float (m : t) (f : Reg.Fp.t) (v : float) =
       m.vlo.(f.Reg.Fp.n) <-
         Int64.logand (Int64.of_int32 (Int32.bits_of_float v)) mask32
 
-let cond_holds (m : t) (c : Insn.cond) : bool =
+let[@inline] cond_holds (m : t) (c : Insn.cond) : bool =
   let n = m.flag_n and z = m.flag_z and cf = m.flag_c and v = m.flag_v in
   match c with
   | Insn.EQ -> z
@@ -113,21 +206,21 @@ let cond_holds (m : t) (c : Insn.cond) : bool =
   | Insn.LE -> z || n <> v
   | Insn.AL -> true
 
-let set_nzcv (m : t) ~n ~z ~c ~v =
+let[@inline] set_nzcv (m : t) ~n ~z ~c ~v =
   m.flag_n <- n;
   m.flag_z <- z;
   m.flag_c <- c;
   m.flag_v <- v
 
 (** Charge TLB cost for a data access. *)
-let charge_tlb (m : t) (addr : int64) =
+let[@inline] charge_tlb (m : t) (addr : int64) =
   if not (Tlb.access m.tlb addr) then begin
     let walk = m.uarch.Cost_model.tlb_walk_cycles in
     let walk =
       if m.nested_paging then walk *. m.uarch.Cost_model.nested_walk_factor
       else walk
     in
-    m.cycles <- m.cycles +. walk
+    add_cycles m walk
   end
 
 (** Snapshot of the register state (used by fork and context switch). *)

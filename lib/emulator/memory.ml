@@ -4,7 +4,17 @@
     why the paper sizes guard regions at 48KiB (the smallest multiple of
     16KiB greater than 2^15 + 2^10).  Each page carries read / write /
     execute permissions; unmapped or mis-permissioned accesses fault,
-    which is what makes the sandbox guard regions effective. *)
+    which is what makes the sandbox guard regions effective.
+
+    Lookups go through a direct-mapped {e translation cache}: an
+    [tc_size]-entry array keyed by page index whose entries hold the
+    page and its permissions precomputed as a bitmask, so the hot
+    load/store/fetch path is an array probe plus a bit test instead of
+    a hash-table lookup.  Any mapping or permission change flushes the
+    cache and fires [on_code_change], the invalidation hook the
+    emulator's decode cache registers (see {!Machine.create}): stale
+    translations and stale decoded instructions are impossible by
+    construction. *)
 
 let page_bits = 14
 let page_size = 1 lsl page_bits (* 16 KiB *)
@@ -33,27 +43,54 @@ let pp_fault fmt f =
     (access_to_string f.access)
     f.addr f.reason
 
+(* Permission bitmask: bit 0 = read, bit 1 = write, bit 2 = execute.
+   Matches the [access] order used by [get_page]. *)
+let pb_r = 1
+let pb_w = 2
+let pb_x = 4
+
+let perm_bits (p : perm) =
+  (if p.r then pb_r else 0)
+  lor (if p.w then pb_w else 0)
+  lor if p.x then pb_x else 0
+
+(* Translation-cache geometry: 256 entries x 16KiB pages = 4MiB of
+   reach, comfortably covering a proxy workload's working set. *)
+let tc_size = 256
+let tc_mask = tc_size - 1
+
+let dummy_page = { perm = { r = false; w = false; x = false }; data = Bytes.create 0 }
+
 type t = {
   pages : (int, page) Hashtbl.t;
-  mutable last_index : int;  (** 1-entry lookup cache *)
-  mutable last_page : page option;
+  (* direct-mapped translation cache, keyed by page index *)
+  tc_idx : int array;  (** cached page index per slot; -1 = invalid *)
+  tc_page : page array;  (** valid iff [tc_idx] matches *)
+  tc_bits : int array;  (** [perm_bits] of the cached page *)
+  mutable on_code_change : int64 -> int -> unit;
+      (** invalidation hook: [on_code_change addr len] is fired after
+          any operation that can change what a fetch from
+          [addr, addr+len) would observe — map / unmap / protect of the
+          range, or a write into an executable page *)
 }
 
-let create () = { pages = Hashtbl.create 1024; last_index = -1; last_page = None }
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    tc_idx = Array.make tc_size (-1);
+    tc_page = Array.make tc_size dummy_page;
+    tc_bits = Array.make tc_size 0;
+    on_code_change = (fun _ _ -> ());
+  }
 
 let page_index (addr : int64) = Int64.to_int (Int64.shift_right_logical addr page_bits)
 let page_offset (addr : int64) = Int64.to_int addr land (page_size - 1)
 
 let fault addr access reason = raise (Fault { addr; access; reason })
 
-let find_page m idx =
-  if idx = m.last_index then m.last_page
-  else begin
-    let p = Hashtbl.find_opt m.pages idx in
-    m.last_index <- idx;
-    m.last_page <- p;
-    p
-  end
+let tc_flush m = Array.fill m.tc_idx 0 tc_size (-1)
+
+let code_changed m (addr : int64) (len : int) = m.on_code_change addr len
 
 (** Map [len] bytes starting at [addr] (both page-aligned) with [perm].
     Already-mapped pages are re-protected, not cleared. *)
@@ -67,8 +104,8 @@ let map m ~(addr : int64) ~(len : int) ~(perm : perm) =
     | None ->
         Hashtbl.replace m.pages i { perm; data = Bytes.make page_size '\000' }
   done;
-  m.last_index <- -1;
-  m.last_page <- None
+  tc_flush m;
+  code_changed m addr len
 
 let unmap m ~(addr : int64) ~(len : int) =
   if page_offset addr <> 0 || len mod page_size <> 0 then
@@ -77,30 +114,75 @@ let unmap m ~(addr : int64) ~(len : int) =
   for i = first to first + (len / page_size) - 1 do
     Hashtbl.remove m.pages i
   done;
-  m.last_index <- -1;
-  m.last_page <- None
+  tc_flush m;
+  code_changed m addr len
 
 let is_mapped m (addr : int64) = Hashtbl.mem m.pages (page_index addr)
 
+(** Change the protection of every page overlapping [addr, addr+len).
+    [len] is rounded up to whole pages; [len = 0] is a no-op. *)
 let protect m ~(addr : int64) ~(len : int) ~(perm : perm) =
-  let first = page_index addr in
-  for i = first to first + ((len + page_size - 1) / page_size) - 1 do
-    match Hashtbl.find_opt m.pages i with
-    | Some p -> p.perm <- perm
-    | None -> invalid_arg "Memory.protect: unmapped page"
-  done;
-  m.last_index <- -1;
-  m.last_page <- None
+  if len < 0 then invalid_arg "Memory.protect: negative length";
+  if len > 0 then begin
+    let first = page_index addr in
+    let last = page_index (Int64.add addr (Int64.of_int (len - 1))) in
+    for i = first to last do
+      match Hashtbl.find_opt m.pages i with
+      | Some p -> p.perm <- perm
+      | None -> invalid_arg "Memory.protect: unmapped page"
+    done;
+    tc_flush m;
+    code_changed m addr len
+  end
 
-let get_page m addr access =
-  match find_page m (page_index addr) with
-  | None -> fault addr access "unmapped"
+(** Re-protect a single page by index (used by fork to clone page
+    permissions); goes through the same invalidation as {!protect}. *)
+let set_page_perm m (idx : int) (perm : perm) =
+  match Hashtbl.find_opt m.pages idx with
+  | None -> invalid_arg "Memory.set_page_perm: unmapped page"
   | Some p ->
-      (match access with
-      | Read -> if not p.perm.r then fault addr access "no read permission"
-      | Write -> if not p.perm.w then fault addr access "no write permission"
-      | Fetch -> if not p.perm.x then fault addr access "not executable");
-      p
+      p.perm <- perm;
+      tc_flush m;
+      code_changed m (Int64.shift_left (Int64.of_int idx) page_bits) page_size
+
+(* The translation-cache lookup: one array probe + one bit test on a
+   hit; misses fill the slot from the page table.  The page index is
+   computed with untagged int arithmetic (addresses fit in 63 bits, and
+   [lsr] on a negative int still yields the non-negative index the
+   unmapped-page fault path expects). *)
+let[@inline] get_page m (addr : int64) (access : access) : page =
+  let idx = Int64.to_int addr lsr page_bits in
+  let slot = idx land tc_mask in
+  let bit = match access with Read -> pb_r | Write -> pb_w | Fetch -> pb_x in
+  if Array.unsafe_get m.tc_idx slot = idx then begin
+    if Array.unsafe_get m.tc_bits slot land bit = 0 then
+      fault addr access
+        (match access with
+        | Read -> "no read permission"
+        | Write -> "no write permission"
+        | Fetch -> "not executable");
+    Array.unsafe_get m.tc_page slot
+  end
+  else
+    match Hashtbl.find_opt m.pages idx with
+    | None -> fault addr access "unmapped"
+    | Some p ->
+        m.tc_idx.(slot) <- idx;
+        m.tc_page.(slot) <- p;
+        m.tc_bits.(slot) <- perm_bits p.perm;
+        if perm_bits p.perm land bit = 0 then
+          fault addr access
+            (match access with
+            | Read -> "no read permission"
+            | Write -> "no write permission"
+            | Fetch -> "not executable");
+        p
+
+(* Writes into an executable page must invalidate decoded instructions
+   covering it.  Pages are almost never writable+executable, so the
+   check is a single bit test in practice. *)
+let[@inline] wx_invalidate m (p : page) (addr : int64) (len : int) =
+  if p.perm.x then code_changed m addr len
 
 (* Single-byte primitives; multi-byte accesses may cross pages. *)
 
@@ -110,6 +192,7 @@ let read_u8 m addr =
 
 let write_u8 m addr v =
   let p = get_page m addr Write in
+  wx_invalidate m p addr 1;
   Bytes.set_uint8 p.data (page_offset addr) v
 
 (** Read [size] (1/2/4/8) bytes little-endian as an unsigned Int64
@@ -119,10 +202,10 @@ let read m (addr : int64) (size : int) : int64 =
   if off + size <= page_size then begin
     let p = get_page m addr Read in
     match size with
-    | 1 -> Int64.of_int (Bytes.get_uint8 p.data off)
-    | 2 -> Int64.of_int (Bytes.get_uint16_le p.data off)
-    | 4 -> Int64.of_int32 (Bytes.get_int32_le p.data off) |> Int64.logand 0xFFFFFFFFL
     | 8 -> Bytes.get_int64_le p.data off
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le p.data off)) 0xFFFFFFFFL
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p.data off)
+    | 1 -> Int64.of_int (Bytes.get_uint8 p.data off)
     | _ -> invalid_arg "Memory.read: bad size"
   end
   else begin
@@ -139,11 +222,12 @@ let write m (addr : int64) (size : int) (v : int64) =
   let off = page_offset addr in
   if off + size <= page_size then begin
     let p = get_page m addr Write in
+    wx_invalidate m p addr size;
     match size with
-    | 1 -> Bytes.set_uint8 p.data off (Int64.to_int v land 0xff)
-    | 2 -> Bytes.set_uint16_le p.data off (Int64.to_int v land 0xffff)
-    | 4 -> Bytes.set_int32_le p.data off (Int64.to_int32 v)
     | 8 -> Bytes.set_int64_le p.data off v
+    | 4 -> Bytes.set_int32_le p.data off (Int64.to_int32 v)
+    | 2 -> Bytes.set_uint16_le p.data off (Int64.to_int v land 0xffff)
+    | 1 -> Bytes.set_uint8 p.data off (Int64.to_int v land 0xff)
     | _ -> invalid_arg "Memory.write: bad size"
   end
   else
@@ -155,7 +239,7 @@ let write m (addr : int64) (size : int) (v : int64) =
 
 (** Fetch a 4-byte instruction word (requires execute permission). *)
 let fetch m (addr : int64) : int =
-  if Int64.rem addr 4L <> 0L then fault addr Fetch "misaligned pc";
+  if Int64.logand addr 3L <> 0L then fault addr Fetch "misaligned pc";
   let p = get_page m addr Fetch in
   Int32.to_int (Bytes.get_int32_le p.data (page_offset addr)) land 0xFFFFFFFF
 
@@ -184,3 +268,6 @@ let mapped_pages m =
 
 let page_data (p : page) = p.data
 let page_perm (p : page) = p.perm
+
+(** Find a mapped page by index (used by fork's bulk copy). *)
+let find_page_by_index m (idx : int) = Hashtbl.find_opt m.pages idx

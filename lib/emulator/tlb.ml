@@ -5,32 +5,44 @@
     doubled due to the additional pagetable levels" (Section 6.4).  The
     emulator looks every data access up here; misses charge the page
     walk cost, multiplied by [nested_walk_factor] when the machine
-    simulates a guest behind nested page tables. *)
+    simulates a guest behind nested page tables.
+
+    Entries are untagged page numbers in a flat [int array] sized to a
+    power of two, so the per-access lookup is an untagged shift, a mask
+    and an array compare — no boxed [int64] arithmetic on the emulator's
+    hot path.  Slot selection by mask agrees with the previous
+    modulo-based mapping for power-of-two sizes, so modeled miss counts
+    (and hence cycle totals) are unchanged. *)
 
 type t = {
-  entries : int64 array;  (** tagged page numbers; -1 = invalid *)
+  entries : int array;  (** page number per slot; -1 = invalid *)
+  mask : int;  (** slot mask; [Array.length entries - 1] *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ~entries = { entries = Array.make entries (-1L); hits = 0; misses = 0 }
+let rec pow2_ge n k = if k >= n then k else pow2_ge n (k * 2)
+
+let create ~entries =
+  let n = pow2_ge entries 1 in
+  { entries = Array.make n (-1); mask = n - 1; hits = 0; misses = 0 }
 
 let clear t =
-  Array.fill t.entries 0 (Array.length t.entries) (-1L);
+  Array.fill t.entries 0 (Array.length t.entries) (-1);
   t.hits <- 0;
   t.misses <- 0
 
 (** Look up the page of [addr]; returns [true] on a hit and installs
     the translation on a miss. *)
-let access (t : t) (addr : int64) : bool =
-  let page = Int64.shift_right_logical addr Memory.page_bits in
-  let slot = Int64.to_int (Int64.rem page (Int64.of_int (Array.length t.entries))) in
-  if Int64.equal t.entries.(slot) page then begin
+let[@inline] access (t : t) (addr : int64) : bool =
+  let page = Int64.to_int addr lsr Memory.page_bits in
+  let slot = page land t.mask in
+  if Array.unsafe_get t.entries slot = page then begin
     t.hits <- t.hits + 1;
     true
   end
   else begin
-    t.entries.(slot) <- page;
+    Array.unsafe_set t.entries slot page;
     t.misses <- t.misses + 1;
     false
   end

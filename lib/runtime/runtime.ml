@@ -78,7 +78,7 @@ let create ?(config = default_config) () =
     exit_log = [];
   }
 
-let cycles rt = rt.machine.Machine.cycles
+let cycles rt = Machine.cycles rt.machine
 let insns rt = rt.machine.Machine.insns
 let proc rt pid = Hashtbl.find_opt rt.procs pid
 let stdout_of p = Buffer.contents p.Proc.stdout
@@ -322,13 +322,13 @@ let do_fork rt (parent : Proc.t) : int =
           let off = (idx - parent_first) * page in
           let child_addr = Int64.add base (Int64.of_int off) in
           Memory.map rt.mem ~addr:child_addr ~len:page ~perm:Memory.perm_rw;
-          (match
-             Hashtbl.find_opt rt.mem.Memory.pages
-               (Int64.to_int (Int64.shift_right_logical child_addr Memory.page_bits))
-           with
+          let child_idx =
+            Int64.to_int (Int64.shift_right_logical child_addr Memory.page_bits)
+          in
+          (match Memory.find_page_by_index rt.mem child_idx with
           | Some cp ->
               Bytes.blit (Memory.page_data pg) 0 (Memory.page_data cp) 0 page;
-              cp.Memory.perm <- Memory.page_perm pg
+              Memory.set_page_perm rt.mem child_idx (Memory.page_perm pg)
           | None -> assert false)
         end)
       (Memory.mapped_pages rt.mem);
@@ -486,13 +486,12 @@ let handle_call rt (p : Proc.t) (k : int) : outcome =
   if rt.cfg.spectre_hardening then
     (* SCXTNUM_EL0 is rewritten when entering and when leaving the
        runtime (§7.1) *)
-    m.Machine.cycles <-
-      m.Machine.cycles +. (2.0 *. rt.cfg.uarch.Cost_model.scxtnum_switch);
+    Machine.add_cycles m (2.0 *. rt.cfg.uarch.Cost_model.scxtnum_switch);
   (* the optimized direct yield skips the general runtime-call
      entry/exit path: it only saves/restores callee-saved registers
      (§5.3) and is priced in its own handler *)
   if k <> Sysno.yield_to then
-    m.Machine.cycles <- m.Machine.cycles +. syscall_entry_cost rt p;
+    Machine.add_cycles m (syscall_entry_cost rt p);
   if k = Sysno.exit then do_exit rt p (Int64.to_int (arg 0))
   else if k = Sysno.write then begin
     let fd = Int64.to_int (arg 0) and addr = arg 1
@@ -643,12 +642,11 @@ let handle_call rt (p : Proc.t) (k : int) : outcome =
         ignore (ret 0L);
         (* direct invocation: put the target at the head of the queue *)
         rt.runq <- target :: List.filter (fun x -> x <> target) rt.runq;
-        m.Machine.cycles <-
-          m.Machine.cycles +. rt.cfg.uarch.Cost_model.lfi_yield_direct;
+        Machine.add_cycles m rt.cfg.uarch.Cost_model.lfi_yield_direct;
         Switch
     | _ -> reti Vfs.einval
   end
-  else if k = Sysno.cycles then ret (Int64.of_float m.Machine.cycles)
+  else if k = Sysno.cycles then ret (Int64.of_float (Machine.cycles m))
   else reti (-38 (* ENOSYS *))
 
 (* ------------------------------------------------------------------ *)
@@ -695,10 +693,9 @@ let run rt : (int * exit_reason) list =
         if blocked > 0 then raise Deadlock else ()
     | Some p ->
         rt.ctx_switches <- rt.ctx_switches + 1;
-        m.Machine.cycles <- m.Machine.cycles +. switch_cost rt p;
+        Machine.add_cycles m (switch_cost rt p);
         if rt.cfg.spectre_hardening then
-          m.Machine.cycles <-
-            m.Machine.cycles +. rt.cfg.uarch.Cost_model.scxtnum_switch;
+          Machine.add_cycles m rt.cfg.uarch.Cost_model.scxtnum_switch;
         Machine.restore m p.Proc.snapshot;
         execute p;
         schedule ()

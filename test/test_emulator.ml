@@ -145,6 +145,21 @@ let semantics_cases =
       "\tmovz x1, #4, lsl #16\n\tmovz x2, #5\n\tstr x2, [x1, #8]!\n\tsub x0, x1, #8\n\tldr x0, [x0, #8]\n" 5L;
     sem "post index"
       "\tmovz x1, #4, lsl #16\n\tmovz x2, #9\n\tstr x2, [x1], #32\n\tmovz x3, #4, lsl #16\n\tldr x0, [x3]\n" 9L;
+    (* ldr pre-index: base updated to the effective address, and the
+       load sees the data at it (11 + 0x40018 = 262179) *)
+    sem "ldr pre index writeback"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #11\n\tstr x2, [x1, #24]\n\tldr x0, [x1, #24]!\n\tadd x0, x0, x1\n"
+      262179L;
+    (* ldr post-index: load from the old base, then base += 16
+       (7 + 0x40010 = 262167) *)
+    sem "ldr post index writeback"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #7\n\tstr x2, [x1]\n\tldr x0, [x1], #16\n\tadd x0, x0, x1\n"
+      262167L;
+    (* ldp post-index: both loads from the old base, then writeback
+       (1 + 2 + 0x40010 = 262163) *)
+    sem "ldp post index writeback"
+      "\tmovz x1, #4, lsl #16\n\tmovz x2, #1\n\tmovz x3, #2\n\tstp x2, x3, [x1], #16\n\tsub x1, x1, #16\n\tldp x4, x5, [x1], #16\n\tadd x0, x4, x5\n\tadd x0, x0, x1\n"
+      262163L;
     sem "reg offset lsl"
       "\tmovz x1, #4, lsl #16\n\tmovz x2, #3\n\tmovz x3, #55\n\tstr x3, [x1, x2, lsl #3]\n\tldr x0, [x1, x2, lsl #3]\n" 55L;
     sem "ldrsb" "\tmovz x1, #4, lsl #16\n\tmovn w2, #0\n\tstrb w2, [x1]\n\tldrsb x0, [x1]\n" (-1L);
@@ -183,6 +198,198 @@ let semantics_cases =
     sem "ucvtf" "\tmovn x1, #0\n\tucvtf d0, x1\n\tmovz x2, #0x43F0, lsl #48\n\tfmov d1, x2\n\tfcmp d0, d1\n\tcset x0, eq\n" 1L;
   ]
 
+(* ---------------- differential golden reference ---------------- *)
+
+(* A fixed population of random MiniC programs (deterministic seed) is
+   run through the full pipeline and the architectural results — exit
+   code (derived from the final register state), instruction count and
+   simulated cycles — are compared against a golden file captured from
+   the pre-refactor step path.  Any divergence means the rewritten
+   fetch/decode/execute path changed architectural semantics.
+
+   Regenerate with:
+     LFI_GOLDEN_OUT=$PWD/test/emulator_golden.txt \
+       dune exec test/test_emulator.exe *)
+
+let golden_count = 100
+
+let golden_systems =
+  [
+    ("native", Lfi_experiments.Run.Native);
+    ("lfi-o2", Lfi_experiments.Run.Lfi Lfi_core.Config.o2);
+  ]
+
+(* Deterministic population: a fixed-seed stream of generated programs,
+   keeping only those the reference interpreter can finish (the
+   generator can produce unbounded loops; test_pipeline skips them the
+   same way). *)
+let golden_programs () =
+  let rand = Random.State.make [| 0xC0FFEE; 2024 |] in
+  let rec collect acc n =
+    if n = 0 then List.rev acc
+    else
+      let p = QCheck.Gen.generate1 ~rand Gen_minic.gen_program in
+      match Lfi_minic.Interp.run ~fuel:2_000_000 p with
+      | exception Lfi_minic.Interp.Out_of_fuel -> collect acc n
+      | exception Lfi_minic.Interp.Unsupported _ -> collect acc n
+      | _ -> collect (p :: acc) (n - 1)
+  in
+  collect [] golden_count
+
+let golden_line idx prog =
+  let cells =
+    List.concat_map
+      (fun (_, sys) ->
+        let r = Lfi_experiments.Run.run sys prog in
+        [
+          string_of_int r.Lfi_experiments.Run.exit_code;
+          Printf.sprintf "%.6f" r.Lfi_experiments.Run.cycles;
+          string_of_int r.Lfi_experiments.Run.insns;
+        ])
+      golden_systems
+  in
+  String.concat " " (string_of_int idx :: cells)
+
+let write_golden path =
+  let oc = open_out path in
+  List.iteri
+    (fun i p ->
+      output_string oc (golden_line i p ^ "\n");
+      if i mod 10 = 0 then Printf.eprintf "golden %d/%d\n%!" i golden_count)
+    (golden_programs ());
+  close_out oc;
+  Printf.printf "wrote %d golden lines to %s\n%!" golden_count path
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* exit codes and instruction counts must match exactly; cycles within
+   0.1% (the acceptance tolerance — in practice they are identical). *)
+let check_golden_cells idx (expected : string list) (got : string list) =
+  let rec fields k = function
+    | [], [] -> ()
+    | e :: etl, g :: gtl ->
+        (match k mod 3 with
+        | 1 ->
+            let e = float_of_string e and g = float_of_string g in
+            let tol = 0.001 *. Float.max 1.0 (Float.abs e) in
+            if Float.abs (e -. g) > tol then
+              Alcotest.failf "program %d: cycles %f vs golden %f" idx g e
+        | _ ->
+            if e <> g then
+              Alcotest.failf "program %d: field %d: %s vs golden %s" idx k g e);
+        fields (k + 1) (etl, gtl)
+    | _ -> Alcotest.failf "program %d: golden line shape mismatch" idx
+  in
+  match (expected, got) with
+  | ei :: etl, gi :: gtl ->
+      checki "index" (int_of_string ei) (int_of_string gi);
+      fields 0 (etl, gtl)
+  | _ -> Alcotest.failf "program %d: empty golden line" idx
+
+let test_golden_differential () =
+  let expected = read_lines "emulator_golden.txt" in
+  checki "golden population" golden_count (List.length expected);
+  List.iteri
+    (fun idx (prog, exp_line) ->
+      let got = golden_line idx prog in
+      check_golden_cells idx
+        (String.split_on_char ' ' exp_line)
+        (String.split_on_char ' ' got))
+    (List.combine (golden_programs ()) expected)
+
+(* ---------------- decode-cache invalidation ---------------- *)
+
+(* Assemble a tiny program that puts [n] in x0 and stops at svc #1. *)
+let tiny_img n =
+  (Assemble.assemble_string
+     (Printf.sprintf "_start:\n\tmovz x0, #%d\n\tsvc #1\n" n))
+    .Assemble.text
+
+let run_to_svc m =
+  match Exec.run m ~quantum:100 with
+  | Exec.Trap (Exec.Svc_trap 1) -> ()
+  | _ -> Alcotest.fail "did not reach svc #1"
+
+(* Remap-then-execute regression: after the code page is re-written
+   through a temporary RW window, execution must observe the new
+   instructions.  A pc-keyed decode cache without an invalidation hook
+   serves the stale decode here. *)
+let test_decode_remap () =
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  let base = 0x10000L in
+  Memory.map mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.write_bytes mem base (tiny_img 1);
+  Memory.protect mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rx;
+  m.Machine.pc <- base;
+  run_to_svc m;
+  check64 "original code" 1L m.Machine.regs.(0);
+  Memory.protect mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.write_bytes mem base (tiny_img 2);
+  Memory.protect mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rx;
+  m.Machine.pc <- base;
+  run_to_svc m;
+  check64 "rewritten code" 2L m.Machine.regs.(0)
+
+(* A store into a writable+executable page must also drop the decode. *)
+let test_decode_wx_write () =
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  let base = 0x10000L in
+  let rwx = { Memory.r = true; w = true; x = true } in
+  Memory.map mem ~addr:base ~len:Memory.page_size ~perm:rwx;
+  Memory.write_bytes mem base (tiny_img 1);
+  m.Machine.pc <- base;
+  run_to_svc m;
+  check64 "original code" 1L m.Machine.regs.(0);
+  (* patch just the movz word in place *)
+  let patched = tiny_img 3 in
+  Memory.write mem base 4
+    (Int64.logand (Bytes.get_int64_le patched 0) 0xFFFFFFFFL);
+  m.Machine.pc <- base;
+  run_to_svc m;
+  check64 "patched code" 3L m.Machine.regs.(0)
+
+(* Revoking execute permission must fault the next fetch even though
+   the page's instructions were already decoded and cached. *)
+let test_fetch_after_protect () =
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  let base = 0x10000L in
+  Memory.map mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.write_bytes mem base (tiny_img 1);
+  Memory.protect mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rx;
+  m.Machine.pc <- base;
+  run_to_svc m;
+  Memory.protect mem ~addr:base ~len:Memory.page_size ~perm:Memory.perm_rw;
+  m.Machine.pc <- base;
+  match Exec.step m with
+  | Some (Exec.Trap (Exec.Mem_fault f)) ->
+      checkb "fetch fault" true (f.Memory.access = Memory.Fetch)
+  | _ -> Alcotest.fail "expected a fetch fault after protect"
+
+(* protect with len = 0 touches no pages (and must not fault on an
+   unmapped address); negative lengths are rejected. *)
+let test_protect_len_zero () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x4000L ~len:Memory.page_size ~perm:Memory.perm_rw;
+  Memory.protect m ~addr:0x4000L ~len:0 ~perm:Memory.perm_r;
+  Memory.write m 0x4000L 8 5L;
+  check64 "still writable" 5L (Memory.read m 0x4000L 8);
+  Memory.protect m ~addr:0x9990000L ~len:0 ~perm:Memory.perm_r;
+  match Memory.protect m ~addr:0x4000L ~len:(-1) ~perm:Memory.perm_r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative length accepted"
+
 let test_undefined_trap () =
   let img = Assemble.assemble_string "_start:\n\tudf #7\n" in
   let mem = Memory.create () in
@@ -208,6 +415,9 @@ let test_cost_accumulates () =
   checkb "result" true (Int64.equal v 2L)
 
 let () =
+  match Sys.getenv_opt "LFI_GOLDEN_OUT" with
+  | Some path -> write_golden path
+  | None ->
   Alcotest.run "emulator"
     [
       ( "memory",
@@ -217,12 +427,22 @@ let () =
           Alcotest.test_case "cross page" `Quick test_memory_cross_page;
           Alcotest.test_case "protect unmap" `Quick test_memory_protect_unmap;
           Alcotest.test_case "tlb" `Quick test_tlb;
+          Alcotest.test_case "protect len 0" `Quick test_protect_len_zero;
         ] );
       ("semantics", semantics_cases);
+      ( "decode-cache",
+        [
+          Alcotest.test_case "remap then execute" `Quick test_decode_remap;
+          Alcotest.test_case "write to w+x page" `Quick test_decode_wx_write;
+          Alcotest.test_case "fetch after protect" `Quick
+            test_fetch_after_protect;
+        ] );
       ( "traps",
         [
           Alcotest.test_case "undefined" `Quick test_undefined_trap;
           Alcotest.test_case "runtime entry" `Quick test_runtime_entry;
           Alcotest.test_case "cost" `Quick test_cost_accumulates;
         ] );
+      ( "differential",
+        [ Alcotest.test_case "golden reference" `Slow test_golden_differential ] );
     ]
