@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json clean
+.PHONY: all build check test bench bench-json trace-demo clean
 
 all: build
 
@@ -18,6 +18,13 @@ bench:
 # Compare against BENCH_baseline.json (pre-overhaul emulator).
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_emulator.json
+
+# Perfetto-loadable Chrome trace of a coremark run (plus a metrics
+# snapshot). Coremark exits with its checksum, so tolerate exit != 0.
+trace-demo:
+	dune exec bin/lfi_run.exe -- --workload coremark \
+	  --trace trace_coremark.json --metrics metrics_coremark.json || true
+	@echo "wrote trace_coremark.json (open in https://ui.perfetto.dev)"
 
 clean:
 	dune clean

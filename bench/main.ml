@@ -120,6 +120,12 @@ type emu_sample = {
   sim_cycles : float;
   wall_s : float;
   insns_per_sec : float;
+  (* from one extra metrics-enabled run (schema v2 telemetry section) *)
+  decode_hit_rate : float;
+  tc_hit_rate : float;
+  tlb_hit_rate : float;
+  guard_fraction : float;
+  insns_per_sec_metrics : float;
 }
 
 let time_wall f =
@@ -154,6 +160,16 @@ let emulator_samples ~reps workloads =
                 best_of reps (fun () ->
                     Lfi_experiments.Run.execute ~uarch sys elf)
               in
+              (* one extra run with the telemetry counters enabled:
+                 cache hit rates, plus the metrics-on throughput so the
+                 overhead of counting is itself on record *)
+              let (rm, rtm), wall_m =
+                time_wall (fun () ->
+                    Lfi_experiments.Run.execute_rt ~uarch ~metrics:true sys elf)
+              in
+              let snap = Lfi_runtime.Runtime.metrics_snapshot rtm in
+              let e = snap.Lfi_telemetry.Metrics.emu in
+              let open Lfi_telemetry.Metrics in
               {
                 workload = short;
                 uarch = uarch.Lfi_emulator.Cost_model.name;
@@ -162,6 +178,15 @@ let emulator_samples ~reps workloads =
                 sim_cycles = r.Lfi_experiments.Run.cycles;
                 wall_s = wall;
                 insns_per_sec = float_of_int r.Lfi_experiments.Run.insns /. wall;
+                decode_hit_rate =
+                  hit_rate ~hits:e.decode_hits ~misses:e.decode_misses;
+                tc_hit_rate = hit_rate ~hits:snap.tc_hits ~misses:snap.tc_misses;
+                tlb_hit_rate =
+                  hit_rate ~hits:snap.tlb_hits ~misses:snap.tlb_misses;
+                guard_fraction =
+                  float_of_int e.guards /. float_of_int (max 1 (insn_total e));
+                insns_per_sec_metrics =
+                  float_of_int rm.Lfi_experiments.Run.insns /. wall_m;
               })
             [
               ("native", Lfi_experiments.Run.Native);
@@ -187,7 +212,7 @@ let json_perf ~quick file =
   (* rewriter + verifier wall clock on the mcf proxy *)
   let w = Option.get (Lfi_workloads.Registry.find "mcf") in
   let native_src = Lfi_minic.Compile.compile w.Lfi_workloads.Common.program in
-  let (rewritten, _), rewrite_s =
+  let (rewritten, rstats), rewrite_s =
     best_of (reps * 2) (fun () -> Lfi_core.Rewriter.rewrite native_src)
   in
   let image = Lfi_arm64.Assemble.assemble rewritten in
@@ -204,7 +229,7 @@ let json_perf ~quick file =
   | Error _ -> failwith "verifier rejected the mcf proxy");
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lfi-bench/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"lfi-bench/v2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf "  \"emulator\": [\n";
   List.iteri
@@ -213,15 +238,25 @@ let json_perf ~quick file =
         (Printf.sprintf
            "    {\"workload\": %S, \"uarch\": %S, \"system\": %S, \"insns\": \
             %d, \"sim_cycles\": %.1f, \"wall_s\": %.6f, \"insns_per_sec\": \
-            %.0f}%s\n"
+            %.0f,\n\
+           \     \"telemetry\": {\"decode_cache_hit_rate\": %.6f, \
+            \"translation_cache_hit_rate\": %.6f, \"tlb_hit_rate\": %.6f, \
+            \"guard_fraction\": %.6f, \"insns_per_sec_metrics\": %.0f}}%s\n"
            s.workload s.uarch s.system s.insns s.sim_cycles s.wall_s
-           s.insns_per_sec
+           s.insns_per_sec s.decode_hit_rate s.tc_hit_rate s.tlb_hit_rate
+           s.guard_fraction s.insns_per_sec_metrics
            (if i = List.length emu - 1 then "" else ",")))
     emu;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"rewriter\": {\"input\": \"mcf\", \"wall_s\": %.6f},\n" rewrite_s);
+       "  \"rewriter\": {\"input\": \"mcf\", \"wall_s\": %.6f, \"guards\": \
+        %d, \"hoists\": %d, \"sp_guards_elided\": %d, \"branches_relaxed\": \
+        %d},\n"
+       rewrite_s rstats.Lfi_core.Rewriter.guards
+       rstats.Lfi_core.Rewriter.hoists
+       rstats.Lfi_core.Rewriter.sp_guards_elided
+       rstats.Lfi_core.Rewriter.branches_relaxed);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"verifier\": {\"input\": \"mcf\", \"wall_s\": %.6f, \

@@ -47,13 +47,13 @@ let run input output opt no_loads no_exclusives stats =
           write_out output (Lfi_arm64.Source.to_string out);
           if stats then
             Printf.eprintf
-              "%d -> %d instructions (+%.1f%%), %d hoisting groups, %d sp \
-               guards elided, %d branches relaxed\n"
+              "%d -> %d instructions (+%.1f%%), %d guards inserted, %d \
+               hoisting groups, %d sp guards elided, %d branches relaxed\n"
               s.input_insns s.output_insns
               (float_of_int (s.output_insns - s.input_insns)
               /. float_of_int (max 1 s.input_insns)
               *. 100.)
-              s.hoists s.sp_guards_elided s.branches_relaxed)
+              s.guards s.hoists s.sp_guards_elided s.branches_relaxed)
 
 let cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.s") in

@@ -3,7 +3,11 @@
 
    With --native the program runs unsandboxed (the comparison baseline);
    with --asm the input is an assembly file that is assembled (and, for
-   sandboxed runs, rewritten) on the fly. *)
+   sandboxed runs, rewritten) on the fly; with --workload a built-in
+   SPEC-proxy workload is compiled and run.  Telemetry: --metrics dumps
+   the emulator/runtime counters as JSON, --trace writes a Chrome
+   trace-event file (load it in Perfetto), --profile prints a sampled
+   per-sandbox flat profile. *)
 
 open Cmdliner
 
@@ -26,7 +30,40 @@ let load_input ~asm ~native path : Lfi_elf.Elf.t =
   end
   else Lfi_elf.Elf.read (read_bytes path)
 
-let run inputs native asm uarch_name quantum trace =
+let build_workload ~native name : Lfi_elf.Elf.t =
+  match Lfi_workloads.Registry.find name with
+  | None ->
+      Printf.eprintf "unknown workload %S (try: %s)\n" name
+        (String.concat ", "
+           (List.map
+              (fun w -> w.Lfi_workloads.Common.short)
+              Lfi_workloads.Registry.all));
+      exit 2
+  | Some w ->
+      let src = Lfi_minic.Compile.compile w.Lfi_workloads.Common.program in
+      let src = if native then src else fst (Lfi_core.Rewriter.rewrite src) in
+      Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble src)
+
+let print_profile rt =
+  List.iter
+    (fun (p, lines) ->
+      let total =
+        List.fold_left (fun acc l -> acc + l.Lfi_telemetry.Profile.hits) 0 lines
+      in
+      Printf.printf "profile: sandbox %d (%s), %d samples\n"
+        p.Lfi_runtime.Proc.pid
+        (Lfi_runtime.Proc.personality_name p.Lfi_runtime.Proc.personality)
+        total;
+      List.iter
+        (fun l ->
+          Printf.printf "  %5.1f%% %8d  %s\n"
+            (l.Lfi_telemetry.Profile.fraction *. 100.)
+            l.Lfi_telemetry.Profile.hits l.Lfi_telemetry.Profile.name)
+        lines)
+    (Lfi_runtime.Runtime.profile_report rt)
+
+let run inputs workload native asm uarch_name quantum stats metrics_file
+    trace_file profile profile_period =
   let uarch =
     match Lfi_emulator.Cost_model.by_name uarch_name with
     | Some u -> u
@@ -39,39 +76,57 @@ let run inputs native asm uarch_name quantum trace =
       echo_stdout = true }
   in
   let rt = Lfi_runtime.Runtime.create ~config () in
+  if metrics_file <> None then
+    ignore (Lfi_runtime.Runtime.enable_metrics rt);
+  let tracer =
+    match trace_file with
+    | Some _ -> Some (Lfi_runtime.Runtime.enable_trace rt)
+    | None -> None
+  in
+  if profile then
+    ignore (Lfi_runtime.Runtime.enable_profile ~period:profile_period rt);
   let personality =
     if native then Lfi_runtime.Proc.Native_in_lfi_runtime
     else Lfi_runtime.Proc.Lfi
   in
+  let images =
+    (match workload with
+    | Some name -> [ (name, build_workload ~native name) ]
+    | None -> [])
+    @ List.map (fun path -> (path, load_input ~asm ~native path)) inputs
+  in
+  if images = [] then begin
+    Printf.eprintf "nothing to run: give a BINARY or --workload NAME\n";
+    exit 2
+  end;
   let procs =
     List.map
-      (fun path ->
-        try Lfi_runtime.Runtime.load rt ~personality (load_input ~asm ~native path)
-        with
+      (fun (label, elf) ->
+        try Lfi_runtime.Runtime.load rt ~personality elf with
         | Lfi_runtime.Runtime.Load_error msg ->
-            Printf.eprintf "%s: %s\n" path msg;
+            Printf.eprintf "%s: %s\n" label msg;
             exit 1
         | Lfi_elf.Elf.Bad_elf msg ->
-            Printf.eprintf "%s: bad ELF: %s\n" path msg;
+            Printf.eprintf "%s: bad ELF: %s\n" label msg;
             exit 1)
-      inputs
+      images
   in
   let log = Lfi_runtime.Runtime.run rt in
   let worst = ref 0 in
   List.iter2
-    (fun path p ->
+    (fun (label, _) p ->
       match List.assoc_opt p.Lfi_runtime.Proc.pid log with
       | Some (Lfi_runtime.Runtime.Exited c) ->
-          if trace then Printf.eprintf "%s: exited %d\n" path c;
+          if stats then Printf.eprintf "%s: exited %d\n" label c;
           worst := max !worst (if c = 0 then 0 else 1)
       | Some (Lfi_runtime.Runtime.Killed why) ->
-          Printf.eprintf "%s: killed: %s\n" path why;
+          Printf.eprintf "%s: killed: %s\n" label why;
           worst := max !worst 3
       | None ->
-          Printf.eprintf "%s: did not exit\n" path;
+          Printf.eprintf "%s: did not exit\n" label;
           worst := max !worst 3)
-    inputs procs;
-  if trace then
+    images procs;
+  if stats then
     Printf.eprintf
       "%d instructions, %.0f cycles (%.2f ms at %.1f GHz), %d context \
        switches, %d runtime calls\n"
@@ -81,11 +136,25 @@ let run inputs native asm uarch_name quantum trace =
       /. 1e6)
       uarch.Lfi_emulator.Cost_model.clock_ghz rt.Lfi_runtime.Runtime.ctx_switches
       rt.Lfi_runtime.Runtime.rtcalls;
+  (match metrics_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lfi_runtime.Runtime.metrics_json rt);
+      close_out oc);
+  (match (tracer, trace_file) with
+  | Some t, Some path -> Lfi_telemetry.Trace.write_file t path
+  | _ -> ());
+  if profile then print_profile rt;
   exit !worst
 
 let cmd =
   let inputs =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"BINARY...")
+    Arg.(value & pos_all file [] & info [] ~docv:"BINARY...")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Run a built-in SPEC-proxy workload (e.g. coremark, mcf).")
   in
   let native =
     Arg.(value & flag & info [ "native" ] ~doc:"Run unsandboxed (baseline).")
@@ -102,9 +171,28 @@ let cmd =
     Arg.(value & opt int 100_000 & info [ "quantum" ]
            ~doc:"Preemption quantum in instructions.")
   in
-  let trace = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.") in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write emulator/runtime counters as JSON to $(docv).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable) \
+                 timestamped in simulated cycles.")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Sample the pc and print a per-sandbox flat profile.")
+  in
+  let profile_period =
+    Arg.(value & opt int 4096 & info [ "profile-period" ] ~docv:"N"
+           ~doc:"Sample every $(docv) instructions (rounded to a power of \
+                 two).")
+  in
   Cmd.v
     (Cmd.info "lfi-run" ~doc:"Run programs in LFI sandboxes")
-    Term.(const run $ inputs $ native $ asm $ uarch $ quantum $ trace)
+    Term.(const run $ inputs $ workload $ native $ asm $ uarch $ quantum
+          $ stats $ metrics $ trace $ profile $ profile_period)
 
 let () = exit (Cmd.eval cmd)

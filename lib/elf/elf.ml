@@ -7,8 +7,11 @@
     appropriate 4GiB slots").
 
     Only what the system needs is implemented: little-endian ELF64,
-    [ET_EXEC], [EM_AARCH64], [PT_LOAD] program headers.  Virtual
-    addresses are sandbox-relative (see {!Lfi_arm64.Assemble}). *)
+    [ET_EXEC], [EM_AARCH64], [PT_LOAD] program headers, and — for the
+    telemetry profiler — an optional [.symtab]/[.strtab] pair so a
+    sampled pc histogram can be folded back into workload function
+    names.  Virtual addresses are sandbox-relative (see
+    {!Lfi_arm64.Assemble}). *)
 
 type segment = {
   vaddr : int;  (** sandbox-relative address *)
@@ -17,7 +20,13 @@ type segment = {
   memsz : int;  (** in-memory size; the tail beyond [data] is BSS *)
 }
 
-type t = { entry : int; segments : segment list }
+type t = {
+  entry : int;
+  segments : segment list;
+  symbols : (string * int) list;
+      (** symbol name -> sandbox-relative address; empty when the
+          image was written or read without a symbol table *)
+}
 
 let pf_x = 1
 let pf_w = 2
@@ -25,6 +34,8 @@ let pf_r = 4
 
 let ehsize = 64
 let phentsize = 56
+let shentsize = 64
+let symentsize = 24
 
 exception Bad_elf of string
 
@@ -32,12 +43,37 @@ exception Bad_elf of string
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Section-header-string-table layout, shared by writer and tests. *)
+let shstrtab_data = "\000.symtab\000.strtab\000.shstrtab\000"
+let shname_symtab = 1
+let shname_strtab = 9
+let shname_shstrtab = 17
+
+let align8 v = (v + 7) land lnot 7
+
 let write (t : t) : bytes =
   let phnum = List.length t.segments in
   let header_bytes = ehsize + (phnum * phentsize) in
+  let seg_bytes =
+    List.fold_left (fun acc s -> acc + Bytes.length s.data) 0 t.segments
+  in
+  (* Optional .symtab / .strtab / .shstrtab (plus the null section):
+     written after the loadable segments so a symbol-free image is
+     byte-for-byte what the seed writer produced. *)
+  let with_syms = t.symbols <> [] in
+  let nsyms = List.length t.symbols in
+  let strtab =
+    if not with_syms then ""
+    else "\000" ^ String.concat "" (List.map (fun (n, _) -> n ^ "\000") t.symbols)
+  in
+  let symtab_off = align8 (header_bytes + seg_bytes) in
+  let symtab_size = (nsyms + 1) * symentsize in
+  let strtab_off = symtab_off + symtab_size in
+  let shstr_off = strtab_off + String.length strtab in
+  let shoff = align8 (shstr_off + String.length shstrtab_data) in
+  let shnum = 4 in
   let total =
-    List.fold_left (fun acc s -> acc + Bytes.length s.data) header_bytes
-      t.segments
+    if with_syms then shoff + (shnum * shentsize) else header_bytes + seg_bytes
   in
   let b = Bytes.make total '\000' in
   let u8 off v = Bytes.set_uint8 b off v in
@@ -57,11 +93,16 @@ let write (t : t) : bytes =
   u32 20 1 (* e_version *);
   u64 24 t.entry;
   u64 32 ehsize (* e_phoff *);
-  u64 40 0 (* e_shoff *);
+  u64 40 (if with_syms then shoff else 0) (* e_shoff *);
   u32 48 0 (* e_flags *);
   u16 52 ehsize;
   u16 54 phentsize;
   u16 56 phnum;
+  if with_syms then begin
+    u16 58 shentsize;
+    u16 60 shnum;
+    u16 62 3 (* e_shstrndx: .shstrtab *)
+  end;
   (* segments *)
   let off = ref header_bytes in
   List.iteri
@@ -78,6 +119,41 @@ let write (t : t) : bytes =
       Bytes.blit s.data 0 b !off (Bytes.length s.data);
       off := !off + Bytes.length s.data)
     t.segments;
+  if with_syms then begin
+    (* .symtab: null entry, then one STT_FUNC / STB_GLOBAL / SHN_ABS
+       entry per symbol (addresses are sandbox-relative, not
+       section-relative, so SHN_ABS is the honest binding) *)
+    let name_off = ref 1 in
+    List.iteri
+      (fun i (name, value) ->
+        let e = symtab_off + ((i + 1) * symentsize) in
+        u32 e !name_off (* st_name *);
+        u8 (e + 4) 0x12 (* st_info: GLOBAL | FUNC *);
+        u16 (e + 6) 0xfff1 (* st_shndx: SHN_ABS *);
+        u64 (e + 8) value;
+        name_off := !name_off + String.length name + 1)
+      t.symbols;
+    Bytes.blit_string strtab 0 b strtab_off (String.length strtab);
+    Bytes.blit_string shstrtab_data 0 b shstr_off (String.length shstrtab_data);
+    (* section headers: [null; .symtab; .strtab; .shstrtab] *)
+    let sh i ~name ~ty ~off ~size ~link ~info ~entsize =
+      let s = shoff + (i * shentsize) in
+      u32 s name;
+      u32 (s + 4) ty;
+      u64 (s + 24) off;
+      u64 (s + 32) size;
+      u32 (s + 40) link;
+      u32 (s + 44) info;
+      u64 (s + 48) 8 (* sh_addralign *);
+      u64 (s + 56) entsize
+    in
+    sh 1 ~name:shname_symtab ~ty:2 (* SHT_SYMTAB *) ~off:symtab_off
+      ~size:symtab_size ~link:2 ~info:1 ~entsize:symentsize;
+    sh 2 ~name:shname_strtab ~ty:3 (* SHT_STRTAB *) ~off:strtab_off
+      ~size:(String.length strtab) ~link:0 ~info:0 ~entsize:0;
+    sh 3 ~name:shname_shstrtab ~ty:3 ~off:shstr_off
+      ~size:(String.length shstrtab_data) ~link:0 ~info:0 ~entsize:0
+  end;
   b
 
 (* ------------------------------------------------------------------ *)
@@ -117,7 +193,50 @@ let read (b : bytes) : t =
           Some { vaddr; flags; data = Bytes.sub b offset filesz; memsz })
     |> List.filter_map Fun.id
   in
-  { entry; segments }
+  (* Optional symbol table: first SHT_SYMTAB section, names resolved
+     through its sh_link string table.  e_shoff = 0 (the seed layout)
+     means no sections and hence no symbols. *)
+  let symbols =
+    let shoff = u64 40 in
+    let shnum = u16 60 in
+    if shoff = 0 || shnum = 0 then []
+    else begin
+      if u16 58 <> shentsize then raise (Bad_elf "bad shentsize");
+      if shoff + (shnum * shentsize) > len then raise (Bad_elf "truncated shdrs");
+      let sh_type i = Int32.to_int (Bytes.get_int32_le b (shoff + (i * shentsize) + 4)) in
+      let sh_off i = u64 (shoff + (i * shentsize) + 24) in
+      let sh_size i = u64 (shoff + (i * shentsize) + 32) in
+      let sh_link i = Int32.to_int (Bytes.get_int32_le b (shoff + (i * shentsize) + 40)) in
+      let rec find_symtab i =
+        if i >= shnum then None
+        else if sh_type i = 2 (* SHT_SYMTAB *) then Some i
+        else find_symtab (i + 1)
+      in
+      match find_symtab 0 with
+      | None -> []
+      | Some si ->
+          let link = sh_link si in
+          if link >= shnum || sh_type link <> 3 then
+            raise (Bad_elf "symtab without strtab");
+          let str_off = sh_off link and str_size = sh_size link in
+          if str_off + str_size > len then raise (Bad_elf "truncated strtab");
+          let name_at off =
+            if off >= str_size then raise (Bad_elf "bad st_name");
+            let stop = Bytes.index_from b (str_off + off) '\000' in
+            Bytes.sub_string b (str_off + off) (stop - (str_off + off))
+          in
+          let sym_off = sh_off si and sym_size = sh_size si in
+          if sym_off + sym_size > len then raise (Bad_elf "truncated symtab");
+          let nsyms = sym_size / symentsize in
+          List.init nsyms (fun i ->
+              let e = sym_off + (i * symentsize) in
+              let st_name = Int32.to_int (Bytes.get_int32_le b e) in
+              if st_name = 0 then None
+              else Some (name_at st_name, u64 (e + 8)))
+          |> List.filter_map Fun.id
+    end
+  in
+  { entry; segments; symbols }
 
 (* ------------------------------------------------------------------ *)
 (* Bridges                                                             *)
@@ -131,9 +250,16 @@ let trim_bss (data : bytes) : bytes * int =
   let keep = last n in
   (Bytes.sub data 0 keep, n)
 
-(** Package an assembled image as an ELF executable. *)
+(** Package an assembled image as an ELF executable, carrying the
+    assembler's label table as ELF symbols (sorted by address, then
+    name, so the written bytes are deterministic). *)
 let of_image (img : Lfi_arm64.Assemble.image) : t =
   let data, data_memsz = trim_bss img.Lfi_arm64.Assemble.data in
+  let symbols =
+    Hashtbl.fold (fun n v acc -> (n, v) :: acc) img.Lfi_arm64.Assemble.symbols []
+    |> List.sort (fun (n1, v1) (n2, v2) ->
+           match compare (v1 : int) v2 with 0 -> compare n1 n2 | c -> c)
+  in
   {
     entry = img.Lfi_arm64.Assemble.entry;
     segments =
@@ -141,6 +267,7 @@ let of_image (img : Lfi_arm64.Assemble.image) : t =
           memsz = Bytes.length img.text };
         { vaddr = img.data_origin; flags = pf_r lor pf_w; data;
           memsz = data_memsz } ];
+    symbols;
   }
 
 (** The executable segment's bytes (what the verifier checks). *)
@@ -150,4 +277,12 @@ let text_segment (t : t) : segment option =
 let text_size (t : t) =
   match text_segment t with Some s -> Bytes.length s.data | None -> 0
 
-let total_size (t : t) = Bytes.length (write t)
+(** Loadable file size: header + program headers + segment contents.
+    Deliberately excludes the optional symbol-table sections, which are
+    debug metadata — the code-size experiment compares what must be
+    shipped and mapped, and symbols would skew it. *)
+let total_size (t : t) =
+  List.fold_left
+    (fun acc s -> acc + Bytes.length s.data)
+    (ehsize + (List.length t.segments * phentsize))
+    t.segments

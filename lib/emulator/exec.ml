@@ -293,6 +293,31 @@ let ucvtf_value (v : int64) : float =
 (* Step                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(** Telemetry: decode-cache outcome plus the instruction-class mix,
+    counted in one pass so the metrics-off fetch path pays a single
+    [None] check.  A guard is the rewriter's x21-based add — either the
+    fundamental [add xD, x21, wN, uxtw] or the sp re-anchor
+    [add sp, x21, x22, uxtx]. *)
+let count_fetch (t : Lfi_telemetry.Metrics.emu) ~(hit : bool) (i : Insn.t) =
+  let open Lfi_telemetry.Metrics in
+  if hit then t.decode_hits <- t.decode_hits + 1
+  else t.decode_misses <- t.decode_misses + 1;
+  match i with
+  | Insn.Alu
+      { op = Insn.ADD; flags = false; src = Reg.R (Reg.W64, 21);
+        op2 = Insn.Ext (_, (Insn.Uxtw | Insn.Uxtx), 0); _ } ->
+      t.guards <- t.guards + 1
+  | Insn.Ldr _ | Insn.Ldp _ | Insn.Fldr _ | Insn.Fldp _ | Insn.Ldxr _
+  | Insn.Ldar _ ->
+      t.loads <- t.loads + 1
+  | Insn.Str _ | Insn.Stp _ | Insn.Fstr _ | Insn.Fstp _ | Insn.Stxr _
+  | Insn.Stlr _ ->
+      t.stores <- t.stores + 1
+  | Insn.B _ | Insn.Bl _ | Insn.Bcond _ | Insn.Cbz _ | Insn.Tbz _
+  | Insn.Br _ | Insn.Blr _ | Insn.Ret _ ->
+      t.branches <- t.branches + 1
+  | _ -> t.other <- t.other + 1
+
 (** Fetch (through the per-page decode cache) the instruction at the
     current pc and charge its throughput cost.  The alignment check
     runs before the cache probe so a misaligned pc can never alias a
@@ -310,6 +335,7 @@ let fetch_insn (m : Machine.t) : Insn.t =
   let i = Array.unsafe_get m.dc_arr slot in
   if i != Machine.undecoded then begin
     add_cycles m (Array.unsafe_get m.dc_cost slot);
+    (match m.metrics with None -> () | Some t -> count_fetch t ~hit:true i);
     i
   end
   else begin
@@ -319,6 +345,7 @@ let fetch_insn (m : Machine.t) : Insn.t =
     Array.unsafe_set m.dc_arr slot i;
     Array.unsafe_set m.dc_cost slot c;
     add_cycles m c;
+    (match m.metrics with None -> () | Some t -> count_fetch t ~hit:false i);
     i
   end
 
@@ -353,6 +380,11 @@ let step_raw (m : Machine.t) : event option =
   else
       let insn = fetch_insn m in
       m.insns <- m.insns + 1;
+      (match m.profile with
+      | None -> ()
+      | Some p ->
+          if m.insns land p.Lfi_telemetry.Profile.mask = 0 then
+            Lfi_telemetry.Profile.sample p (Int64.to_int m.pc));
       let next = Int64.add m.pc 4L in
       match insn with
       | Insn.Alu { op; flags; dst; src; op2 } ->
@@ -778,10 +810,18 @@ let step_raw (m : Machine.t) : event option =
           Some (Trap (Svc_trap n))
       | Insn.Udf _ -> Some (Trap (Undefined m.pc))
 
+let count_fault (m : Machine.t) =
+  match m.metrics with
+  | None -> ()
+  | Some t -> t.Lfi_telemetry.Metrics.faults <- t.Lfi_telemetry.Metrics.faults + 1
+
 (** Execute exactly one instruction.  Returns [None] for normal
     completion (pc already updated) or [Some event]. *)
 let step (m : Machine.t) : event option =
-  try step_raw m with Memory.Fault f -> Some (Trap (Mem_fault f))
+  try step_raw m
+  with Memory.Fault f ->
+    count_fault m;
+    Some (Trap (Mem_fault f))
 
 (** Run until an event occurs or [quantum] instructions have executed. *)
 let run (m : Machine.t) ~(quantum : int) : event =
@@ -789,4 +829,7 @@ let run (m : Machine.t) ~(quantum : int) : event =
     if n <= 0 then Quantum_expired
     else match step_raw m with None -> go (n - 1) | Some e -> e
   in
-  try go quantum with Memory.Fault f -> Trap (Mem_fault f)
+  try go quantum
+  with Memory.Fault f ->
+    count_fault m;
+    Trap (Mem_fault f)

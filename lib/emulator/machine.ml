@@ -67,6 +67,12 @@ type t = {
   mutable dc_idx : int;  (** page index of [dc_arr]; -1 = none *)
   mutable dc_arr : Insn.t array;  (** last decode page touched *)
   mutable dc_cost : float array;  (** cost slots of [dc_arr] *)
+  mutable metrics : Lfi_telemetry.Metrics.emu option;
+      (** telemetry handle; [None] (the default) counts nothing and
+          allocates nothing — each count site is one predictable
+          branch, preserving the hot loop's throughput *)
+  mutable profile : Lfi_telemetry.Profile.t option;
+      (** pc-sampling profiler handle; [None] by default *)
 }
 
 (** Drop cached decoded instructions for every page overlapping
@@ -80,7 +86,14 @@ let invalidate_code (m : t) (addr : int64) (len : int) =
       else Memory.page_index (Int64.add addr (Int64.of_int (len - 1)))
     in
     for i = first to last do
-      Hashtbl.remove m.decode_pages i
+      if Hashtbl.mem m.decode_pages i then begin
+        (match m.metrics with
+        | None -> ()
+        | Some t ->
+            t.Lfi_telemetry.Metrics.decode_invalidations <-
+              t.Lfi_telemetry.Metrics.decode_invalidations + 1);
+        Hashtbl.remove m.decode_pages i
+      end
     done;
     if m.dc_idx >= first && m.dc_idx <= last then begin
       m.dc_idx <- -1;
@@ -112,6 +125,8 @@ let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
       dc_idx = -1;
       dc_arr = no_decode_page;
       dc_cost = no_cost_page;
+      metrics = None;
+      profile = None;
     }
   in
   (* Join the memory system's invalidation protocol, preserving any

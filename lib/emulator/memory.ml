@@ -67,6 +67,11 @@ type t = {
   tc_idx : int array;  (** cached page index per slot; -1 = invalid *)
   tc_page : page array;  (** valid iff [tc_idx] matches *)
   tc_bits : int array;  (** [perm_bits] of the cached page *)
+  mutable tc_hits : int;
+      (** translation-cache hit/miss counters; flat mutable ints kept
+          unconditionally, like {!Tlb.t}'s — an increment is cheaper
+          than a telemetry-handle branch on this path *)
+  mutable tc_misses : int;
   mutable on_code_change : int64 -> int -> unit;
       (** invalidation hook: [on_code_change addr len] is fired after
           any operation that can change what a fetch from
@@ -80,6 +85,8 @@ let create () =
     tc_idx = Array.make tc_size (-1);
     tc_page = Array.make tc_size dummy_page;
     tc_bits = Array.make tc_size 0;
+    tc_hits = 0;
+    tc_misses = 0;
     on_code_change = (fun _ _ -> ());
   }
 
@@ -155,6 +162,7 @@ let[@inline] get_page m (addr : int64) (access : access) : page =
   let slot = idx land tc_mask in
   let bit = match access with Read -> pb_r | Write -> pb_w | Fetch -> pb_x in
   if Array.unsafe_get m.tc_idx slot = idx then begin
+    m.tc_hits <- m.tc_hits + 1;
     if Array.unsafe_get m.tc_bits slot land bit = 0 then
       fault addr access
         (match access with
@@ -163,7 +171,8 @@ let[@inline] get_page m (addr : int64) (access : access) : page =
         | Fetch -> "not executable");
     Array.unsafe_get m.tc_page slot
   end
-  else
+  else begin
+    m.tc_misses <- m.tc_misses + 1;
     match Hashtbl.find_opt m.pages idx with
     | None -> fault addr access "unmapped"
     | Some p ->
@@ -177,6 +186,7 @@ let[@inline] get_page m (addr : int64) (access : access) : page =
             | Write -> "no write permission"
             | Fetch -> "not executable");
         p
+  end
 
 (* Writes into an executable page must invalidate decoded instructions
    covering it.  Pages are almost never writable+executable, so the

@@ -49,9 +49,11 @@ let personality = function
   | Native | Native_kvm | Wasm _ -> Lfi_runtime.Proc.Native_in_lfi_runtime
   | Lfi _ -> Lfi_runtime.Proc.Lfi
 
-(** Execute a prebuilt image. *)
-let execute ?(uarch = Cost_model.m1) (system : system) (elf : Lfi_elf.Elf.t) :
-    result =
+(** Execute a prebuilt image, returning the runtime too (so callers
+    can read telemetry off it).  [metrics] turns the emulator counters
+    on before the run. *)
+let execute_rt ?(uarch = Cost_model.m1) ?(metrics = false) (system : system)
+    (elf : Lfi_elf.Elf.t) : result * Lfi_runtime.Runtime.t =
   let verifier_config =
     match system with
     | Lfi c ->
@@ -63,6 +65,7 @@ let execute ?(uarch = Cost_model.m1) (system : system) (elf : Lfi_elf.Elf.t) :
     { Lfi_runtime.Runtime.default_config with uarch; verifier_config }
   in
   let rt = Lfi_runtime.Runtime.create ~config () in
+  if metrics then ignore (Lfi_runtime.Runtime.enable_metrics rt);
   if system = Native_kvm then
     rt.Lfi_runtime.Runtime.machine.Machine.nested_paging <- true;
   let p = Lfi_runtime.Runtime.load rt ~personality:(personality system) elf in
@@ -75,14 +78,19 @@ let execute ?(uarch = Cost_model.m1) (system : system) (elf : Lfi_elf.Elf.t) :
           (Run_failure
              (Printf.sprintf "%s killed: %s" (system_name system) why))
   in
-  {
-    exit_code;
-    cycles;
-    insns;
-    text_bytes = Lfi_elf.Elf.text_size elf;
-    file_bytes = Lfi_elf.Elf.total_size elf;
-    tlb_miss_rate = Tlb.miss_rate rt.Lfi_runtime.Runtime.machine.Machine.tlb;
-  }
+  ( {
+      exit_code;
+      cycles;
+      insns;
+      text_bytes = Lfi_elf.Elf.text_size elf;
+      file_bytes = Lfi_elf.Elf.total_size elf;
+      tlb_miss_rate = Tlb.miss_rate rt.Lfi_runtime.Runtime.machine.Machine.tlb;
+    },
+    rt )
+
+(** Execute a prebuilt image. *)
+let execute ?uarch (system : system) (elf : Lfi_elf.Elf.t) : result =
+  fst (execute_rt ?uarch system elf)
 
 let run ?uarch (system : system) (prog : Lfi_minic.Ast.program) : result =
   execute ?uarch system (build system prog)

@@ -45,6 +45,9 @@ type t = {
   stdout : Buffer.t;
   mutable user_insns : int;
   mutable rtcalls : int;
+  symbols : Lfi_telemetry.Profile.sym_table;
+      (** the ELF symbol table sorted for pc-sample folding; [[||]]
+          when the image carried no symbols *)
 }
 
 let is_runnable p = p.state = Runnable

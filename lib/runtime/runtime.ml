@@ -57,6 +57,11 @@ type t = {
   mutable rtcalls : int;
   mutable preemptions : int;
   mutable exit_log : (int * exit_reason) list;
+  mutable trace : Lfi_telemetry.Trace.t option;
+      (** runtime event trace, timestamped in simulated cycles; [None]
+          (the default) emits nothing *)
+  mutable call_hist : Lfi_telemetry.Histogram.t array option;
+      (** per-runtime-call latency histograms, indexed by sysno *)
 }
 
 let create ?(config = default_config) () =
@@ -76,12 +81,75 @@ let create ?(config = default_config) () =
     rtcalls = 0;
     preemptions = 0;
     exit_log = [];
+    trace = None;
+    call_hist = None;
   }
 
 let cycles rt = Machine.cycles rt.machine
 let insns rt = rt.machine.Machine.insns
 let proc rt pid = Hashtbl.find_opt rt.procs pid
 let stdout_of p = Buffer.contents p.Proc.stdout
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All sandboxes share one emulated address space, so the trace uses a
+   single Chrome "process" with one thread track per sandbox pid. *)
+let trace_pid = 1
+
+(** Turn on emulator metric counters (and per-call latency histograms).
+    Idempotent; returns the live counter record. *)
+let enable_metrics rt : Lfi_telemetry.Metrics.emu =
+  (match rt.call_hist with
+  | Some _ -> ()
+  | None ->
+      rt.call_hist <-
+        Some (Array.init Sysno.count (fun _ -> Lfi_telemetry.Histogram.create ())));
+  match rt.machine.Machine.metrics with
+  | Some e -> e
+  | None ->
+      let e = Lfi_telemetry.Metrics.create_emu () in
+      rt.machine.Machine.metrics <- Some e;
+      e
+
+(** Current counters, with the memory-system (translation cache, TLB)
+    counters folded in.  The emulator counters are all zero unless
+    {!enable_metrics} was called before running. *)
+let metrics_snapshot rt : Lfi_telemetry.Metrics.snapshot =
+  let emu =
+    match rt.machine.Machine.metrics with
+    | Some e -> e
+    | None -> Lfi_telemetry.Metrics.create_emu ()
+  in
+  let tlb = rt.machine.Machine.tlb in
+  {
+    Lfi_telemetry.Metrics.emu;
+    tc_hits = rt.mem.Memory.tc_hits;
+    tc_misses = rt.mem.Memory.tc_misses;
+    tlb_hits = tlb.Tlb.hits;
+    tlb_misses = tlb.Tlb.misses;
+  }
+
+(** Turn on runtime-call / scheduler tracing.  Idempotent. *)
+let enable_trace rt : Lfi_telemetry.Trace.t =
+  match rt.trace with
+  | Some t -> t
+  | None ->
+      let t = Lfi_telemetry.Trace.create () in
+      Lfi_telemetry.Trace.process_name t ~pid:trace_pid ~name:"lfi-runtime";
+      rt.trace <- Some t;
+      t
+
+(** Turn on pc sampling (every [period] instructions, rounded to a
+    power of two).  Idempotent; the period of the first call wins. *)
+let enable_profile ?period rt : Lfi_telemetry.Profile.t =
+  match rt.machine.Machine.profile with
+  | None ->
+      let p = Lfi_telemetry.Profile.create ?period () in
+      rt.machine.Machine.profile <- Some p;
+      p
+  | Some p -> p
 
 (* ------------------------------------------------------------------ *)
 (* Address-space management                                            *)
@@ -169,7 +237,7 @@ let load rt ?(arg = 0L) ~(personality : Proc.personality)
     | Some seg -> (
         match
           Lfi_verifier.Verifier.verify ~config:rt.cfg.verifier_config
-            ~code:seg.Lfi_elf.Elf.data ()
+            ~origin:seg.Lfi_elf.Elf.vaddr ~code:seg.Lfi_elf.Elf.data ()
         with
         | Ok _ -> ()
         | Error vs ->
@@ -225,11 +293,19 @@ let load rt ?(arg = 0L) ~(personality : Proc.personality)
       stdout = Buffer.create 256;
       user_insns = 0;
       rtcalls = 0;
+      symbols = Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols;
     }
   in
   Proc.install_std_fds p;
   Hashtbl.replace rt.procs pid p;
   rt.runq <- rt.runq @ [ pid ];
+  (match rt.trace with
+  | None -> ()
+  | Some t ->
+      Lfi_telemetry.Trace.thread_name t ~pid:trace_pid ~tid:pid
+        ~name:
+          (Printf.sprintf "sandbox %d (%s)" pid
+             (Proc.personality_name personality)));
   p
 
 let load_image rt ?arg ~personality (img : Lfi_arm64.Assemble.image) =
@@ -362,12 +438,22 @@ let do_fork rt (parent : Proc.t) : int =
         stdout = Buffer.create 256;
         user_insns = 0;
         rtcalls = 0;
+        symbols = parent.Proc.symbols;
       }
     in
     Proc.dup_fds parent child;
     parent.Proc.children <- pid :: parent.Proc.children;
     Hashtbl.replace rt.procs pid child;
     rt.runq <- rt.runq @ [ pid ];
+    (match rt.trace with
+    | None -> ()
+    | Some t ->
+        Lfi_telemetry.Trace.thread_name t ~pid:trace_pid ~tid:pid
+          ~name:(Printf.sprintf "sandbox %d (lfi)" pid);
+        Lfi_telemetry.Trace.instant t ~name:"fork" ~cat:"proc"
+          ~ts:(Machine.cycles rt.machine) ~pid:trace_pid
+          ~tid:parent.Proc.pid
+          ~args:[ ("child", Lfi_telemetry.Trace.Int pid) ]);
     pid
   end
 
@@ -693,6 +779,11 @@ let run rt : (int * exit_reason) list =
         if blocked > 0 then raise Deadlock else ()
     | Some p ->
         rt.ctx_switches <- rt.ctx_switches + 1;
+        (match rt.trace with
+        | None -> ()
+        | Some t ->
+            Lfi_telemetry.Trace.instant t ~name:"ctx-switch" ~cat:"sched"
+              ~ts:(Machine.cycles m) ~pid:trace_pid ~tid:p.Proc.pid ~args:[]);
         Machine.add_cycles m (switch_cost rt p);
         if rt.cfg.spectre_hardening then
           Machine.add_cycles m rt.cfg.uarch.Cost_model.scxtnum_switch;
@@ -732,7 +823,21 @@ let run rt : (int * exit_reason) list =
         kill p (Printf.sprintf "undefined instruction at 0x%Lx" pc);
         finish ()
   and run_call (p : Proc.t) (k : int) ~finish =
-    match handle_call rt p k with
+    let t0 = Machine.cycles m in
+    let outcome = handle_call rt p k in
+    let dur = Machine.cycles m -. t0 in
+    (match rt.trace with
+    | None -> ()
+    | Some t ->
+        Lfi_telemetry.Trace.complete t ~name:(Sysno.name k) ~cat:"rtcall"
+          ~ts:t0 ~dur ~pid:trace_pid ~tid:p.Proc.pid
+          ~args:[ ("result", Lfi_telemetry.Trace.I64 m.Machine.regs.(0)) ]);
+    (match rt.call_hist with
+    | None -> ()
+    | Some hs ->
+        if k >= 0 && k < Sysno.count then
+          Lfi_telemetry.Histogram.observe hs.(k) dur);
+    match outcome with
     | Continue -> execute p
     | Switch ->
         p.Proc.snapshot <- Machine.snapshot m;
@@ -756,3 +861,56 @@ let run_one rt (p : Proc.t) =
     | None -> Killed "did not exit"
   in
   (reason, stdout_of p, cycles rt, insns rt)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry reports                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Full metrics report as a JSON object: the emulator cache counters,
+    the scheduler counters, and (when metrics were enabled) one latency
+    histogram per runtime call that occurred. *)
+let metrics_json rt : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"emulator\": ";
+  Buffer.add_string b
+    (Lfi_telemetry.Metrics.snapshot_to_json (metrics_snapshot rt));
+  Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"runtime\": {\"ctx_switches\": %d, \"rtcalls\": %d, \
+        \"preemptions\": %d, \"insns\": %d, \"cycles\": %.1f}"
+       rt.ctx_switches rt.rtcalls rt.preemptions (insns rt) (cycles rt));
+  (match rt.call_hist with
+  | None -> ()
+  | Some hs ->
+      Buffer.add_string b ",\n  \"rtcall_latency\": {\n";
+      let first = ref true in
+      Array.iteri
+        (fun k h ->
+          if h.Lfi_telemetry.Histogram.count > 0 then begin
+            if not !first then Buffer.add_string b ",\n";
+            first := false;
+            Buffer.add_string b
+              (Printf.sprintf "    \"%s\": %s" (Sysno.name k)
+                 (Lfi_telemetry.Histogram.to_json h))
+          end)
+        hs;
+      Buffer.add_string b "\n  }");
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(** Per-sandbox flat profiles, one entry per process still in the
+    table (exited-but-unreaped zombies included), ordered by pid.  A
+    sample is attributed to the sandbox whose 4GiB slot contains its
+    pc, then folded through that sandbox's ELF symbols. *)
+let profile_report rt : (Proc.t * Lfi_telemetry.Profile.line list) list =
+  match rt.machine.Machine.profile with
+  | None -> []
+  | Some prof ->
+      Hashtbl.fold (fun _ p acc -> p :: acc) rt.procs []
+      |> List.sort (fun a b -> compare a.Proc.pid b.Proc.pid)
+      |> List.map (fun p ->
+             let base = Int64.to_int p.Proc.base in
+             ( p,
+               Lfi_telemetry.Profile.flat prof ~symbols:p.Proc.symbols ~base
+                 ~limit:(base + Lfi_core.Layout.sandbox_size) ))

@@ -1,0 +1,57 @@
+(** Power-of-two-bucketed histograms with allocation-free observation.
+
+    Bucket [i] counts observations [v] with [2^(i-1) <= v < 2^i]
+    (bucket 0 counts [v < 1]).  32 buckets cover every simulated-cycle
+    latency the runtime can produce; [observe] is a couple of integer
+    shifts and stores, so it is safe to call on the runtime-call path
+    without disturbing the measurement. *)
+
+let nbuckets = 32
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create () = { buckets = Array.make nbuckets 0; count = 0; sum = 0.0; max = 0.0 }
+
+let reset t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.max <- 0.0
+
+(* index of the highest set bit, plus one; 0 for n <= 0 *)
+let bucket_of (n : int) =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  if n <= 0 then 0 else min (nbuckets - 1) (go n 0)
+
+let observe t (v : float) =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v;
+  let i = bucket_of (int_of_float v) in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(** JSON object: count/mean/max plus the non-empty buckets as
+    [[upper_bound, count], ...] pairs (upper bound exclusive). *)
+let to_json t : string =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"count\": %d, \"mean\": %.1f, \"max\": %.1f, \"buckets\": ["
+       t.count (mean t) t.max);
+  let first = ref true in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if not !first then Buffer.add_string b ", ";
+        first := false;
+        Buffer.add_string b (Printf.sprintf "[%d, %d]" (1 lsl i) n)
+      end)
+    t.buckets;
+  Buffer.add_string b "]}";
+  Buffer.contents b

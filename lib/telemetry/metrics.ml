@@ -1,0 +1,86 @@
+(** Emulator metric counters (the "where do the cycles go" layer).
+
+    A {!emu} record is a flat bag of mutable [int] counters the
+    emulator's hot paths bump through a [Metrics.emu option] handle
+    that is [None] by default: with telemetry disabled nothing is
+    allocated and each potential count site costs one predictable
+    branch, which keeps the PR-1 hot loop at its measured throughput.
+
+    The memory system's translation cache and the TLB already maintain
+    their own unconditional counters (flat mutable ints, following the
+    original {!Lfi_emulator.Tlb} design); a {!snapshot} folds those in
+    next to the handle's counters so consumers see one coherent record
+    per run. *)
+
+type emu = {
+  (* decode cache (per-page decoded-instruction arrays) *)
+  mutable decode_hits : int;
+  mutable decode_misses : int;
+  mutable decode_invalidations : int;
+      (** pages dropped by the code-change invalidation protocol *)
+  (* escapes *)
+  mutable faults : int;  (** memory faults that escaped to the runtime *)
+  (* instruction-class mix of everything executed *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable guards : int;  (** LFI guard instructions (x21-based add) *)
+  mutable other : int;
+}
+
+let create_emu () =
+  {
+    decode_hits = 0;
+    decode_misses = 0;
+    decode_invalidations = 0;
+    faults = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    guards = 0;
+    other = 0;
+  }
+
+(** One run's counters, with the memory-system counters (sampled from
+    the TLB and translation cache at snapshot time) alongside. *)
+type snapshot = {
+  emu : emu;
+  tc_hits : int;  (** page-translation cache *)
+  tc_misses : int;
+  tlb_hits : int;
+  tlb_misses : int;  (** every miss is a page walk *)
+}
+
+let hit_rate ~hits ~misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let insn_total (e : emu) = e.loads + e.stores + e.branches + e.guards + e.other
+
+(** Render a snapshot as a JSON object (no trailing newline). *)
+let snapshot_to_json (s : snapshot) : string =
+  let e = s.emu in
+  let b = Buffer.create 512 in
+  let cache name hits misses extra =
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"%s\": {\"hits\": %d, \"misses\": %d%s, \"hit_rate\": %.6f}"
+         name hits misses extra (hit_rate ~hits ~misses))
+  in
+  Buffer.add_string b "{\n";
+  cache "decode_cache" e.decode_hits e.decode_misses
+    (Printf.sprintf ", \"invalidated_pages\": %d" e.decode_invalidations);
+  Buffer.add_string b ",\n";
+  cache "translation_cache" s.tc_hits s.tc_misses "";
+  Buffer.add_string b ",\n";
+  cache "tlb" s.tlb_hits s.tlb_misses
+    (Printf.sprintf ", \"walks\": %d" s.tlb_misses);
+  Buffer.add_string b ",\n";
+  Buffer.add_string b (Printf.sprintf "    \"faults\": %d,\n" e.faults);
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"insn_mix\": {\"loads\": %d, \"stores\": %d, \"branches\": %d, \
+        \"guards\": %d, \"other\": %d, \"total\": %d}\n"
+       e.loads e.stores e.branches e.guards e.other (insn_total e));
+  Buffer.add_string b "  }";
+  Buffer.contents b

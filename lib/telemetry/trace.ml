@@ -1,0 +1,106 @@
+(** Structured trace events in Chrome trace-event JSON.
+
+    The output loads directly into [chrome://tracing] and Perfetto.
+    Timestamps are {e simulated cycles}, not wall time: the emulator's
+    cycle counter is a deterministic function of the executed
+    instruction stream, so two runs of the same workload produce
+    byte-identical trace files — which is what makes traces diffable
+    and testable.  (The [ts] field is nominally microseconds; viewers
+    only use it as a linear axis, so "1 us" reads as "1 cycle".)
+
+    Events are appended as pre-rendered JSON text into a single buffer:
+    emitting an event is a few [Buffer] writes, with no intermediate
+    event objects retained.  The runtime gives every sandbox its own
+    track by using the sandbox pid as the Chrome [tid]. *)
+
+type arg =
+  | Int of int
+  | I64 of int64
+  | Str of string
+  | Float of float
+
+type t = { buf : Buffer.t; mutable events : int }
+
+let create () = { buf = Buffer.create 4096; events = 0 }
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_arg b = function
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | I64 n -> Buffer.add_string b (Int64.to_string n)
+  | Float f -> Buffer.add_string b (Printf.sprintf "%.3f" f)
+  | Str s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+
+let add_args b (args : (string * arg) list) =
+  Buffer.add_string b ", \"args\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_char b '"';
+      add_escaped b k;
+      Buffer.add_string b "\": ";
+      add_arg b v)
+    args;
+  Buffer.add_char b '}'
+
+let start_event t ~ph ~name ~cat ~(ts : float) ~pid ~tid =
+  let b = t.buf in
+  if t.events > 0 then Buffer.add_string b ",\n";
+  t.events <- t.events + 1;
+  Buffer.add_string b (Printf.sprintf "{\"ph\": \"%c\", \"name\": \"" ph);
+  add_escaped b name;
+  Buffer.add_string b "\", \"cat\": \"";
+  add_escaped b cat;
+  Buffer.add_string b
+    (Printf.sprintf "\", \"ts\": %.3f, \"pid\": %d, \"tid\": %d" ts pid tid)
+
+let finish_event t = Buffer.add_char t.buf '}'
+
+(** A span with a duration ([ph = "X"] complete event). *)
+let complete t ~name ~cat ~ts ~(dur : float) ~pid ~tid ~args =
+  start_event t ~ph:'X' ~name ~cat ~ts ~pid ~tid;
+  Buffer.add_string t.buf (Printf.sprintf ", \"dur\": %.3f" dur);
+  if args <> [] then add_args t.buf args;
+  finish_event t
+
+(** A zero-duration marker on one thread's track. *)
+let instant t ~name ~cat ~ts ~pid ~tid ~args =
+  start_event t ~ph:'i' ~name ~cat ~ts ~pid ~tid;
+  Buffer.add_string t.buf ", \"s\": \"t\"";
+  if args <> [] then add_args t.buf args;
+  finish_event t
+
+(* Metadata events name the process and thread tracks in the viewer. *)
+
+let metadata t ~name ~pid ~tid ~value =
+  start_event t ~ph:'M' ~name ~cat:"__metadata" ~ts:0.0 ~pid ~tid;
+  add_args t.buf [ ("name", Str value) ];
+  finish_event t
+
+let process_name t ~pid ~name = metadata t ~name:"process_name" ~pid ~tid:0 ~value:name
+let thread_name t ~pid ~tid ~name = metadata t ~name:"thread_name" ~pid ~tid ~value:name
+
+let num_events t = t.events
+
+let to_string t : string =
+  Printf.sprintf "{\"traceEvents\": [\n%s\n], \"displayTimeUnit\": \"ms\"}\n"
+    (Buffer.contents t.buf)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

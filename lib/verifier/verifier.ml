@@ -37,13 +37,27 @@ let default_config = { sandbox_loads = true; allow_exclusives = true }
 type violation = {
   index : int;  (** instruction index within the text segment *)
   offset : int;  (** byte offset of the instruction *)
+  pc : int;  (** faulting address ([origin] + [offset]) *)
   insn : Insn.t;
   rule : string;
+  context : (int * Insn.t) list;
+      (** the faulting instruction and up to two neighbours on each
+          side, as [(pc, insn)] pairs, for the error report *)
 }
 
+(** Multi-line report: the faulting pc, the disassembled instruction
+    and the rule, then the surrounding instructions with the culprit
+    marked — enough to find the site in a listing without re-running
+    the disassembler by hand. *)
 let pp_violation fmt v =
-  Format.fprintf fmt "+0x%x: %s: %s" v.offset (Printer.to_string v.insn)
-    v.rule
+  Format.fprintf fmt "0x%x (+0x%x): %s: %s" v.pc v.offset
+    (Printer.to_string v.insn) v.rule;
+  List.iter
+    (fun (pc, i) ->
+      Format.fprintf fmt "@.  %s 0x%x:  %s"
+        (if pc = v.pc then ">" else " ")
+        pc (Printer.to_string i))
+    v.context
 
 type result_ok = { checked : int; bytes : int }
 
@@ -101,14 +115,22 @@ let is_sp_based_access (i : Insn.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let verify ?(config = default_config) ~(code : bytes) () :
+let verify ?(config = default_config) ?(origin = 0) ~(code : bytes) () :
     (result_ok, violation list) result =
   let insns = Decode.decode_all code in
   let n = Array.length insns in
   let violations = ref [] in
   let fail index rule =
-    violations := { index; offset = index * 4; insn = insns.(index); rule }
-                  :: !violations
+    let lo = max 0 (index - 2) and hi = min (n - 1) (index + 2) in
+    let context =
+      List.init (hi - lo + 1) (fun k ->
+          let j = lo + k in
+          (origin + (j * 4), insns.(j)))
+    in
+    violations :=
+      { index; offset = index * 4; pc = origin + (index * 4);
+        insn = insns.(index); rule; context }
+      :: !violations
   in
   let next_is index p = index + 1 < n && p insns.(index + 1) in
 
@@ -247,8 +269,8 @@ let verify ?(config = default_config) ~(code : bytes) () :
   else Error (List.rev !violations)
 
 (** Verify and raise on failure (for loaders). *)
-let verify_exn ?config ~code () =
-  match verify ?config ~code () with
+let verify_exn ?config ?origin ~code () =
+  match verify ?config ?origin ~code () with
   | Ok r -> r
   | Error vs ->
       let b = Buffer.create 256 in

@@ -24,7 +24,11 @@ let all : Common.t list =
     paper (Figure 4: mcf, namd, lbm, x264, deepsjeng, nab, xz). *)
 let wasm_subset = List.filter (fun w -> w.Common.wasm_ok) all
 
+(** Named workloads outside the SPEC suite (kept out of [all] so the
+    SPEC-overhead experiments are unaffected). *)
+let extras : Common.t list = [ Coremark.workload ]
+
 let find (short : string) : Common.t option =
   List.find_opt
     (fun w -> w.Common.short = short || w.Common.name = short)
-    all
+    (all @ extras)

@@ -1,0 +1,302 @@
+(* Tests for the telemetry subsystem: metric counters, trace
+   determinism, pc-sampling profiles, ELF symbol round-trips, and the
+   verifier's diagnostic format. *)
+
+open Lfi_arm64
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let build ?(rewrite = true) ?config asm =
+  let src = Parser.parse_string_exn asm in
+  let src = if rewrite then fst (Lfi_core.Rewriter.rewrite ?config src) else src in
+  Lfi_elf.Elf.of_image (Assemble.assemble src)
+
+(* O0 keeps one explicit guard instruction per sandboxed access, which
+   the golden test below wants to see in the instruction mix. *)
+let o0 = { Lfi_core.Config.default with Lfi_core.Config.opt = Lfi_core.Config.O0 }
+
+(* A small deterministic workload: a counted store/load loop plus one
+   write runtime call, exercising the decode cache, the TLB and every
+   instruction class the mix counters distinguish. *)
+let loop_asm =
+  "_start:\n\
+   \tmovz x0, #64\n\
+   \tadr x1, buf\n\
+   loop:\n\
+   \tstr x0, [x1]\n\
+   \tldr x2, [x1]\n\
+   \tsub x0, x0, #1\n\
+   \tcbnz x0, loop\n\
+   \tmovz x0, #0\n\
+   \tsvc #1\n\
+   \tb _start\n\
+   .data\n\
+   buf:\n\
+   \t.quad 0\n"
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_off_by_default () =
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build loop_asm)
+  in
+  ignore (Lfi_runtime.Runtime.run_one rt p);
+  checkb "no metrics handle"
+    (rt.Lfi_runtime.Runtime.machine.Lfi_emulator.Machine.metrics = None)
+    true;
+  checkb "no profile handle"
+    (rt.Lfi_runtime.Runtime.machine.Lfi_emulator.Machine.profile = None)
+    true;
+  (* a snapshot taken without enabling sees zero emulator counters *)
+  let snap = Lfi_runtime.Runtime.metrics_snapshot rt in
+  checki "decode hits stay 0" 0
+    snap.Lfi_telemetry.Metrics.emu.Lfi_telemetry.Metrics.decode_hits;
+  checki "insn mix stays 0" 0
+    (Lfi_telemetry.Metrics.insn_total snap.Lfi_telemetry.Metrics.emu)
+
+let run_with_metrics () =
+  let rt = Lfi_runtime.Runtime.create () in
+  let e = Lfi_runtime.Runtime.enable_metrics rt in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build ~config:o0 loop_asm)
+  in
+  ignore (Lfi_runtime.Runtime.run_one rt p);
+  (rt, e)
+
+(* Golden counter values for [loop_asm]: the emulator is deterministic,
+   so these are exact.  If a legitimate emulator change shifts them,
+   re-derive with: dune exec test/test_telemetry.exe (the failure
+   message prints the actual values). *)
+let test_metrics_golden () =
+  let rt, e = run_with_metrics () in
+  let snap = Lfi_runtime.Runtime.metrics_snapshot rt in
+  let open Lfi_telemetry.Metrics in
+  let insns = rt.Lfi_runtime.Runtime.machine.Lfi_emulator.Machine.insns in
+  checki "every insn went through the decode cache" insns
+    (e.decode_hits + e.decode_misses);
+  checki "mix sums to insns" insns (insn_total e);
+  checki "decode misses (distinct slots decoded)" 11 e.decode_misses;
+  checki "decode hits" 378 e.decode_hits;
+  checki "loads (64 ldr + 1 table load)" 65 e.loads;
+  checki "stores" 64 e.stores;
+  checki "branches (64 cbnz + blr x30)" 65 e.branches;
+  checki "guards (one per sandboxed access at O0)" 128 e.guards;
+  checki "tlb hits" 127 snap.tlb_hits;
+  checki "tlb misses" 2 snap.tlb_misses;
+  checki "faults" 0 e.faults;
+  checkb "translation cache hit rate high"
+    (hit_rate ~hits:snap.tc_hits ~misses:snap.tc_misses > 0.9)
+    true
+
+(* cheap substring check, so the tests need no JSON parser *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_metrics_json_shape () =
+  let rt, _ = run_with_metrics () in
+  let j = Lfi_runtime.Runtime.metrics_json rt in
+  List.iter
+    (fun key -> checkb key (contains j key) true)
+    [
+      "\"decode_cache\"";
+      "\"translation_cache\"";
+      "\"tlb\"";
+      "\"insn_mix\"";
+      "\"runtime\"";
+      "\"rtcall_latency\"";
+      "\"exit\"";
+    ]
+
+(* ---------------- trace determinism ---------------- *)
+
+let trace_of_run () =
+  let rt = Lfi_runtime.Runtime.create () in
+  let t = Lfi_runtime.Runtime.enable_trace rt in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build loop_asm)
+  in
+  ignore (Lfi_runtime.Runtime.run_one rt p);
+  Lfi_telemetry.Trace.to_string t
+
+let test_trace_deterministic () =
+  let a = trace_of_run () and b = trace_of_run () in
+  checkb "two runs, byte-identical traces" (String.equal a b) true;
+  checkb "trace is non-trivial" (String.length a > 200) true;
+  checkb "has a complete event" (contains a "\"ph\": \"X\"") true
+
+let test_trace_tracks () =
+  let s = trace_of_run () in
+  checkb "process named" (contains s "lfi-runtime") true;
+  checkb "sandbox track named" (contains s "sandbox 1 (lfi)") true;
+  checkb "exit call traced" (contains s "\"name\": \"exit\"") true
+
+(* ---------------- profiling ---------------- *)
+
+let test_profile_samples_land () =
+  let rt = Lfi_runtime.Runtime.create () in
+  ignore (Lfi_runtime.Runtime.enable_profile ~period:16 rt);
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build loop_asm)
+  in
+  ignore (Lfi_runtime.Runtime.run_one rt p);
+  match Lfi_runtime.Runtime.profile_report rt with
+  | [ (p', lines) ] ->
+      checki "report is for the sandbox" p.Lfi_runtime.Proc.pid
+        p'.Lfi_runtime.Proc.pid;
+      let total =
+        List.fold_left (fun a l -> a + l.Lfi_telemetry.Profile.hits) 0 lines
+      in
+      checkb "collected samples" (total > 10) true;
+      (* the loop body dominates; it lives under the _start symbol *)
+      (match lines with
+      | top :: _ ->
+          checks "hottest symbol" "loop" top.Lfi_telemetry.Profile.name;
+          checkb "dominates" (top.Lfi_telemetry.Profile.fraction > 0.5) true
+      | [] -> Alcotest.fail "empty profile")
+  | l -> Alcotest.failf "expected 1 profile entry, got %d" (List.length l)
+
+let test_profile_deterministic () =
+  let run () =
+    let rt = Lfi_runtime.Runtime.create () in
+    ignore (Lfi_runtime.Runtime.enable_profile ~period:64 rt);
+    let p =
+      Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+        (build loop_asm)
+    in
+    ignore (Lfi_runtime.Runtime.run_one rt p);
+    List.concat_map
+      (fun (_, lines) ->
+        List.map
+          (fun l ->
+            Printf.sprintf "%s=%d" l.Lfi_telemetry.Profile.name
+              l.Lfi_telemetry.Profile.hits)
+          lines)
+      (Lfi_runtime.Runtime.profile_report rt)
+    |> String.concat ","
+  in
+  checks "identical flat profiles" (run ()) (run ())
+
+let test_sym_resolve () =
+  let tbl =
+    Lfi_telemetry.Profile.sym_table
+      [ ("main", 0x100); (".Llocal", 0x110); ("helper", 0x200) ]
+  in
+  let r off = Lfi_telemetry.Profile.resolve tbl off in
+  Alcotest.(check (option string)) "below first" None (r 0xff);
+  Alcotest.(check (option string)) "at main" (Some "main") (r 0x100);
+  Alcotest.(check (option string)) "local dropped" (Some "main") (r 0x118);
+  Alcotest.(check (option string)) "at helper" (Some "helper") (r 0x200);
+  Alcotest.(check (option string)) "past end" (Some "helper") (r 0x9999)
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram () =
+  let h = Lfi_telemetry.Histogram.create () in
+  List.iter (fun v -> Lfi_telemetry.Histogram.observe h v) [ 0.5; 1.0; 3.0; 100.0 ];
+  checki "count" 4 h.Lfi_telemetry.Histogram.count;
+  checkb "mean" (abs_float (Lfi_telemetry.Histogram.mean h -. 26.125) < 1e-9) true;
+  checki "bucket of 0" 0 (Lfi_telemetry.Histogram.bucket_of 0);
+  checki "bucket of 1" 1 (Lfi_telemetry.Histogram.bucket_of 1);
+  checki "bucket of 2" 2 (Lfi_telemetry.Histogram.bucket_of 2);
+  checki "bucket of 3" 2 (Lfi_telemetry.Histogram.bucket_of 3);
+  checki "bucket of 4" 3 (Lfi_telemetry.Histogram.bucket_of 4)
+
+(* ---------------- ELF symbols ---------------- *)
+
+let test_elf_symbol_roundtrip () =
+  let elf = build loop_asm in
+  checkb "of_image collects symbols"
+    (List.mem_assoc "_start" elf.Lfi_elf.Elf.symbols)
+    true;
+  let bytes = Lfi_elf.Elf.write elf in
+  let elf' = Lfi_elf.Elf.read bytes in
+  Alcotest.(check (list (pair string int)))
+    "symbols survive write/read" elf.Lfi_elf.Elf.symbols
+    elf'.Lfi_elf.Elf.symbols;
+  (* loadable size excludes the symbol table *)
+  checkb "total_size below file size"
+    (Lfi_elf.Elf.total_size elf < Bytes.length bytes)
+    true
+
+let test_elf_no_symbols_unchanged () =
+  let elf = build loop_asm in
+  let bare = { elf with Lfi_elf.Elf.symbols = [] } in
+  let bytes = Lfi_elf.Elf.write bare in
+  checki "no section headers when symbol-free"
+    (Lfi_elf.Elf.total_size bare) (Bytes.length bytes);
+  let elf' = Lfi_elf.Elf.read bytes in
+  Alcotest.(check (list (pair string int))) "reads back empty" []
+    elf'.Lfi_elf.Elf.symbols
+
+(* ---------------- verifier diagnostics ---------------- *)
+
+let test_verifier_report_format () =
+  (* a store through an unguarded register, with known neighbours *)
+  let asm =
+    "_start:\n\
+     \tmovz x1, #1\n\
+     \tmovz x2, #2\n\
+     \tstr x1, [x2]\n\
+     \tmovz x0, #0\n\
+     \tmovz x3, #3\n"
+  in
+  let img = Assemble.assemble (Parser.parse_string_exn asm) in
+  match
+    Lfi_verifier.Verifier.verify ~origin:0x10000 ~code:img.Assemble.text ()
+  with
+  | Ok _ -> Alcotest.fail "unguarded store verified"
+  | Error [ v ] ->
+      checki "pc" 0x10008 v.Lfi_verifier.Verifier.pc;
+      checki "offset" 0x8 v.Lfi_verifier.Verifier.offset;
+      let msg = Format.asprintf "%a" Lfi_verifier.Verifier.pp_violation v in
+      checks "report format"
+        ("0x10008 (+0x8): str x1, [x2]: unguarded memory access via x2\n\
+         \    0x10000:  movz x1, #1\n\
+         \    0x10004:  movz x2, #2\n\
+         \  > 0x10008:  str x1, [x2]\n\
+         \    0x1000c:  movz x0, #0\n\
+         \    0x10010:  movz x3, #3")
+        msg
+  | Error vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "off by default" `Quick test_metrics_off_by_default;
+          Alcotest.test_case "golden counters" `Quick test_metrics_golden;
+          Alcotest.test_case "json shape" `Quick test_metrics_json_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "tracks" `Quick test_trace_tracks;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "samples land" `Quick test_profile_samples_land;
+          Alcotest.test_case "deterministic" `Quick test_profile_deterministic;
+          Alcotest.test_case "symbol resolve" `Quick test_sym_resolve;
+        ] );
+      ("histogram", [ Alcotest.test_case "buckets" `Quick test_histogram ]);
+      ( "elf-symbols",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_elf_symbol_roundtrip;
+          Alcotest.test_case "symbol-free unchanged" `Quick
+            test_elf_no_symbols_unchanged;
+        ] );
+      ( "verifier-report",
+        [
+          Alcotest.test_case "format" `Quick test_verifier_report_format;
+        ] );
+    ]
