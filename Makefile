@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json trace-demo clean
+.PHONY: all build check test bench bench-json bench-compare crash-demo trace-demo clean
 
 all: build
 
@@ -18,6 +18,19 @@ bench:
 # Compare against BENCH_baseline.json (pre-overhaul emulator).
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_emulator.json
+
+# Regression gate: rerun the emulator samples and compare insns/s
+# against the committed baseline; exits nonzero on a >10% slowdown.
+bench-compare:
+	dune exec bench/main.exe -- --quick --compare BENCH_emulator.json
+
+# Deliberately crash the `crashy` workload (wild read into the guard
+# region) and emit the postmortem crash report: text on stderr, JSON
+# in postmortem_crash.json. The kill is the point, so tolerate it.
+crash-demo:
+	dune exec bin/lfi_run.exe -- --workload crashy \
+	  --postmortem=postmortem_crash.json || true
+	@echo "wrote postmortem_crash.json"
 
 # Perfetto-loadable Chrome trace of a coremark run (plus a metrics
 # snapshot). Coremark exits with its checksum, so tolerate exit != 0.

@@ -126,6 +126,9 @@ type emu_sample = {
   tlb_hit_rate : float;
   guard_fraction : float;
   insns_per_sec_metrics : float;
+  guard_clamps : int;
+      (* the flight recorder's guard-clamp audit: exactly 0 for every
+         well-behaved workload *)
 }
 
 let time_wall f =
@@ -187,6 +190,7 @@ let emulator_samples ~reps workloads =
                   float_of_int e.guards /. float_of_int (max 1 (insn_total e));
                 insns_per_sec_metrics =
                   float_of_int rm.Lfi_experiments.Run.insns /. wall_m;
+                guard_clamps = Lfi_runtime.Runtime.total_clamps rtm;
               })
             [
               ("native", Lfi_experiments.Run.Native);
@@ -229,7 +233,7 @@ let json_perf ~quick file =
   | Error _ -> failwith "verifier rejected the mcf proxy");
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lfi-bench/v2\",\n";
+  Buffer.add_string buf "  \"schema\": \"lfi-bench/v3\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf "  \"emulator\": [\n";
   List.iteri
@@ -241,10 +245,11 @@ let json_perf ~quick file =
             %.0f,\n\
            \     \"telemetry\": {\"decode_cache_hit_rate\": %.6f, \
             \"translation_cache_hit_rate\": %.6f, \"tlb_hit_rate\": %.6f, \
-            \"guard_fraction\": %.6f, \"insns_per_sec_metrics\": %.0f}}%s\n"
+            \"guard_fraction\": %.6f, \"insns_per_sec_metrics\": %.0f, \
+            \"guard_clamps\": %d}}%s\n"
            s.workload s.uarch s.system s.insns s.sim_cycles s.wall_s
            s.insns_per_sec s.decode_hit_rate s.tc_hit_rate s.tlb_hit_rate
-           s.guard_fraction s.insns_per_sec_metrics
+           s.guard_fraction s.insns_per_sec_metrics s.guard_clamps
            (if i = List.length emu - 1 then "" else ",")))
     emu;
   Buffer.add_string buf "  ],\n";
@@ -269,23 +274,153 @@ let json_perf ~quick file =
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 
+(* ------------------------------------------------------------------ *)
+(* Regression gate (--compare FILE)                                    *)
+(*                                                                     *)
+(* Re-measures the emulator samples and compares throughput against a  *)
+(* baseline JSON written by --json (any schema version: only the       *)
+(* per-sample insns_per_sec is read).  Exits nonzero if any matching   *)
+(* (workload, uarch, system) sample regressed by more than 10%, so CI  *)
+(* can gate on it.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let regression_threshold = 0.10
+
+(* Minimal field extraction from our own JSON: each emulator sample is
+   a chunk starting at {"workload"; fields are scanned inside the
+   chunk, so no general JSON parser is needed. *)
+let find_sub (hay : string) (needle : string) (from : int) : int option =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub hay i n = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let baseline_samples (content : string) : (string * string * string * float) list =
+  let marker = "{\"workload\":" in
+  let str_field chunk name =
+    let key = Printf.sprintf "\"%s\": \"" name in
+    match find_sub chunk key 0 with
+    | None -> None
+    | Some i ->
+        let start = i + String.length key in
+        let stop = String.index_from chunk start '"' in
+        Some (String.sub chunk start (stop - start))
+  in
+  let num_field chunk name =
+    let key = Printf.sprintf "\"%s\": " name in
+    match find_sub chunk key 0 with
+    | None -> None
+    | Some i ->
+        let start = i + String.length key in
+        let stop = ref start in
+        while
+          !stop < String.length chunk
+          && (match chunk.[!stop] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub chunk start (!stop - start))
+  in
+  let rec chunks acc pos =
+    match find_sub content marker pos with
+    | None -> List.rev acc
+    | Some i -> (
+        let stop =
+          match find_sub content marker (i + 1) with
+          | None -> String.length content
+          | Some j -> j
+        in
+        let chunk = String.sub content i (stop - i) in
+        match
+          ( str_field chunk "workload",
+            str_field chunk "uarch",
+            str_field chunk "system",
+            num_field chunk "insns_per_sec" )
+        with
+        | Some w, Some u, Some s, Some ips -> chunks ((w, u, s, ips) :: acc) stop
+        | _ -> chunks acc stop)
+  in
+  chunks [] 0
+
+let compare_baseline ~quick file =
+  let content =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let baseline = baseline_samples content in
+  if baseline = [] then begin
+    Printf.eprintf "%s: no emulator samples found\n" file;
+    exit 2
+  end;
+  let reps = if quick then 2 else 4 in
+  let workloads =
+    List.sort_uniq compare (List.map (fun (w, _, _, _) -> w) baseline)
+  in
+  Printf.printf "comparing against %s on %s (%d reps)...\n%!" file
+    (String.concat ", " workloads) reps;
+  let current = emulator_samples ~reps workloads in
+  let regressions = ref 0 in
+  let clamped = ref 0 in
+  List.iter
+    (fun (w, u, sys, base_ips) ->
+      match
+        List.find_opt
+          (fun s -> s.workload = w && s.uarch = u && s.system = sys)
+          current
+      with
+      | None -> Printf.printf "  %-10s %-4s %-7s (not measured)\n%!" w u sys
+      | Some s ->
+          let ratio = s.insns_per_sec /. base_ips in
+          let bad = ratio < 1.0 -. regression_threshold in
+          if bad then incr regressions;
+          if s.guard_clamps <> 0 then incr clamped;
+          Printf.printf
+            "  %-10s %-4s %-7s %10.0f -> %10.0f insns/s  %+6.1f%%%s%s\n%!" w u
+            sys base_ips s.insns_per_sec
+            ((ratio -. 1.0) *. 100.0)
+            (if bad then "  REGRESSION" else "")
+            (if s.guard_clamps <> 0 then
+               Printf.sprintf "  %d GUARD CLAMPS" s.guard_clamps
+             else ""))
+    baseline;
+  if !clamped > 0 then
+    Printf.printf "warning: nonzero guard-clamp audit on %d sample(s)\n" !clamped;
+  if !regressions > 0 then begin
+    Printf.printf "%d sample(s) regressed more than %.0f%%\n" !regressions
+      (regression_threshold *. 100.0);
+    exit 1
+  end
+  else Printf.printf "no regression beyond %.0f%%\n" (regression_threshold *. 100.0)
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  let json_file =
+  let opt_arg name =
     let rec go i =
       if i >= Array.length Sys.argv then None
-      else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
         Some Sys.argv.(i + 1)
       else go (i + 1)
     in
     go 1
   in
-  match json_file with
-  | Some file -> json_perf ~quick file
-  | None when Array.exists (fun a -> a = "--json") Sys.argv ->
-      prerr_endline "usage: main.exe [--quick] [--json FILE]";
+  let json_file = opt_arg "--json" in
+  let compare_file = opt_arg "--compare" in
+  match (json_file, compare_file) with
+  | _, Some file -> compare_baseline ~quick file
+  | Some file, None -> json_perf ~quick file
+  | None, None
+    when Array.exists (fun a -> a = "--json" || a = "--compare") Sys.argv ->
+      prerr_endline "usage: main.exe [--quick] [--json FILE | --compare FILE]";
       exit 2
-  | None ->
+  | None, None ->
       run_experiments ();
       if not quick then bechamel_benchmarks ();
       print_newline ();

@@ -1,7 +1,10 @@
 (* lfi-objdump: disassemble an LFI ELF executable.
 
    Decodes the text segment with the same decoder the verifier uses and
-   prints a GNU-style listing.  With --annotate, each line is tagged
+   prints a GNU-style listing.  When the binary carries a .symtab,
+   symbol labels are printed above function starts and branch targets
+   are annotated as <sym+0xoff> (through the same resolver the
+   postmortem backtrace uses).  With --annotate, each line is tagged
    with the verifier's classification (guard instructions, guarded
    accesses, runtime calls), which makes rewritten binaries easy to
    audit by eye. *)
@@ -40,6 +43,17 @@ let classify (i : Insn.t) : string =
   | Insn.Svc _ | Insn.Mrs _ | Insn.Msr _ -> "UNSAFE"
   | _ -> ""
 
+(** Pc-relative branch target of [i] (at [addr]), if it has one. *)
+let branch_target (addr : int) (i : Insn.t) : int option =
+  match i with
+  | Insn.B (Insn.Off n)
+  | Insn.Bl (Insn.Off n)
+  | Insn.Bcond (_, Insn.Off n)
+  | Insn.Cbz { target = Insn.Off n; _ }
+  | Insn.Tbz { target = Insn.Off n; _ } ->
+      Some (addr + n)
+  | _ -> None
+
 let run input annotate =
   match Lfi_elf.Elf.read (read_bytes input) with
   | exception Lfi_elf.Elf.Bad_elf msg ->
@@ -52,19 +66,48 @@ let run input annotate =
           exit 2
       | Some seg ->
           let insns = Decode.decode_all seg.Lfi_elf.Elf.data in
+          let syms =
+            Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols
+          in
+          (* symbol labels by address, in table order *)
+          let labels = Hashtbl.create 64 in
+          Array.iter
+            (fun (addr, name) ->
+              Hashtbl.replace labels addr
+                (match Hashtbl.find_opt labels addr with
+                | Some prev -> prev @ [ name ]
+                | None -> [ name ]))
+            syms;
           Printf.printf "%s:  entry at 0x%x\n\n" input elf.Lfi_elf.Elf.entry;
           Array.iteri
             (fun k i ->
               let addr = seg.Lfi_elf.Elf.vaddr + (4 * k) in
+              (match Hashtbl.find_opt labels addr with
+              | Some names ->
+                  if k > 0 then print_newline ();
+                  List.iter (Printf.printf "%08x <%s>:\n" addr) names
+              | None -> ());
               let word =
                 Int32.to_int
                   (Bytes.get_int32_le seg.Lfi_elf.Elf.data (4 * k))
                 land 0xFFFFFFFF
               in
-              let tag = if annotate then classify i else "" in
+              let notes =
+                (match branch_target addr i with
+                | Some t -> (
+                    match Lfi_telemetry.Profile.pp_sym syms t with
+                    | Some s -> [ Printf.sprintf "<%s>" s ]
+                    | None -> [])
+                | None -> [])
+                @ (if annotate then
+                     match classify i with "" -> [] | tag -> [ tag ]
+                   else [])
+              in
               Printf.printf "  %6x:\t%08x\t%-40s%s\n" addr word
                 (Printer.to_string i)
-                (if tag = "" then "" else "; " ^ tag))
+                (match notes with
+                | [] -> ""
+                | _ -> "; " ^ String.concat "; " notes))
             insns)
 
 let cmd =

@@ -63,7 +63,7 @@ let print_profile rt =
     (Lfi_runtime.Runtime.profile_report rt)
 
 let run inputs workload native asm uarch_name quantum stats metrics_file
-    trace_file profile profile_period =
+    trace_file profile profile_period postmortem_dest =
   let uarch =
     match Lfi_emulator.Cost_model.by_name uarch_name with
     | Some u -> u
@@ -121,6 +121,19 @@ let run inputs workload native asm uarch_name quantum stats metrics_file
           worst := max !worst (if c = 0 then 0 else 1)
       | Some (Lfi_runtime.Runtime.Killed why) ->
           Printf.eprintf "%s: killed: %s\n" label why;
+          (match
+             ( postmortem_dest,
+               Lfi_runtime.Runtime.postmortem_for rt p.Lfi_runtime.Proc.pid )
+           with
+          | Some dest, Some report ->
+              prerr_string (Lfi_telemetry.Postmortem.to_text report);
+              if dest <> "-" then begin
+                let oc = open_out dest in
+                output_string oc (Lfi_telemetry.Postmortem.to_json report);
+                close_out oc;
+                Printf.eprintf "wrote postmortem JSON to %s\n" dest
+              end
+          | _ -> ());
           worst := max !worst 3
       | None ->
           Printf.eprintf "%s: did not exit\n" label;
@@ -190,9 +203,17 @@ let cmd =
            ~doc:"Sample every $(docv) instructions (rounded to a power of \
                  two).")
   in
+  let postmortem =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "postmortem" ] ~docv:"FILE"
+             ~doc:"On a fault, print the postmortem crash report (registers, \
+                   symbolized backtrace, disassembly and memory around the \
+                   fault, flight-recorder history, guard-clamp audit) to \
+                   stderr; with $(docv), also write it as JSON there.")
+  in
   Cmd.v
     (Cmd.info "lfi-run" ~doc:"Run programs in LFI sandboxes")
     Term.(const run $ inputs $ workload $ native $ asm $ uarch $ quantum
-          $ stats $ metrics $ trace $ profile $ profile_period)
+          $ stats $ metrics $ trace $ profile $ profile_period $ postmortem)
 
 let () = exit (Cmd.eval cmd)

@@ -228,12 +228,32 @@ let rev_value (w : Reg.width) (group : int) (v : int64) =
 
 (** Effective address of an addressing mode.  Base-register writeback
     (pre/post-index) is applied separately by {!writeback}, so the pair
-    never materializes as an allocated [(addr, closure)] value. *)
+    never materializes as an allocated [(addr, closure)] value.
+
+    The [\[x21, wN, uxtw\]] guarded form gets its own arm: when the
+    flight recorder is live it audits whether the [uxtw] clamp changed
+    the access.  A well-formed index is either a sandbox-relative
+    offset (upper 32 bits zero) or a full in-sandbox pointer (upper 32
+    bits equal to the base's); anything else is an address the guard
+    silently pulled back into the sandbox (Section 5.2's clamped
+    escape), so it bumps the audit counter and logs the pc.  The
+    comparisons are untagged ([Int64.to_int] then [lsr]), so the audit
+    allocates nothing; with the recorder off it is one [None] check. *)
 let[@inline] addr_of (m : Machine.t) (a : Insn.addr) : int64 =
   match a with
   | Insn.Imm_off (b, i) | Insn.Pre (b, i) ->
       Int64.add (get m b) (Int64.of_int i)
   | Insn.Post (b, _) -> get m b
+  | Insn.Reg_off (Reg.R (Reg.W64, 21), Reg.R (_, n), Insn.Uxtw, amt) ->
+      let base = Array.unsafe_get m.regs 21 in
+      let raw = Array.unsafe_get m.regs n in
+      (match m.flight with
+      | None -> ()
+      | Some f ->
+          let hi = Int64.to_int raw lsr 32 in
+          if hi <> 0 && hi <> Int64.to_int base lsr 32 then
+            Lfi_telemetry.Flight.clamp f (Int64.to_int m.pc) (Int64.to_int raw));
+      Int64.add base (Int64.shift_left (Int64.logand raw mask32) amt)
   | Insn.Reg_off (b, r, e, amt) ->
       Int64.add (get m b) (Int64.shift_left (extend_value e (get m r)) amt)
 
@@ -355,6 +375,16 @@ let target_offset = function
 
 let[@inline] branch_to (m : Machine.t) t =
   m.pc <- Int64.add m.pc (target_offset t)
+
+(** Log a taken control transfer into the flight recorder: [from] is
+    the branch's own pc, the argument is the (already updated) target.
+    One predictable [None] branch when the recorder is off. *)
+let[@inline] note_jump (m : Machine.t) (kind : int) (from : int64) =
+  match m.flight with
+  | None -> ()
+  | Some f ->
+      Lfi_telemetry.Flight.record f kind (Int64.to_int from)
+        (Int64.to_int m.pc)
 
 let[@inline] mem_read (m : Machine.t) (addr : int64) (size : int) : int64 =
   charge_tlb m addr;
@@ -684,19 +714,32 @@ let step_raw (m : Machine.t) : event option =
           m.pc <- next;
           None
       | Insn.B t ->
+          let from = m.pc in
           branch_to m t;
+          note_jump m Lfi_telemetry.Flight.k_branch from;
           None
       | Insn.Bl t ->
+          let from = m.pc in
           m.regs.(30) <- next;
           branch_to m t;
+          note_jump m Lfi_telemetry.Flight.k_call from;
           None
       | Insn.Bcond (c, t) ->
-          if cond_holds m c then branch_to m t else m.pc <- next;
+          if cond_holds m c then begin
+            let from = m.pc in
+            branch_to m t;
+            note_jump m Lfi_telemetry.Flight.k_branch from
+          end
+          else m.pc <- next;
           None
       | Insn.Cbz { nz; reg; target } ->
           let v = mask_w (Reg.width reg) (get m reg) in
           let zero = Int64.equal v 0L in
-          if (zero && not nz) || ((not zero) && nz) then branch_to m target
+          if (zero && not nz) || ((not zero) && nz) then begin
+            let from = m.pc in
+            branch_to m target;
+            note_jump m Lfi_telemetry.Flight.k_branch from
+          end
           else m.pc <- next;
           None
       | Insn.Tbz { nz; reg; bit; target } ->
@@ -704,18 +747,29 @@ let step_raw (m : Machine.t) : event option =
             Int64.logand (Int64.shift_right_logical (get m reg) bit) 1L
           in
           let taken = if nz then Int64.equal b 1L else Int64.equal b 0L in
-          if taken then branch_to m target else m.pc <- next;
+          if taken then begin
+            let from = m.pc in
+            branch_to m target;
+            note_jump m Lfi_telemetry.Flight.k_branch from
+          end
+          else m.pc <- next;
           None
       | Insn.Br r ->
+          let from = m.pc in
           m.pc <- get m r;
+          note_jump m Lfi_telemetry.Flight.k_branch from;
           None
       | Insn.Blr r ->
+          let from = m.pc in
           let target = get m r in
           m.regs.(30) <- next;
           m.pc <- target;
+          note_jump m Lfi_telemetry.Flight.k_call from;
           None
       | Insn.Ret r ->
+          let from = m.pc in
           m.pc <- get m r;
+          note_jump m Lfi_telemetry.Flight.k_ret from;
           None
       | Insn.Fop2 { op; dst; src1; src2 } ->
           let a = get_float m src1 and b = get_float m src2 in

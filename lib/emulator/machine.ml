@@ -73,6 +73,10 @@ type t = {
           branch, preserving the hot loop's throughput *)
   mutable profile : Lfi_telemetry.Profile.t option;
       (** pc-sampling profiler handle; [None] by default *)
+  mutable flight : Lfi_telemetry.Flight.t option;
+      (** flight recorder of the sandbox currently on this machine;
+          the runtime swaps it on context switch.  [None] costs one
+          predictable branch per taken branch / guarded access *)
 }
 
 (** Drop cached decoded instructions for every page overlapping
@@ -127,6 +131,7 @@ let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
       dc_cost = no_cost_page;
       metrics = None;
       profile = None;
+      flight = None;
     }
   in
   (* Join the memory system's invalidation protocol, preserving any

@@ -48,6 +48,10 @@ type t = {
   symbols : Lfi_telemetry.Profile.sym_table;
       (** the ELF symbol table sorted for pc-sample folding; [[||]]
           when the image carried no symbols *)
+  flight : Lfi_telemetry.Flight.t;
+      (** per-sandbox flight recorder; the runtime installs it on the
+          machine while this process runs, and drains it into the
+          postmortem report if the process is killed *)
 }
 
 let is_runnable p = p.state = Runnable

@@ -24,6 +24,10 @@ type config = {
           context numbers (SCXTNUM_EL0) so that branch-predictor state
           is not shared; modeled as a system-register write on every
           runtime entry/exit and on every context switch *)
+  flight_recorder : bool;
+      (** keep a per-sandbox ring buffer of recent control-flow events
+          (and the guard-clamp audit) for postmortem reports; on by
+          default — the recorder is allocation-free and cheap *)
 }
 
 let default_config =
@@ -36,6 +40,7 @@ let default_config =
     allowed_prefixes = [];
     echo_stdout = false;
     spectre_hardening = false;
+    flight_recorder = true;
   }
 
 type exit_reason =
@@ -62,6 +67,11 @@ type t = {
           (the default) emits nothing *)
   mutable call_hist : Lfi_telemetry.Histogram.t array option;
       (** per-runtime-call latency histograms, indexed by sysno *)
+  mutable postmortems : (int * Lfi_telemetry.Postmortem.t) list;
+      (** crash reports of killed sandboxes, most recent first *)
+  mutable clamps_reaped : int;
+      (** guard-clamp counts of processes already removed from the
+          table, so {!total_clamps} survives reaping *)
 }
 
 let create ?(config = default_config) () =
@@ -83,6 +93,8 @@ let create ?(config = default_config) () =
     exit_log = [];
     trace = None;
     call_hist = None;
+    postmortems = [];
+    clamps_reaped = 0;
   }
 
 let cycles rt = Machine.cycles rt.machine
@@ -294,6 +306,7 @@ let load rt ?(arg = 0L) ~(personality : Proc.personality)
       user_insns = 0;
       rtcalls = 0;
       symbols = Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols;
+      flight = Lfi_telemetry.Flight.create ();
     }
   in
   Proc.install_std_fds p;
@@ -324,15 +337,18 @@ let uaddr (p : Proc.t) (v : int64) : int64 =
   | Proc.Lfi -> Int64.logor p.Proc.base (Int64.logand v 0xFFFFFFFFL)
   | _ -> v
 
+(* A copyin/copyout that faults is the sandbox handing the runtime a
+   bad pointer: that is EFAULT, not EINVAL (which is reserved for
+   malformed arguments, e.g. an over-long path below). *)
 let read_user_bytes rt p (addr : int64) (len : int) : (bytes, int) result =
   try Ok (Memory.read_bytes rt.mem (uaddr p addr) len)
-  with Memory.Fault _ -> Error Vfs.einval
+  with Memory.Fault _ -> Error Vfs.efault
 
 let write_user_bytes rt p (addr : int64) (b : bytes) : (unit, int) result =
   try
     Memory.write_bytes rt.mem (uaddr p addr) b;
     Ok ()
-  with Memory.Fault _ -> Error Vfs.einval
+  with Memory.Fault _ -> Error Vfs.efault
 
 let read_user_string rt p (addr : int64) : (string, int) result =
   let addr = uaddr p addr in
@@ -347,7 +363,7 @@ let read_user_string rt p (addr : int64) : (string, int) result =
         go (i + 1)
       end
   in
-  try go 0 with Memory.Fault _ -> Error Vfs.einval
+  try go 0 with Memory.Fault _ -> Error Vfs.efault
 
 let syscall_entry_cost rt (p : Proc.t) =
   let u = rt.cfg.uarch in
@@ -439,6 +455,7 @@ let do_fork rt (parent : Proc.t) : int =
         user_insns = 0;
         rtcalls = 0;
         symbols = parent.Proc.symbols;
+        flight = Lfi_telemetry.Flight.create ();
       }
     in
     Proc.dup_fds parent child;
@@ -482,7 +499,10 @@ let release_slot rt (child : Proc.t) =
           ~len:page)
     (Memory.mapped_pages rt.mem);
   if child.Proc.slot <> 0 then
-    rt.free_slots <- child.Proc.slot :: rt.free_slots
+    rt.free_slots <- child.Proc.slot :: rt.free_slots;
+  (* the clamp audit outlives the process table entry *)
+  rt.clamps_reaped <-
+    rt.clamps_reaped + Lfi_telemetry.Flight.clamps child.Proc.flight
 
 let reap rt (parent : Proc.t) (cpid : int) (code : int)
     ~(status_addr : int64) ~(set_result : int64 -> unit) =
@@ -763,6 +783,224 @@ let next_runnable rt : Proc.t option =
   | Some _ -> ());
   r
 
+(* ------------------------------------------------------------------ *)
+(* Postmortem collection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let perm_string (pm : Memory.perm) : string =
+  Printf.sprintf "%c%c%c"
+    (if pm.Memory.r then 'r' else '-')
+    (if pm.Memory.w then 'w' else '-')
+    (if pm.Memory.x then 'x' else '-')
+
+(** Frame-pointer backtrace, symbolized through the process's ELF
+    [.symtab].  MiniC prologues keep the AArch64 frame chain
+    ([stp x29, x30, \[sp\]; add x29, sp, #0]), so [\[x29\]] is the
+    caller's frame pointer and [\[x29+8\]] the return address.  Frame
+    pointers are clamped with {!uaddr} exactly like the hardware guard
+    would, and the walk stops at the initial zero frame, at unmapped
+    memory, or after 32 frames. *)
+let backtrace rt (p : Proc.t) ~(pc : int64) ~(fp : int64) :
+    Lfi_telemetry.Postmortem.frame list =
+  let frame (a : int64) : Lfi_telemetry.Postmortem.frame =
+    let off = Int64.to_int (Int64.sub a p.Proc.base) in
+    match Lfi_telemetry.Profile.resolve_sym p.Proc.symbols off with
+    | Some (name, d) ->
+        { Lfi_telemetry.Postmortem.fr_pc = a; fr_sym = Some name; fr_off = d }
+    | None ->
+        { Lfi_telemetry.Postmortem.fr_pc = a; fr_sym = None; fr_off = off }
+  in
+  let rec walk acc (fp : int64) depth =
+    if depth >= 32 then acc
+    else
+      let fp = uaddr p fp in
+      let off = Int64.to_int (Int64.logand fp 0xFFFFFFFFL) in
+      if off < Lfi_core.Layout.code_origin || off land 7 <> 0 then acc
+      else
+        match
+          (Memory.read rt.mem fp 8, Memory.read rt.mem (Int64.add fp 8L) 8)
+        with
+        | prev, ret ->
+            let ret = uaddr p ret in
+            if Int64.equal (Int64.logand ret 0xFFFFFFFFL) 0L then acc
+            else walk (frame ret :: acc) prev (depth + 1)
+        | exception Memory.Fault _ -> acc
+  in
+  frame pc :: List.rev (walk [] fp 0)
+
+(** Disassemble the ±4 instructions around [pc] (the verifier's
+    [pp_violation] context style; the faulting line is marked). *)
+let disasm_context rt (p : Proc.t) (pc : int64) :
+    Lfi_telemetry.Postmortem.disasm_line list =
+  List.filter_map
+    (fun k ->
+      let a = Int64.add pc (Int64.of_int (4 * k)) in
+      if Int64.compare a p.Proc.base < 0 then None
+      else
+        match Memory.read rt.mem a 4 with
+        | w ->
+            let word = Int64.to_int w in
+            let text =
+              match Lfi_arm64.Decode.decode word with
+              | i -> Lfi_arm64.Printer.to_string i
+              | exception _ -> Printf.sprintf ".word 0x%08x" word
+            in
+            Some
+              {
+                Lfi_telemetry.Postmortem.dl_pc = a;
+                dl_word = word;
+                dl_text = text;
+                dl_current = k = 0;
+              }
+        | exception Memory.Fault _ -> None)
+    [ -4; -3; -2; -1; 0; 1; 2; 3; 4 ]
+
+(** Four 16-byte hexdump rows around [addr]; unreadable bytes are
+    [None] (rendered [??]). *)
+let hexdump_around rt (addr : int64) : Lfi_telemetry.Postmortem.hex_row list =
+  let start = Int64.sub (Int64.logand addr (Int64.lognot 15L)) 16L in
+  let start = if Int64.compare start 0L < 0 then 0L else start in
+  List.init 4 (fun r ->
+      let row_addr = Int64.add start (Int64.of_int (16 * r)) in
+      let bytes =
+        Array.init 16 (fun i ->
+            let a = Int64.add row_addr (Int64.of_int i) in
+            match Memory.read rt.mem a 1 with
+            | v -> Some (Int64.to_int v)
+            | exception Memory.Fault _ -> None)
+      in
+      { Lfi_telemetry.Postmortem.hr_addr = row_addr; hr_bytes = bytes })
+
+(** Permissions of the fault page and its two neighbours on each side
+    (clipped to the sandbox slot). *)
+let fault_pages rt (p : Proc.t) (addr : int64) :
+    Lfi_telemetry.Postmortem.page_info list =
+  let idx = Memory.page_index addr in
+  let lo_idx = Memory.page_index p.Proc.base in
+  let hi_idx = lo_idx + (Lfi_core.Layout.sandbox_size / Memory.page_size) in
+  List.filter_map
+    (fun d ->
+      let i = idx + d in
+      if i < 0 || (p.Proc.personality = Proc.Lfi && (i < lo_idx || i >= hi_idx))
+      then None
+      else
+        let pg_addr = Int64.shift_left (Int64.of_int i) Memory.page_bits in
+        let pg_perm =
+          match Memory.find_page_by_index rt.mem i with
+          | Some pg -> perm_string (Memory.page_perm pg)
+          | None -> "---"
+        in
+        Some { Lfi_telemetry.Postmortem.pg_addr; pg_perm })
+    [ -2; -1; 0; 1; 2 ]
+
+(** The sandbox's mapped regions, coalesced by permission, with
+    heuristic labels from {!Lfi_core.Layout}. *)
+let sandbox_layout rt (p : Proc.t) : Lfi_telemetry.Postmortem.region list =
+  let first = Memory.page_index p.Proc.base in
+  let count = Lfi_core.Layout.sandbox_size / Memory.page_size in
+  let pages =
+    Memory.mapped_pages rt.mem
+    |> List.filter_map (fun (idx, pg) ->
+           if idx >= first && idx < first + count then
+             Some (idx, perm_string (Memory.page_perm pg))
+           else None)
+    |> List.sort compare
+  in
+  let addr_of_idx i = Int64.shift_left (Int64.of_int i) Memory.page_bits in
+  let label lo_off perm =
+    if lo_off = 0 && p.Proc.personality = Proc.Lfi then "rtcall table"
+    else if String.contains perm 'x' then "code"
+    else if lo_off >= Lfi_core.Layout.stack_top - rt.cfg.stack_size then
+      "stack"
+    else "data/heap"
+  in
+  let rec coalesce acc = function
+    | [] -> List.rev acc
+    | (idx, perm) :: rest ->
+        let rec extend last = function
+          | (j, q) :: tl when j = last + 1 && q = perm -> extend j tl
+          | rest -> (last, rest)
+        in
+        let last, rest = extend idx rest in
+        let lo_off = (idx - first) * Memory.page_size in
+        let r =
+          {
+            Lfi_telemetry.Postmortem.rg_lo = addr_of_idx idx;
+            rg_hi = addr_of_idx (last + 1);
+            rg_perm = perm;
+            rg_label = label lo_off perm;
+          }
+        in
+        coalesce (r :: acc) rest
+  in
+  coalesce [] pages
+
+(** Assemble the crash report for [p] from the machine's current state
+    (the register file is still the dead sandbox's: [kill] runs before
+    the next context switch).  Stored on the runtime for every killed
+    process; also callable directly. *)
+let postmortem rt (p : Proc.t) ~(reason : string)
+    ?(fault : Memory.fault option) () : Lfi_telemetry.Postmortem.t =
+  let m = rt.machine in
+  let fl = p.Proc.flight in
+  let pc = m.Machine.pc in
+  let flags =
+    Printf.sprintf "%c%c%c%c"
+      (if m.Machine.flag_n then 'N' else '-')
+      (if m.Machine.flag_z then 'Z' else '-')
+      (if m.Machine.flag_c then 'C' else '-')
+      (if m.Machine.flag_v then 'V' else '-')
+  in
+  let fault_addr =
+    match fault with Some f -> Some f.Memory.addr | None -> None
+  in
+  let fault_access =
+    match fault with
+    | Some f -> Some (Memory.access_to_string f.Memory.access)
+    | None -> None
+  in
+  {
+    Lfi_telemetry.Postmortem.pid = p.Proc.pid;
+    personality = Proc.personality_name p.Proc.personality;
+    reason;
+    base = p.Proc.base;
+    insns = p.Proc.user_insns;
+    cycles = Machine.cycles m;
+    fault_addr;
+    fault_access;
+    pc;
+    sp = m.Machine.sp;
+    regs = Array.copy m.Machine.regs;
+    flags;
+    backtrace = backtrace rt p ~pc ~fp:m.Machine.regs.(29);
+    disasm = disasm_context rt p pc;
+    hexdump =
+      (match fault_addr with
+      | Some a -> hexdump_around rt a
+      | None -> []);
+    pages =
+      (match fault_addr with Some a -> fault_pages rt p a | None -> []);
+    layout = sandbox_layout rt p;
+    flight_total = Lfi_telemetry.Flight.total fl;
+    flight = Lfi_telemetry.Flight.events fl;
+    clamps = Lfi_telemetry.Flight.clamps fl;
+  }
+
+(** Crash reports of killed sandboxes, most recent first. *)
+let postmortems rt = rt.postmortems
+
+(** The report of one killed sandbox, if it was killed. *)
+let postmortem_for rt (pid : int) : Lfi_telemetry.Postmortem.t option =
+  List.assoc_opt pid rt.postmortems
+
+(** Guard-clamp audit total across all sandboxes, living and reaped:
+    how many times a guarded access would have escaped its sandbox had
+    the guard not clamped it.  Zero for all well-behaved programs. *)
+let total_clamps rt : int =
+  Hashtbl.fold
+    (fun _ p acc -> acc + Lfi_telemetry.Flight.clamps p.Proc.flight)
+    rt.procs rt.clamps_reaped
+
 (** Run until every process has exited.  Returns the exit log (most
     recent first). *)
 let run rt : (int * exit_reason) list =
@@ -788,6 +1026,13 @@ let run rt : (int * exit_reason) list =
         if rt.cfg.spectre_hardening then
           Machine.add_cycles m rt.cfg.uarch.Cost_model.scxtnum_switch;
         Machine.restore m p.Proc.snapshot;
+        m.Machine.flight <-
+          (if rt.cfg.flight_recorder then Some p.Proc.flight else None);
+        (match m.Machine.flight with
+        | None -> ()
+        | Some f ->
+            Lfi_telemetry.Flight.record f Lfi_telemetry.Flight.k_ctx_switch
+              (Int64.to_int m.Machine.pc) p.Proc.pid);
         execute p;
         schedule ()
   and execute (p : Proc.t) =
@@ -799,6 +1044,11 @@ let run rt : (int * exit_reason) list =
     | Exec.Quantum_expired ->
         (* timer preemption (setitimer in the real runtime) *)
         rt.preemptions <- rt.preemptions + 1;
+        (match m.Machine.flight with
+        | None -> ()
+        | Some f ->
+            Lfi_telemetry.Flight.record f Lfi_telemetry.Flight.k_preempt
+              (Int64.to_int m.Machine.pc) p.Proc.pid);
         p.Proc.snapshot <- Machine.snapshot m;
         finish ()
     | Exec.Runtime_entry pc ->
@@ -812,19 +1062,29 @@ let run rt : (int * exit_reason) list =
         if p.Proc.personality = Proc.Lfi then begin
           (* a verified binary can never reach here *)
           p.Proc.snapshot <- Machine.snapshot m;
-          kill p "svc from sandboxed code";
-          finish ()
+          finish ();
+          kill p "svc from sandboxed code"
         end
         else run_call p k ~finish
     | Exec.Trap (Exec.Mem_fault f) ->
-        kill p (Format.asprintf "%a" Memory.pp_fault f);
-        finish ()
+        finish ();
+        kill p ~fault:f (Format.asprintf "%a" Memory.pp_fault f)
     | Exec.Trap (Exec.Undefined pc) ->
-        kill p (Printf.sprintf "undefined instruction at 0x%Lx" pc);
-        finish ()
+        finish ();
+        kill p (Printf.sprintf "undefined instruction at 0x%Lx" pc)
   and run_call (p : Proc.t) (k : int) ~finish =
     let t0 = Machine.cycles m in
+    (match m.Machine.flight with
+    | None -> ()
+    | Some f ->
+        Lfi_telemetry.Flight.record f Lfi_telemetry.Flight.k_rt_enter
+          (Int64.to_int m.Machine.pc) k);
     let outcome = handle_call rt p k in
+    (match m.Machine.flight with
+    | None -> ()
+    | Some f ->
+        Lfi_telemetry.Flight.record f Lfi_telemetry.Flight.k_rt_exit
+          (Int64.to_int m.Machine.pc) k);
     let dur = Machine.cycles m -. t0 in
     (match rt.trace with
     | None -> ()
@@ -843,7 +1103,11 @@ let run rt : (int * exit_reason) list =
         p.Proc.snapshot <- Machine.snapshot m;
         finish ()
     | Died _ -> finish ()
-  and kill (p : Proc.t) reason =
+  and kill ?fault (p : Proc.t) reason =
+    (* assemble the crash report before the fd table and machine state
+       are disturbed *)
+    rt.postmortems <-
+      (p.Proc.pid, postmortem rt p ~reason ?fault ()) :: rt.postmortems;
     Proc.close_all p;
     p.Proc.state <- Proc.Zombie (-1);
     rt.exit_log <- (p.Proc.pid, Killed reason) :: rt.exit_log
@@ -880,6 +1144,17 @@ let metrics_json rt : string =
        "  \"runtime\": {\"ctx_switches\": %d, \"rtcalls\": %d, \
         \"preemptions\": %d, \"insns\": %d, \"cycles\": %.1f}"
        rt.ctx_switches rt.rtcalls rt.preemptions (insns rt) (cycles rt));
+  (* guard-clamp audit: per-sandbox and total counts of guarded
+     accesses whose unguarded address would have escaped the sandbox *)
+  Buffer.add_string b
+    (Printf.sprintf ",\n  \"guard_clamps\": {\"total\": %d" (total_clamps rt));
+  Hashtbl.fold (fun _ p acc -> p :: acc) rt.procs []
+  |> List.sort (fun a b -> compare a.Proc.pid b.Proc.pid)
+  |> List.iter (fun p ->
+         Buffer.add_string b
+           (Printf.sprintf ", \"sandbox_%d\": %d" p.Proc.pid
+              (Lfi_telemetry.Flight.clamps p.Proc.flight)));
+  Buffer.add_string b "}";
   (match rt.call_hist with
   | None -> ()
   | Some hs ->

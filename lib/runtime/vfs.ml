@@ -52,6 +52,7 @@ let lookup t path = Hashtbl.find_opt t.files path
 let eacces = -13
 let enoent = -2
 let ebadf = -9
+let efault = -14
 let einval = -22
 let epipe = -32
 

@@ -1,0 +1,103 @@
+(** Per-sandbox flight recorder: a fixed-size, allocation-free ring
+    buffer of recent control-flow events, cheap enough to stay on by
+    default (unlike the opt-in Chrome tracing in {!Trace}).
+
+    The ring is three parallel flat [int] arrays (kind / pc / argument)
+    of power-of-two capacity; {!record} is three [Array.unsafe_set]s
+    and an increment, with no allocation and no bounds checks, so the
+    emulator can call it on every taken branch without disturbing the
+    hot loop's throughput.  [pos] counts every event ever recorded; the
+    live window is the last [capacity] of them, drained oldest-first by
+    {!events} when a postmortem is assembled.
+
+    The recorder also owns the {e guard-clamp audit counter}: the
+    number of times a [\[x21, wN, uxtw\]]-style guarded access executed
+    with an index register whose upper 32 bits did not match the
+    sandbox base — i.e. the guard actually clamped an address that
+    would otherwise have escaped the sandbox (the silent event of the
+    paper's Section 5.2 security argument). *)
+
+(* Event kinds, as bare ints so the hot-path store is untagged. *)
+let k_branch = 0 (* taken branch (B/Br/B.cond/Cbz/Tbz); arg = target *)
+let k_call = 1 (* call (Bl/Blr); arg = target *)
+let k_ret = 2 (* return (Ret); arg = target *)
+let k_rt_enter = 3 (* runtime-call entry; arg = sysno *)
+let k_rt_exit = 4 (* runtime-call exit; arg = sysno *)
+let k_ctx_switch = 5 (* scheduled onto the machine; arg = pid *)
+let k_preempt = 6 (* quantum expired; arg = pid *)
+let k_clamp = 7 (* guard clamped an escaping address; arg = raw index *)
+
+let kind_name = function
+  | 0 -> "branch"
+  | 1 -> "call"
+  | 2 -> "ret"
+  | 3 -> "rt-enter"
+  | 4 -> "rt-exit"
+  | 5 -> "ctx-switch"
+  | 6 -> "preempt"
+  | 7 -> "clamp"
+  | _ -> "?"
+
+type t = {
+  kinds : int array;
+  pcs : int array;
+  args : int array;
+  mask : int;  (** capacity - 1; capacity is a power of two *)
+  mutable pos : int;  (** total events ever recorded *)
+  mutable clamps : int;  (** guard-clamp audit counter *)
+}
+
+let default_capacity = 64
+
+let rec pow2_ge n k = if k >= n then k else pow2_ge n (k * 2)
+
+let create ?(capacity = default_capacity) () =
+  let cap = pow2_ge (max capacity 1) 1 in
+  {
+    kinds = Array.make cap 0;
+    pcs = Array.make cap 0;
+    args = Array.make cap 0;
+    mask = cap - 1;
+    pos = 0;
+    clamps = 0;
+  }
+
+let capacity t = t.mask + 1
+let total t = t.pos
+let length t = min t.pos (t.mask + 1)
+let clamps t = t.clamps
+
+let[@inline] record (t : t) (kind : int) (pc : int) (arg : int) =
+  let i = t.pos land t.mask in
+  Array.unsafe_set t.kinds i kind;
+  Array.unsafe_set t.pcs i pc;
+  Array.unsafe_set t.args i arg;
+  t.pos <- t.pos + 1
+
+(** Record a guard clamp: bump the audit counter and log the pc (and
+    the raw, would-have-escaped index value) into the ring. *)
+let[@inline] clamp (t : t) (pc : int) (raw : int) =
+  t.clamps <- t.clamps + 1;
+  record t k_clamp pc raw
+
+let clear t =
+  t.pos <- 0;
+  t.clamps <- 0
+
+(** One drained event.  [seq] is the global sequence number (0 = first
+    event the sandbox ever recorded), so wraparound is visible. *)
+type event = { seq : int; kind : int; pc : int; arg : int }
+
+(** Drain the ring oldest-first.  Allocates — postmortem path only. *)
+let events (t : t) : event list =
+  let n = length t in
+  let first = t.pos - n in
+  List.init n (fun i ->
+      let seq = first + i in
+      let slot = seq land t.mask in
+      {
+        seq;
+        kind = Array.unsafe_get t.kinds slot;
+        pc = Array.unsafe_get t.pcs slot;
+        arg = Array.unsafe_get t.args slot;
+      })

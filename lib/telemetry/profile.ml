@@ -49,8 +49,10 @@ let sym_table (syms : (string * int) list) : sym_table =
   Array.sort compare a;
   a
 
-(** Name of the nearest symbol at or below [off], if any. *)
-let resolve (tbl : sym_table) (off : int) : string option =
+(** Nearest symbol at or below [off]: [(name, offset-within-symbol)].
+    Shared by the flat profiler, the postmortem backtrace walker and
+    [lfi_objdump]'s branch-target annotations. *)
+let resolve_sym (tbl : sym_table) (off : int) : (string * int) option =
   let n = Array.length tbl in
   if n = 0 || fst tbl.(0) > off then None
   else begin
@@ -60,8 +62,23 @@ let resolve (tbl : sym_table) (off : int) : string option =
       let mid = (!lo + !hi + 1) / 2 in
       if fst tbl.(mid) <= off then lo := mid else hi := mid - 1
     done;
-    Some (snd tbl.(!lo))
+    let addr, name = tbl.(!lo) in
+    Some (name, off - addr)
   end
+
+(** Name of the nearest symbol at or below [off], if any. *)
+let resolve (tbl : sym_table) (off : int) : string option =
+  match resolve_sym tbl off with
+  | Some (name, _) -> Some name
+  | None -> None
+
+(** Render [off] through [tbl] as ["sym+0x12"] (plain ["sym"] at the
+    symbol's own address), falling back to [None] outside the table. *)
+let pp_sym (tbl : sym_table) (off : int) : string option =
+  match resolve_sym tbl off with
+  | Some (name, 0) -> Some name
+  | Some (name, d) -> Some (Printf.sprintf "%s+0x%x" name d)
+  | None -> None
 
 type line = { name : string; hits : int; fraction : float }
 

@@ -1,0 +1,48 @@
+(** Deliberately-faulting demo workload for the crash-forensics layer.
+
+    [main] fills a scratch array, then calls [corrupt] → [poke], which
+    dereferences a raw address inside the sandbox's unmapped guard
+    region (between the runtime-call table and the code origin) — a
+    deterministic read fault at a fixed in-sandbox offset.  Because
+    MiniC prologues maintain the x29 frame chain, the postmortem's
+    backtrace shows all three frames ([poke] ← [corrupt] ← [main]),
+    which is exactly what [make crash-demo] and the golden postmortem
+    test exercise. *)
+
+open Lfi_minic.Ast
+open Common
+open Lfi_minic.Ast.Dsl
+
+(* An address in the guard region: above the 16KiB runtime-call table
+   page, below the 64KiB code origin — never mapped. *)
+let bad_addr = 20000
+
+let program : program =
+  let poke =
+    func "poke" ~params:[ ("off", Int) ] [ ret (ld I64 (v "off")) ]
+  in
+  let corrupt =
+    func "corrupt"
+      [
+        (* the offset comes out of memory so the address is data, not
+           a foldable constant *)
+        decl "n" Int (a64 "scratch" (i 0));
+        ret (call "poke" [ Bin (Add, i bad_addr, v "n") ]);
+      ]
+  in
+  let main =
+    func "main"
+      [
+        decl "k" Int (i 0);
+        while_ (v "k" < i 8)
+          [
+            set64 "scratch" (v "k") (Bin (Mul, v "k", v "k"));
+            set "k" (v "k" + i 1);
+          ];
+        ret (call "corrupt" []);
+      ]
+  in
+  { globals = [ Zeroed ("scratch", 64) ]; funcs = [ poke; corrupt; main ] }
+
+let workload =
+  { name = "000.crashy"; short = "crashy"; program; wasm_ok = false }

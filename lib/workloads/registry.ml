@@ -26,7 +26,7 @@ let wasm_subset = List.filter (fun w -> w.Common.wasm_ok) all
 
 (** Named workloads outside the SPEC suite (kept out of [all] so the
     SPEC-overhead experiments are unaffected). *)
-let extras : Common.t list = [ Coremark.workload ]
+let extras : Common.t list = [ Coremark.workload; Crashy.workload ]
 
 let find (short : string) : Common.t option =
   List.find_opt
