@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-compare crash-demo trace-demo clean
+.PHONY: all build check test bench bench-json bench-compare crash-demo trace-demo fuzz-smoke fuzz clean
 
 all: build
 
@@ -38,6 +38,20 @@ trace-demo:
 	dune exec bin/lfi_run.exe -- --workload coremark \
 	  --trace trace_coremark.json --metrics metrics_coremark.json || true
 	@echo "wrote trace_coremark.json (open in https://ui.perfetto.dev)"
+
+# Fixed-seed differential fuzzing smoke: all three engines, >=500
+# cases each, deterministic, plus the weakened-verifier oracle demo.
+# Zero failures expected; finishes in well under a minute.
+fuzz-smoke:
+	dune exec bin/lfi_fuzz.exe -- all --seed 0 --count 500 --minic 40
+	dune exec bin/lfi_fuzz.exe -- --demo-weakened
+
+# Long fuzzing run (nightly): a different seed per day, large counts.
+# Minimized repros for any failure land in test/corpus/repro_*.s and
+# replay under `dune runtest` from then on.
+FUZZ_SEED ?= $(shell date +%Y%m%d)
+fuzz:
+	dune exec bin/lfi_fuzz.exe -- all --seed $(FUZZ_SEED) --count 20000 --minic 400
 
 clean:
 	dune clean

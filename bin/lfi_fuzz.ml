@@ -1,0 +1,133 @@
+(* lfi-fuzz: seeded differential fuzzing of the LFI toolchain
+   (DESIGN.md §5d).
+
+   Three engines:
+
+     equiv      rewriter equivalence — native vs rewritten at O0/O1/O2
+     soundness  mutate verified binaries; accepted mutants must not
+                escape the sandbox (emulator escape oracle)
+     complete   every rewriter output at every opt level must verify
+
+   Runs are deterministic: every case is derived from (--seed, case
+   index), so a failure report is enough to regenerate the input.
+   Failing cases are minimized and written to the corpus directory as
+   replayable repro_*.s entries. *)
+
+open Cmdliner
+
+let run_engine name f =
+  let r : Lfi_fuzz.Report.t = f () in
+  Format.printf "%a@." Lfi_fuzz.Report.pp r;
+  if Lfi_fuzz.Report.ok r then true
+  else begin
+    Format.printf "engine %s: FAILED@." name;
+    false
+  end
+
+let run engine seed count minic pool weaken demo repro_dir =
+  let repro_dir = if repro_dir = "" then None else Some repro_dir in
+  if demo then begin
+    (* regression test for the soundness oracle itself: the weakened
+       verifier must let an escaping mutant through, the real one must
+       not *)
+    let d = Lfi_fuzz.Soundness.demo_weakened () in
+    Format.printf
+      "weakened-verifier demo: %d escaping mutants accepted by weakened \
+       verifier, %d by real verifier@."
+      d.Lfi_fuzz.Soundness.weakened_escapes d.Lfi_fuzz.Soundness.real_escapes;
+    if d.Lfi_fuzz.Soundness.weakened_escapes > 0
+       && d.Lfi_fuzz.Soundness.real_escapes = 0
+    then begin
+      Format.printf "demo: OK (oracle catches the weakened verifier)@.";
+      exit 0
+    end
+    else begin
+      Format.printf "demo: FAILED@.";
+      exit 1
+    end
+  end;
+  let engines =
+    match engine with
+    | "equiv" ->
+        [ ( "equiv",
+            fun () ->
+              Lfi_fuzz.Equiv.run ~seed ~count ~minic_count:minic ?repro_dir ()
+          ) ]
+    | "soundness" ->
+        [ ( "soundness",
+            fun () ->
+              Lfi_fuzz.Soundness.run ~seed ~count ~pool ~weaken ?repro_dir ()
+          ) ]
+    | "complete" ->
+        [ ( "complete",
+            fun () ->
+              Lfi_fuzz.Complete.run ~seed ~count ~minic_count:minic ?repro_dir
+                () ) ]
+    | "all" ->
+        [
+          ( "equiv",
+            fun () ->
+              Lfi_fuzz.Equiv.run ~seed ~count ~minic_count:minic ?repro_dir ()
+          );
+          ( "soundness",
+            fun () ->
+              Lfi_fuzz.Soundness.run ~seed ~count ~pool ~weaken ?repro_dir ()
+          );
+          ( "complete",
+            fun () ->
+              Lfi_fuzz.Complete.run ~seed ~count ~minic_count:minic ?repro_dir
+                () );
+        ]
+    | other ->
+        Printf.eprintf "unknown engine %s (expected equiv|soundness|complete|all)\n"
+          other;
+        exit 2
+  in
+  let ok = List.for_all (fun (name, f) -> run_engine name f) engines in
+  exit (if ok then 0 else 1)
+
+let cmd =
+  let engine =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"ENGINE"
+             ~doc:"Engine to run: equiv, soundness, complete or all.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Deterministic seed; case $(i,k) of a run is fully determined \
+                 by (seed, k).")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N"
+           ~doc:"Cases per engine (raw streams / mutants).")
+  in
+  let minic =
+    Arg.(value & opt int 25 & info [ "minic" ] ~docv:"N"
+           ~doc:"Additional MiniC whole-pipeline cases (equiv and complete).")
+  in
+  let pool =
+    Arg.(value & opt int 6 & info [ "pool" ] ~docv:"N"
+           ~doc:"Verified seed binaries in the soundness mutation pool.")
+  in
+  let weaken =
+    Arg.(value & flag & info [ "weaken-uxtw-check" ]
+           ~doc:"Run the soundness engine against the deliberately weakened \
+                 verifier (unsafe_no_uxtw_check); failures are then expected.")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo-weakened" ]
+           ~doc:"Run the oracle regression demo: enumerate single-bit flips \
+                 of the crafted uxtw seed under both verifier configs and \
+                 require that only the weakened one lets an escape through.")
+  in
+  let repro_dir =
+    Arg.(value & opt string "test/corpus" & info [ "corpus-dir" ] ~docv:"DIR"
+           ~doc:"Directory minimized repros are written to (empty string \
+                 disables writing).")
+  in
+  Cmd.v
+    (Cmd.info "lfi-fuzz" ~doc:"Differential fuzzing of the LFI toolchain")
+    Term.(const run $ engine $ seed $ count $ minic $ pool $ weaken $ demo
+          $ repro_dir)
+
+let () = exit (Cmd.eval cmd)

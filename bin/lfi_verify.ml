@@ -16,7 +16,8 @@ let read_bytes path =
 
 let run input no_loads no_exclusives quiet =
   let config =
-    { Lfi_verifier.Verifier.sandbox_loads = not no_loads;
+    { Lfi_verifier.Verifier.default_config with
+      sandbox_loads = not no_loads;
       allow_exclusives = not no_exclusives }
   in
   match Lfi_elf.Elf.read (read_bytes input) with

@@ -376,22 +376,63 @@ let target_offset = function
 let[@inline] branch_to (m : Machine.t) t =
   m.pc <- Int64.add m.pc (target_offset t)
 
+(** Escape-oracle check on the (already updated) [m.pc] of a taken
+    branch; [from] is the branch's own pc (DESIGN.md §5d).  Legal
+    targets are the sandbox branch window and the runtime-call host
+    entries.  [Int64.unsigned_compare] keeps the windows honest even
+    for targets with the top bit set.  Recording never stops execution:
+    the mutant keeps running (and may fault on an unmapped page), the
+    fuzzer reads the records afterwards. *)
+let[@inline] note_branch_oracle (m : Machine.t) (from : int64) =
+  match m.escape_oracle with
+  | None -> ()
+  | Some o ->
+      let t = m.pc in
+      let in_window lo hi =
+        Int64.unsigned_compare t lo >= 0 && Int64.unsigned_compare t hi < 0
+      in
+      if
+        not
+          (in_window o.Machine.o_branch_lo o.Machine.o_branch_hi
+          || in_window o.Machine.o_host_lo o.Machine.o_host_hi)
+      then Machine.record_escape o ~pc:from ~addr:t Machine.Ebranch
+
 (** Log a taken control transfer into the flight recorder: [from] is
     the branch's own pc, the argument is the (already updated) target.
     One predictable [None] branch when the recorder is off. *)
 let[@inline] note_jump (m : Machine.t) (kind : int) (from : int64) =
+  note_branch_oracle m from;
   match m.flight with
   | None -> ()
   | Some f ->
       Lfi_telemetry.Flight.record f kind (Int64.to_int from)
         (Int64.to_int m.pc)
 
+(** Escape-oracle check on a data access: the whole [size]-byte access
+    must land inside the oracle's [o_lo, o_hi) data window.  At the
+    call sites below [m.pc] still points at the accessing
+    instruction. *)
+let[@inline] oracle_data (m : Machine.t) (addr : int64) (size : int)
+    (kind : Machine.escape_kind) =
+  match m.escape_oracle with
+  | None -> ()
+  | Some o ->
+      if
+        Int64.unsigned_compare addr o.Machine.o_lo < 0
+        || Int64.unsigned_compare
+             (Int64.add addr (Int64.of_int size))
+             o.Machine.o_hi
+           > 0
+      then Machine.record_escape o ~pc:m.pc ~addr kind
+
 let[@inline] mem_read (m : Machine.t) (addr : int64) (size : int) : int64 =
+  oracle_data m addr size Machine.Eload;
   charge_tlb m addr;
   Memory.read m.mem addr size
 
 let[@inline] mem_write (m : Machine.t) (addr : int64) (size : int) (v : int64)
     =
+  oracle_data m addr size Machine.Estore;
   charge_tlb m addr;
   Memory.write m.mem addr size v
 

@@ -38,6 +38,61 @@ let undecoded : Insn.t = Insn.Udf (-1)
 let no_decode_page : Insn.t array = [||]
 let no_cost_page : float array = [||]
 
+(* ---------------- escape oracle ---------------- *)
+
+(** What kind of access escaped the sandbox. *)
+type escape_kind = Eload | Estore | Ebranch
+
+type escape = {
+  esc_pc : int64;  (** pc of the offending instruction *)
+  esc_addr : int64;  (** resolved data address or branch target *)
+  esc_kind : escape_kind;
+}
+
+(** Ground-truth sandbox-escape detector for the fuzzing subsystem
+    (DESIGN.md §5d).  When installed, every data access funnelled
+    through the emulator's load/store path is checked against the
+    [o_lo, o_hi) window and every taken branch against
+    [o_branch_lo, o_branch_hi) or the runtime-call host window; any
+    miss is recorded (and counted) without stopping execution.  The
+    windows are plain addresses — the emulator knows nothing about
+    slots or layouts, so the fuzzer constructs them from
+    [Lfi_core.Layout].  [None] (the default) costs one predictable
+    branch per access, the same discipline as [metrics]/[flight]. *)
+type oracle = {
+  o_lo : int64;  (** first legal data address (inclusive) *)
+  o_hi : int64;  (** first illegal data address past the window *)
+  o_branch_lo : int64;  (** first legal branch target (inclusive) *)
+  o_branch_hi : int64;  (** first illegal branch target *)
+  o_host_lo : int64;  (** runtime-call entry window (inclusive) ... *)
+  o_host_hi : int64;  (** ... and its exclusive end *)
+  mutable o_escapes : escape list;  (** most recent first, capped *)
+  mutable o_count : int;  (** total escapes, including uncollected *)
+}
+
+(** Keep only this many escape records per oracle; a wild mutant can
+    escape on every instruction and we only need one witness. *)
+let oracle_max_escapes = 64
+
+let oracle ~lo ~hi ~branch_lo ~branch_hi ~host_lo ~host_hi : oracle =
+  {
+    o_lo = lo;
+    o_hi = hi;
+    o_branch_lo = branch_lo;
+    o_branch_hi = branch_hi;
+    o_host_lo = host_lo;
+    o_host_hi = host_hi;
+    o_escapes = [];
+    o_count = 0;
+  }
+
+let record_escape (o : oracle) ~(pc : int64) ~(addr : int64)
+    (kind : escape_kind) =
+  o.o_count <- o.o_count + 1;
+  if o.o_count <= oracle_max_escapes then
+    o.o_escapes <-
+      { esc_pc = pc; esc_addr = addr; esc_kind = kind } :: o.o_escapes
+
 type t = {
   mutable pc : int64;
   regs : int64 array;  (** x0 .. x30 *)
@@ -77,6 +132,9 @@ type t = {
       (** flight recorder of the sandbox currently on this machine;
           the runtime swaps it on context switch.  [None] costs one
           predictable branch per taken branch / guarded access *)
+  mutable escape_oracle : oracle option;
+      (** fuzzing ground truth; [None] by default.  Not part of
+          {!snapshot}, so it survives context switches and restores. *)
 }
 
 (** Drop cached decoded instructions for every page overlapping
@@ -132,6 +190,7 @@ let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
       metrics = None;
       profile = None;
       flight = None;
+      escape_oracle = None;
     }
   in
   (* Join the memory system's invalidation protocol, preserving any

@@ -57,7 +57,8 @@ let execute_rt ?(uarch = Cost_model.m1) ?(metrics = false) (system : system)
   let verifier_config =
     match system with
     | Lfi c ->
-        { Lfi_verifier.Verifier.sandbox_loads = c.Lfi_core.Config.sandbox_loads;
+        { Lfi_verifier.Verifier.default_config with
+          sandbox_loads = c.Lfi_core.Config.sandbox_loads;
           allow_exclusives = c.Lfi_core.Config.allow_exclusives }
     | _ -> Lfi_verifier.Verifier.default_config
   in

@@ -1,0 +1,30 @@
+(** Shared result reporting for the three fuzzing engines. *)
+
+type failure = {
+  case : int;  (** case index within the run (with the seed, enough to
+                   regenerate the input) *)
+  desc : string;  (** one-line description of what diverged *)
+  repro : string option;  (** path of the minimized repro, if written *)
+}
+
+type t = {
+  engine : string;
+  seed : int;
+  cases : int;  (** cases actually executed *)
+  skipped : int;  (** generated but not runnable (e.g. unbounded loops) *)
+  failures : failure list;
+}
+
+let ok (t : t) = t.failures = []
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "%-10s seed=%-8d %4d cases, %d skipped: %s" t.engine
+    t.seed t.cases t.skipped
+    (if ok t then "OK" else Printf.sprintf "%d FAILURES" (List.length t.failures));
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@.  case %d: %s" f.case f.desc;
+      match f.repro with
+      | Some p -> Format.fprintf fmt "@.    repro: %s" p
+      | None -> ())
+    t.failures

@@ -1,0 +1,281 @@
+(** Engine 2: verifier soundness oracle (DESIGN.md §5d).
+
+    The verifier is the trust root of LFI: anything it accepts is
+    allowed to run.  This engine attacks that property directly.  It
+    takes *verified* seed binaries, applies deterministic byte-level
+    mutations (bit flips, word splices, nop-outs, immediate-field
+    tweaks), and re-verifies each mutant:
+
+    - mutant rejected — fine, that is the verifier doing its job;
+    - mutant accepted — it is *executed* on a bare machine with the
+      emulator's escape oracle installed ({!Sandbox.install_oracle}).
+      Any load, store or taken branch that resolves outside the
+      sandbox (plus its guard regions / the runtime-call entries) is a
+      **soundness bug**: the verifier blessed a binary that escapes.
+      The failing mutant is minimized by nopping out every word that
+      is not needed to both verify and escape, and written to the
+      corpus.
+
+    Because (we believe!) the real verifier is sound, a green run only
+    proves the engine *ran*; {!demo_weakened} proves it can *catch*:
+    with the deliberately weakened verifier config
+    ([unsafe_no_uxtw_check]), a single-bit flip of a guarded load's
+    addressing mode (uxtw -> uxtx, bit 13) must slip through
+    verification and trip the oracle, while the real verifier rejects
+    every such mutant. *)
+
+open Lfi_arm64
+open Lfi_emulator
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type mutation =
+  | Bit_flip of { word : int; bit : int }
+  | Splice of { src : int; dst : int }  (** copy word [src] over [dst] *)
+  | Nop_out of int  (** delete an instruction (e.g. a guard) *)
+  | Imm_tweak of { word : int; bit : int }  (** flip inside bits 10-21,
+      where most immediate fields live *)
+
+let pp_mutation fmt = function
+  | Bit_flip { word; bit } -> Format.fprintf fmt "flip w%d b%d" word bit
+  | Splice { src; dst } -> Format.fprintf fmt "splice w%d->w%d" src dst
+  | Nop_out w -> Format.fprintf fmt "nop w%d" w
+  | Imm_tweak { word; bit } -> Format.fprintf fmt "imm w%d b%d" word bit
+
+let gen_mutation (nwords : int) : mutation QCheck.Gen.t =
+  let open QCheck.Gen in
+  let word = int_range 0 (nwords - 1) in
+  frequency
+    [
+      (4, map2 (fun word bit -> Bit_flip { word; bit }) word (int_range 0 31));
+      (2, map2 (fun src dst -> Splice { src; dst }) word word);
+      (2, map (fun w -> Nop_out w) word);
+      ( 2,
+        map2 (fun word bit -> Imm_tweak { word; bit }) word (int_range 10 21)
+      );
+    ]
+
+let apply_mutation (code : bytes) (m : mutation) : bytes =
+  let b = Bytes.copy code in
+  (match m with
+  | Bit_flip { word; bit } | Imm_tweak { word; bit } ->
+      Shrink.set32 b word (Shrink.get32 b word lxor (1 lsl bit))
+  | Splice { src; dst } -> Shrink.set32 b dst (Shrink.get32 b src)
+  | Nop_out w -> Shrink.set32 b w Shrink.nop_word);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Running a mutant                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let base = Lfi_core.Layout.slot_base 1
+
+let with_text (elf : Lfi_elf.Elf.t) (code : bytes) : Lfi_elf.Elf.t =
+  {
+    elf with
+    Lfi_elf.Elf.segments =
+      List.map
+        (fun (s : Lfi_elf.Elf.segment) ->
+          if s.Lfi_elf.Elf.flags land Lfi_elf.Elf.pf_x <> 0 then
+            { s with Lfi_elf.Elf.data = code }
+          else s)
+        elf.Lfi_elf.Elf.segments;
+  }
+
+let text_of (elf : Lfi_elf.Elf.t) : Lfi_elf.Elf.segment =
+  match Lfi_elf.Elf.text_segment elf with
+  | Some s -> s
+  | None -> invalid_arg "seed has no text segment"
+
+let verifies ~(config : Lfi_verifier.Verifier.config) (elf : Lfi_elf.Elf.t)
+    (code : bytes) : bool =
+  let seg = text_of elf in
+  match
+    Lfi_verifier.Verifier.verify ~config ~origin:seg.Lfi_elf.Elf.vaddr
+      ~code ()
+  with
+  | Ok _ -> true
+  | Error _ -> false
+
+(** Execute [code] in place of [elf]'s text with the oracle installed;
+    returns the escape records. *)
+let escapes_of (elf : Lfi_elf.Elf.t) (code : bytes) :
+    Machine.escape list * int =
+  let sbx = Sandbox.load ~base (with_text elf code) in
+  ignore (Sandbox.install_oracle sbx);
+  let out = Sandbox.run ~budget:200_000 sbx in
+  (out.Sandbox.escapes, out.Sandbox.escape_count)
+
+and pp_escape fmt (e : Machine.escape) =
+  Format.fprintf fmt "%s at pc=0x%Lx -> 0x%Lx"
+    (match e.Machine.esc_kind with
+    | Machine.Eload -> "load"
+    | Machine.Estore -> "store"
+    | Machine.Ebranch -> "branch")
+    e.Machine.esc_pc e.Machine.esc_addr
+
+(* ------------------------------------------------------------------ *)
+(* Seeds                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let x21 = Reg.R (Reg.W64, 21)
+let x30 = Reg.R (Reg.W64, 30)
+
+(** The crafted seed behind {!demo_weakened} (also committed as
+    [test/corpus/uxtw_load.s]): x2's *low 32 bits* are zero but its
+    high bits are far outside any sandbox, so the guarded load
+    [\[x21, w2, uxtw\]] legally reads runtime-call table entry 0 — the
+    uxtw truncation is the whole defense.  One bit-13 flip turns the
+    addressing mode into [\[x21, x2\]] (uxtx): the untruncated index
+    resolves thousands of sandboxes away — an escape the real verifier
+    prevents by insisting on uxtw. *)
+let uxtw_demo_source : Source.t =
+  [
+    Source.Directive (".text", "");
+    Source.Label "_start";
+    Source.Insn
+      (Insn.Mov { op = Insn.MOVZ; dst = Reg.R (Reg.W64, 2); imm = 0xdead; hw = 3 });
+    Source.Insn
+      (Insn.Ldr
+         { sz = Insn.X; signed = false; dst = Reg.R (Reg.W64, 3);
+           addr = Insn.Reg_off (x21, Reg.R (Reg.W32, 2), Insn.Uxtw, 0) });
+    Source.Insn (Insn.Mov { op = Insn.MOVZ; dst = Reg.R (Reg.W64, 0); imm = 0; hw = 0 });
+    Source.Insn
+      (Insn.Ldr
+         { sz = Insn.X; signed = false; dst = x30;
+           addr = Insn.Imm_off (x21, Lfi_core.Layout.rtcall_entry_offset
+                                       Lfi_runtime.Sysno.exit) });
+    Source.Insn (Insn.Blr x30);
+  ]
+
+let build_seed (src : Source.t) : Lfi_elf.Elf.t =
+  Lfi_elf.Elf.of_image (Assemble.assemble src)
+
+(** Deterministic seed pool: the crafted demo seed plus [n] rewritten
+    (O2) random streams — i.e. real verifier-accepted binaries. *)
+let seed_pool ~seed ~(n : int) : Lfi_elf.Elf.t list =
+  let streams =
+    List.init n (fun j ->
+        let rand = Random.State.make [| seed; 1_000_000 + j |] in
+        let stream = QCheck.Gen.generate1 ~rand Gen_insn.stream in
+        let src = Equiv.stream_program stream in
+        let rewritten, _ =
+          Lfi_core.Rewriter.rewrite ~config:Lfi_core.Config.o2 src
+        in
+        build_seed rewritten)
+  in
+  build_seed uxtw_demo_source :: streams
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [run ~seed ~count ()] tests [count] mutants drawn over the seed
+    pool.  [weaken] swaps in the deliberately unsound verifier config
+    (to exercise the oracle; failures are then expected).  A failure
+    is an accepted mutant whose execution escapes. *)
+let run ?(seed = 0) ?(count = 200) ?(pool = 6) ?(weaken = false) ?repro_dir
+    () : Report.t =
+  let config =
+    if weaken then
+      { Lfi_verifier.Verifier.default_config with unsafe_no_uxtw_check = true }
+    else Lfi_verifier.Verifier.default_config
+  in
+  let seeds = seed_pool ~seed ~n:pool |> Array.of_list in
+  (* drop any seed the (possibly weakened) verifier does not accept:
+     mutating an unverifiable binary proves nothing *)
+  let seeds =
+    Array.of_list
+      (List.filter
+         (fun elf -> verifies ~config elf (text_of elf).Lfi_elf.Elf.data)
+         (Array.to_list seeds))
+  in
+  let failures = ref [] in
+  let cases = ref 0 and rejected = ref 0 in
+  for case = 0 to count - 1 do
+    let rand = Random.State.make [| seed; case |] in
+    let elf = seeds.(QCheck.Gen.generate1 ~rand (QCheck.Gen.int_bound (Array.length seeds - 1))) in
+    let orig = (text_of elf).Lfi_elf.Elf.data in
+    let nwords = Bytes.length orig / 4 in
+    let m = QCheck.Gen.generate1 ~rand (gen_mutation nwords) in
+    let code = apply_mutation orig m in
+    incr cases;
+    if not (verifies ~config elf code) then incr rejected
+    else
+      let escs, total = escapes_of elf code in
+      if total > 0 then begin
+        (* soundness bug: minimize to the words needed to both verify
+           and escape, then write the repro *)
+        let still_fails b =
+          verifies ~config elf b && snd (escapes_of elf b) > 0
+        in
+        let small, live = Shrink.words code ~still_fails in
+        let desc =
+          Format.asprintf
+            "accepted mutant escapes (%a; %d escapes, first: %a; %d live insns)"
+            pp_mutation m total
+            (Format.pp_print_list pp_escape)
+            (match escs with e :: _ -> [ e ] | [] -> [])
+            live
+        in
+        let repro =
+          match repro_dir with
+          | None -> None
+          | Some dir ->
+              Some
+                (Corpus.write_repro ~dir ~engine:"soundness"
+                   ~expect:Corpus.Reject
+                   ~label:(Printf.sprintf "seed%d_case%d" seed case)
+                   ~notes:[ desc ]
+                   (Corpus.disassemble small))
+        in
+        failures := { Report.case; desc; repro } :: !failures
+      end
+  done;
+  {
+    Report.engine = "soundness";
+    seed;
+    cases = !cases;
+    skipped = 0;
+    failures = List.rev !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The oracle's own regression test                                    *)
+(* ------------------------------------------------------------------ *)
+
+type demo = {
+  weakened_escapes : int;
+      (** single-bit-flip mutants of the demo seed that the *weakened*
+          verifier accepts and that escape at runtime — must be > 0,
+          proving the engine catches a broken verifier *)
+  real_escapes : int;
+      (** same mutants filtered by the *real* verifier — must be 0 *)
+}
+
+(** Enumerate every single-bit flip of [elf]'s text under both
+    verifier configs. *)
+let bit_flip_audit (elf : Lfi_elf.Elf.t) : demo =
+  let orig = (text_of elf).Lfi_elf.Elf.data in
+  let nwords = Bytes.length orig / 4 in
+  let weak =
+    { Lfi_verifier.Verifier.default_config with unsafe_no_uxtw_check = true }
+  in
+  let real = Lfi_verifier.Verifier.default_config in
+  let weakened_escapes = ref 0 and real_escapes = ref 0 in
+  for word = 0 to nwords - 1 do
+    for bit = 0 to 31 do
+      let code = apply_mutation orig (Bit_flip { word; bit }) in
+      let escaped () = snd (escapes_of elf code) > 0 in
+      if verifies ~config:weak elf code && escaped () then
+        incr weakened_escapes;
+      if verifies ~config:real elf code && escaped () then incr real_escapes
+    done
+  done;
+  { weakened_escapes = !weakened_escapes; real_escapes = !real_escapes }
+
+(** The audit on the crafted uxtw seed: the acceptance demo for the
+    whole oracle. *)
+let demo_weakened () : demo = bit_flip_audit (build_seed uxtw_demo_source)

@@ -30,9 +30,18 @@ type config = {
       (** verify loads too (full isolation); [false] checks a
           stores-and-jumps-only binary *)
   allow_exclusives : bool;
+  unsafe_no_uxtw_check : bool;
+      (** DELIBERATELY UNSOUND, for the fuzzing oracle only
+          (DESIGN.md §5d): accept any register-offset addressing mode
+          based on x21, not just the [\[x21, wN, uxtw\]] guard.  The
+          soundness engine uses this to prove the escape oracle can
+          catch a weakened verifier; it must never be set in a
+          loader. *)
 }
 
-let default_config = { sandbox_loads = true; allow_exclusives = true }
+let default_config =
+  { sandbox_loads = true; allow_exclusives = true;
+    unsafe_no_uxtw_check = false }
 
 type violation = {
   index : int;  (** instruction index within the text segment *)
@@ -178,6 +187,11 @@ let verify ?(config = default_config) ?(origin = 0) ~(code : bytes) () :
            let base = Insn.addr_base addr in
            match addr with
            | _ when is_guarded_addressing addr -> ()
+           | Insn.Reg_off (Reg.R (Reg.W64, 21), _, _, _)
+             when config.unsafe_no_uxtw_check ->
+               (* fuzzing-only hole: trusts the index extension, so an
+                  [uxtw -> uxtx/lsl] bit flip slips through *)
+               ()
            | Insn.Imm_off (b, _) when Reg.is_sp b -> ()
            | (Insn.Pre (b, _) | Insn.Post (b, _)) when Reg.is_sp b -> ()
            | Insn.Imm_off (Reg.R (Reg.W64, bn), _)

@@ -1,0 +1,19 @@
+// engine: complete
+// expect: accept
+// Rewriter-completeness corner cases: sp writes (guarded pair and the
+// elidable anchored drift), exclusives, writeback on a general base
+// and an x30 load — every one must come out of the rewriter in a form
+// the verifier accepts, at all three optimization levels.
+.text
+_start:
+	sub sp, sp, #32
+	str x0, [sp, #16]
+	mov sp, x9
+	ldxr x1, [x2]
+	stxr w3, x1, [x2]
+	ldr x4, [x5, #8]!
+	ldr x6, [x7], #-8
+	ldr x30, [sp, #8]
+	ldp x29, x30, [sp], #16
+	str x8, [x10, x11, lsl #3]
+	svc #1

@@ -1,0 +1,38 @@
+// engine: equiv
+// expect: accept
+// A fixed differential stream: every addressing mode the rewriter
+// touches (scaled, unscaled, pre/post writeback, register offset) plus
+// flag-setting arithmetic, pairs and FP traffic.  Replayed by
+// test_fuzz: the native run and the rewritten runs at O0/O1/O2 must
+// produce identical registers, flags and data-section bytes.
+.text
+_start:
+	adr x19, gmid
+	movz x20, #64
+	movz x0, #4660
+	str x0, [x19]
+	ldr x1, [x19]
+	adds x2, x1, x0
+	str x2, [x19, #8]
+	ldr x3, [x19, w20, uxtw]
+	str x2, [x19, w20, uxtw #3]
+	ldrb w4, [x19, #1]
+	strh w4, [x19, #-6]
+	str x2, [x19, #16]!
+	ldr x5, [x19], #-16
+	stp x1, x2, [x19, #32]
+	ldp x6, x7, [x19, #32]
+	ldxr x8, [x19]
+	stxr w9, x8, [x19]
+	fmov d1, x2
+	str d1, [x19, #40]
+	ldr q2, [x19, #32]
+	str q2, [x19, #48]
+	subs w10, w7, w4
+	csel x11, x6, x5, lt
+	svc #1
+.data
+gdata:
+	.zero 32768
+gmid:
+	.zero 32768

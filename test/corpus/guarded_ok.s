@@ -1,0 +1,16 @@
+// engine: soundness
+// expect: accept
+// Every guarded access form in one program: the zero-cost uxtw
+// addressing mode, the two-cycle x18 guard, an anchored sp drift and
+// the svc exit lowering.  Must verify clean and, when executed under
+// the escape oracle, must exit without a single out-of-sandbox access.
+	movz x1, #256
+	ldr x0, [x21, w1, uxtw]
+	add x18, x21, w1, uxtw
+	ldr x2, [x18, #8]
+	sub sp, sp, #16
+	str x2, [sp, #8]
+	ldr x3, [sp, #8]
+	movz x0, #0
+	ldr x30, [x21, #8]
+	blr x30

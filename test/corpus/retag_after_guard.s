@@ -1,0 +1,10 @@
+// engine: soundness
+// expect: reject
+// Guard-then-retag: x23 receives a legal hoisted guard, then is
+// retagged with a plain add.  If the verifier only checked the first
+// write, the second would let x23 point anywhere while still being
+// usable as a guarded base.
+	add x23, x21, w1, uxtw
+	ldr x0, [x23, #8]
+	add x23, x23, #8
+	ldr x0, [x23, #8]

@@ -1,0 +1,7 @@
+// engine: soundness
+// expect: reject
+// Small sp adjustments are allowed only when anchored by a following
+// sp-based access in the same block (§4.2).  A drift followed by a
+// branch lets unguarded sp values flow across blocks.
+	sub sp, sp, #16
+	ret

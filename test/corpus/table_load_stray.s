@@ -1,0 +1,9 @@
+// engine: soundness
+// expect: reject
+// A runtime-call table load may write x30 only when the very next
+// instruction consumes it with blr (the svc lowering).  Letting the
+// loaded host pointer linger in x30 would give later code a
+// ready-made out-of-sandbox branch target.
+	ldr x30, [x21, #16]
+	nop
+	blr x30

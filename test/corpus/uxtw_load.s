@@ -1,0 +1,14 @@
+// engine: soundness
+// expect: accept-escape-weakened
+// The oracle's own regression seed (Soundness.uxtw_demo_source): x2's
+// low 32 bits are zero but its high bits point thousands of sandboxes
+// away, so the guarded load is safe *only* because of the uxtw
+// truncation.  A single bit flip (bit 13: uxtw -> uxtx) produces a
+// mutant that the deliberately weakened verifier (unsafe_no_uxtw_check)
+// accepts and that escapes at run time — and that the real verifier
+// rejects.
+	movz x2, #57005, lsl #48
+	ldr x3, [x21, w2, uxtw]
+	movz x0, #0
+	ldr x30, [x21, #8]
+	blr x30

@@ -1,0 +1,6 @@
+// engine: soundness
+// expect: reject
+// The sandbox base register must never be written: with x21 moved,
+// every "guarded" access afterwards is relative to an attacker value.
+	movz x21, #0
+	ldr x0, [x21, w1, uxtw]

@@ -1,0 +1,7 @@
+// engine: soundness
+// expect: reject
+// The hoisting registers x23/x24 may only be written by the guard
+// form add xR, x21, wN, uxtw; a plain register move is a violation
+// even if the value happens to be in range at run time.
+	mov x24, x1
+	str x0, [x24, #16]

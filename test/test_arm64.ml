@@ -2,6 +2,7 @@
    instruction ADT, parser/printer, encoder/decoder, assembler. *)
 
 open Lfi_arm64
+module Gen = Lfi_fuzz.Gen_insn
 
 let check = Alcotest.check
 let checks = Alcotest.(check string)

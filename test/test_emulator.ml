@@ -3,6 +3,7 @@
 
 open Lfi_arm64
 open Lfi_emulator
+module Gen_minic = Lfi_fuzz.Gen_minic
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)

@@ -4,6 +4,8 @@
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 
+module Gen_minic = Lfi_fuzz.Gen_minic
+
 let parse = Lfi_minic.Minic_parser.parse
 
 let run_text ?(system = Lfi_experiments.Run.Lfi Lfi_core.Config.o2) src =

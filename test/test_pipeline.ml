@@ -8,7 +8,7 @@
    emulator. *)
 
 open Lfi_minic
-open Gen_minic
+open Lfi_fuzz.Gen_minic
 
 (* ---------------- the differential property ---------------- *)
 

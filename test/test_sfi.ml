@@ -6,6 +6,7 @@
    instruction streams) and reject a catalogue of violations. *)
 
 open Lfi_arm64
+module Gen = Lfi_fuzz.Gen_insn
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
