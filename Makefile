@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-compare crash-demo trace-demo fuzz-smoke fuzz clean
+.PHONY: all build check test bench bench-json bench-compare serve-bench crash-demo trace-demo fuzz-smoke fuzz clean
 
 all: build
 
@@ -23,6 +23,14 @@ bench-json:
 # against the committed baseline; exits nonzero on a >10% slowdown.
 bench-compare:
 	dune exec bench/main.exe -- --quick --compare BENCH_emulator.json
+
+# Library-serving benchmark: replay a seeded request stream through a
+# pool of warm sandboxed-library instances and commit the lfi-serve/v1
+# report. The stream and every number in it are a pure function of the
+# seed, so the JSON is byte-stable; CI re-runs this and diffs it.
+serve-bench:
+	dune exec bin/lfi_serve.exe -- --workload xzbox --requests 1000 \
+	  --pool 4 --seed 1 --json BENCH_serve.json
 
 # Deliberately crash the `crashy` workload (wild read into the guard
 # region) and emit the postmortem crash report: text on stderr, JSON

@@ -10,6 +10,35 @@
 let section title =
   Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
 
+(* Library-call transition costs vs process-isolation baselines: the
+   same seeded stream `make serve-bench` commits, replayed under both
+   uarch models.  (The --quick JSON/compare paths don't run this — the
+   committed BENCH_serve.json diff in CI covers the serve path.) *)
+let serve_experiment () =
+  Printf.printf
+    "  %-5s %10s %10s %10s %12s %12s %10s\n"
+    "uarch" "gate mean" "gate p50" "gate p99" "linux pipe" "gvisor pipe"
+    "req/s";
+  List.iter
+    (fun uarch ->
+      let r =
+        Lfi_libbox.Serve.run ~uarch ~spec:Lfi_workloads.Libs.xzbox ~pool:4
+          ~requests:1000 ~seed:1 ()
+      in
+      let open Lfi_emulator.Cost_model in
+      let fmt v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v in
+      Printf.printf "  %-5s %10.1f %10.0f %10.0f %12s %12s %10.0f\n%!"
+        uarch.name r.Lfi_libbox.Serve.gate_mean r.Lfi_libbox.Serve.gate_p50
+        r.Lfi_libbox.Serve.gate_p99
+        (fmt uarch.linux_pipe_roundtrip)
+        (fmt uarch.gvisor_pipe_roundtrip)
+        r.Lfi_libbox.Serve.requests_per_sec)
+    [ Lfi_emulator.Cost_model.m1; Lfi_emulator.Cost_model.t2a ];
+  Printf.printf
+    "\n  A sandboxed library call crosses the boundary for the cost of a\n\
+    \  runtime-call gate (plus marshalling), orders of magnitude below a\n\
+    \  pipe round-trip between processes.\n"
+
 let run_experiments () =
   section "Experiment E1 - Figure 3 (LFI optimization levels)";
   Lfi_experiments.Fig3.run_all ();
@@ -28,7 +57,9 @@ let run_experiments () =
   section "Experiment E8 - Spectre hardening cost (Section 7.1)";
   Lfi_experiments.Spectre.run_all ();
   section "CoreMark (artifact appendix A.6.3)";
-  Lfi_experiments.Coremark_exp.run_all ()
+  Lfi_experiments.Coremark_exp.run_all ();
+  section "Experiment E9 - Library serving (Section 5.3 transition costs)";
+  serve_experiment ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself              *)

@@ -1,0 +1,86 @@
+(* lfi_serve: drive a seeded request stream through a pool of warm
+   sandboxed-library instances and report throughput + transition
+   costs as lfi-serve/v1 JSON.
+
+   The stream, the pool scheduling, and every number in the report
+   derive from the seed and the simulated machine, so the output is
+   byte-identical across runs — `make serve-bench` commits it and CI
+   re-runs and diffs it. *)
+
+let run workload requests pool seed machine json =
+  match Lfi_workloads.Libs.find workload with
+  | None ->
+      Printf.eprintf "unknown library workload %S (have: %s)\n" workload
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Lfi_libbox.Api.l_short)
+              Lfi_workloads.Libs.all));
+      exit 2
+  | Some spec ->
+      let uarch =
+        match Lfi_emulator.Cost_model.by_name machine with
+        | Some u -> u
+        | None ->
+            Printf.eprintf "unknown machine %S (m1 or t2a)\n" machine;
+            exit 2
+      in
+      let report =
+        Lfi_libbox.Serve.run ~uarch ~spec ~pool ~requests ~seed ()
+      in
+      (match json with
+      | None -> print_string report.Lfi_libbox.Serve.json
+      | Some file ->
+          let oc = open_out file in
+          output_string oc report.Lfi_libbox.Serve.json;
+          close_out oc;
+          Printf.printf "wrote %s\n" file);
+      (* human summary on stderr so --json stdout stays machine-clean *)
+      Printf.eprintf
+        "%s: %d/%d requests ok, %d instances lost; transition p50 %.0f / \
+         p99 %.0f cycles (linux pipe %.0f); %.1f insns/req, %.0f req/s\n"
+        spec.Lfi_libbox.Api.l_short report.Lfi_libbox.Serve.completed requests
+        report.Lfi_libbox.Serve.retired report.Lfi_libbox.Serve.gate_p50
+        report.Lfi_libbox.Serve.gate_p99
+        uarch.Lfi_emulator.Cost_model.linux_pipe_roundtrip
+        report.Lfi_libbox.Serve.insns_per_request
+        report.Lfi_libbox.Serve.requests_per_sec;
+      if report.Lfi_libbox.Serve.gate_p50 >=
+           uarch.Lfi_emulator.Cost_model.linux_pipe_roundtrip then begin
+        Printf.eprintf
+          "error: transition p50 not below the linux pipe round-trip\n";
+        exit 1
+      end
+
+open Cmdliner
+
+let workload =
+  Arg.(value & opt string "xzbox" & info [ "workload" ] ~docv:"LIB"
+         ~doc:"Library workload to serve (xzbox, crashbox).")
+
+let requests =
+  Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N"
+         ~doc:"Number of requests to replay.")
+
+let pool =
+  Arg.(value & opt int 4 & info [ "pool" ] ~docv:"N"
+         ~doc:"Number of warm instances.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Request-stream seed; the report is a pure function of it.")
+
+let machine =
+  Arg.(value & opt string "m1" & info [ "machine" ] ~docv:"UARCH"
+         ~doc:"Cost model: m1 or t2a.")
+
+let json =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the lfi-serve/v1 report to $(docv) instead of stdout.")
+
+let cmd =
+  let doc = "serve a request stream through a sandboxed-library pool" in
+  Cmd.v
+    (Cmd.info "lfi_serve" ~doc)
+    Term.(const run $ workload $ requests $ pool $ seed $ machine $ json)
+
+let () = exit (Cmd.eval cmd)

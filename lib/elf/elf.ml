@@ -270,6 +270,14 @@ let of_image (img : Lfi_arm64.Assemble.image) : t =
     symbols;
   }
 
+(** Look up an exported symbol's sandbox-relative address.  This is how
+    library sandboxing (lib/libbox) resolves host-callable entry points:
+    every MiniC function label lands in [symbols], so an export list is
+    just a set of names to find here. *)
+let find_symbol (t : t) (name : string) : int option =
+  List.find_map (fun (n, v) -> if String.equal n name then Some v else None)
+    t.symbols
+
 (** The executable segment's bytes (what the verifier checks). *)
 let text_segment (t : t) : segment option =
   List.find_opt (fun s -> s.flags land pf_x <> 0) t.segments

@@ -25,7 +25,16 @@ let perm_rw = { r = true; w = true; x = false }
 let perm_r = { r = true; w = false; x = false }
 let perm_rx = { r = true; w = false; x = true }
 
-type page = { mutable perm : perm; data : Bytes.t }
+type page = {
+  mutable perm : perm;
+  data : Bytes.t;
+  mutable dirty : bool;
+      (** set on every store into the page; consumers (snapshot-based
+          reset, see [lib/libbox]) clear it at their baseline and later
+          restore only pages whose flag came back on.  A single
+          unconditional store on the write path — cheaper than any
+          branch or handle indirection. *)
+}
 
 type access = Read | Write | Fetch
 
@@ -59,7 +68,10 @@ let perm_bits (p : perm) =
 let tc_size = 256
 let tc_mask = tc_size - 1
 
-let dummy_page = { perm = { r = false; w = false; x = false }; data = Bytes.create 0 }
+let dummy_page =
+  { perm = { r = false; w = false; x = false };
+    data = Bytes.create 0;
+    dirty = false }
 
 type t = {
   pages : (int, page) Hashtbl.t;
@@ -109,7 +121,8 @@ let map m ~(addr : int64) ~(len : int) ~(perm : perm) =
     match Hashtbl.find_opt m.pages i with
     | Some p -> p.perm <- perm
     | None ->
-        Hashtbl.replace m.pages i { perm; data = Bytes.make page_size '\000' }
+        Hashtbl.replace m.pages i
+          { perm; data = Bytes.make page_size '\000'; dirty = true }
   done;
   tc_flush m;
   code_changed m addr len
@@ -202,6 +215,7 @@ let read_u8 m addr =
 
 let write_u8 m addr v =
   let p = get_page m addr Write in
+  p.dirty <- true;
   wx_invalidate m p addr 1;
   Bytes.set_uint8 p.data (page_offset addr) v
 
@@ -232,6 +246,7 @@ let write m (addr : int64) (size : int) (v : int64) =
   let off = page_offset addr in
   if off + size <= page_size then begin
     let p = get_page m addr Write in
+    p.dirty <- true;
     wx_invalidate m p addr size;
     match size with
     | 8 -> Bytes.set_int64_le p.data off v
@@ -278,6 +293,8 @@ let mapped_pages m =
 
 let page_data (p : page) = p.data
 let page_perm (p : page) = p.perm
+let page_dirty (p : page) = p.dirty
+let page_clear_dirty (p : page) = p.dirty <- false
 
 (** Find a mapped page by index (used by fork's bulk copy). *)
 let find_page_by_index m (idx : int) = Hashtbl.find_opt m.pages idx

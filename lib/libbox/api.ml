@@ -1,0 +1,81 @@
+(** Host-facing types for library sandboxing.
+
+    A sandboxed library is an ordinary verified LFI binary whose
+    exported functions the host calls directly: scalars travel in
+    registers, buffers are marshalled through a per-instance arena
+    inside the sandbox window with explicit copy-in/copy-out, and every
+    transition is priced in simulated cycles so the call-gate cost can
+    be compared against the cost model's process-based baselines
+    (PAPER §5.3: an LFI runtime call is a function call plus a
+    register swap, not a kernel round-trip). *)
+
+(** One argument of a library call.  Arguments map to x0..x7 in order;
+    buffer arguments are placed in the instance's marshalling arena and
+    the callee receives a sandbox pointer. *)
+type arg =
+  | I of int64  (** scalar, passed in a register *)
+  | In of bytes  (** copy-in: the callee sees a pointer to a copy *)
+  | Out of int
+      (** copy-out: reserve this many bytes; the contents after the
+          call are returned in {!reply.outs}, in argument order *)
+
+(** Per-call cost accounting, in simulated cycles. *)
+type call_stats = {
+  gate_cycles : float;
+      (** the transition cost alone: runtime-call entry + exit plus
+          buffer marshalling — the number to compare against
+          [linux_pipe_roundtrip] *)
+  total_cycles : float;  (** gate + sandboxed execution *)
+  call_insns : int;  (** instructions retired inside the sandbox *)
+}
+
+type reply = {
+  ret : int64;  (** the export's return value (x0) *)
+  outs : bytes list;  (** one entry per [Out] argument, in order *)
+  stats : call_stats;
+}
+
+type error =
+  | Unknown_export of string
+  | Too_many_args  (** more than 8 register arguments *)
+  | Arena_overflow  (** buffer arguments exceed the marshalling arena *)
+  | Efault  (** host-side copy touched an unmapped sandbox address *)
+  | Blocked
+      (** the export issued a blocking runtime call; a library call
+          must run to completion, so the instance is retired *)
+  | Exited of int  (** the export called the exit runtime call *)
+  | Killed of string  (** fault or runaway; instance retired *)
+  | No_instances  (** every pool instance has been retired *)
+
+let error_to_string = function
+  | Unknown_export n -> Printf.sprintf "unknown export %S" n
+  | Too_many_args -> "more than 8 arguments"
+  | Arena_overflow -> "marshalling arena overflow"
+  | Efault -> "bad sandbox pointer (EFAULT)"
+  | Blocked -> "blocking runtime call in library call"
+  | Exited c -> Printf.sprintf "exit(%d) in library call" c
+  | Killed why -> "killed: " ^ why
+  | No_instances -> "no live instances"
+
+(** An export in a library's request-stream description: how often the
+    dispatcher picks it and how to generate its arguments.  [e_gen]
+    draws from the seeded stream generator only through [rng] (a
+    bounded uniform draw), keeping the request stream deterministic. *)
+type export_spec = {
+  e_name : string;
+  e_weight : int;  (** relative pick weight; 0 = callable but not in the stream *)
+  e_gen : rng:(int -> int) -> arg list;
+}
+
+(** A library-shaped workload: a MiniC program plus the exports the
+    host may call.  [l_init], when present, is run once per instance
+    before the reset baseline is captured, so its effects persist
+    across resets. *)
+type lib_spec = {
+  l_name : string;
+  l_short : string;
+  l_program : Lfi_minic.Ast.program;
+  l_init : string option;
+  l_arena : int;  (** marshalling arena size in bytes *)
+  l_exports : export_spec list;
+}

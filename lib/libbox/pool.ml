@@ -1,0 +1,82 @@
+(** A pool of warm library instances.
+
+    All instances live in one runtime (one emulated address space, one
+    slot each — the paper's deployment shape, §5.3).  Dispatch is
+    round-robin over the live instances and every successful request is
+    followed by a snapshot reset, so requests are independent by
+    construction.  A request that kills its instance — fault, runaway,
+    blocking call — retires only that instance: its slot is released,
+    its postmortem is on the runtime, and the pool keeps serving on the
+    survivors. *)
+
+open Lfi_runtime
+
+type t = {
+  lib : Library.t;
+  rt : Runtime.t;
+  instances : Instance.t array;  (** creation order; dead ones stay put *)
+  mutable rr : int;  (** round-robin cursor over live instances *)
+  mutable served : int;
+  mutable failed : int;
+}
+
+(** Build a pool of [size] instances.  The runtime is created here with
+    verification off — the {!Library} already verified the image once —
+    unless an explicit [runtime] is supplied. *)
+let create ?runtime ?arena ?insn_budget ?init ~(size : int) (lib : Library.t)
+    : t =
+  if size < 1 then invalid_arg "Pool.create: size < 1";
+  let rt =
+    match runtime with
+    | Some rt -> rt
+    | None ->
+        Runtime.create
+          ~config:{ Runtime.default_config with verify = false }
+          ()
+  in
+  let instances =
+    Array.init size (fun _ -> Instance.create ?arena ?insn_budget ?init rt lib)
+  in
+  { lib; rt; instances; rr = 0; served = 0; failed = 0 }
+
+let live (pool : t) : Instance.t list =
+  Array.to_list pool.instances |> List.filter (fun i -> i.Instance.alive)
+
+let live_count (pool : t) = List.length (live pool)
+
+(** Dispatch one request: pick the next live instance round-robin,
+    call, and reset it afterwards (marshalling-level failures also
+    reset — the arena may hold partial copy-ins).  Returns the chosen
+    instance so callers can attribute the result to a slot. *)
+let dispatch (pool : t) (name : string) (args : Api.arg list) :
+    Instance.t option * (Api.reply, Api.error) result =
+  match live pool with
+  | [] -> (None, Error Api.No_instances)
+  | alive ->
+      let inst = List.nth alive (pool.rr mod List.length alive) in
+      pool.rr <- pool.rr + 1;
+      let r = Instance.call inst name args in
+      (match r with
+      | Ok _ ->
+          pool.served <- pool.served + 1;
+          Instance.reset inst
+      | Error _ ->
+          pool.failed <- pool.failed + 1;
+          if inst.Instance.alive then Instance.reset inst);
+      (Some inst, r)
+
+(** Instances lost since creation. *)
+let retired (pool : t) = Array.length pool.instances - live_count pool
+
+(** Merged per-call histograms across all instances (dead included —
+    their calls before dying still count). *)
+let merged_hists (pool : t) :
+    Lfi_telemetry.Histogram.t * Lfi_telemetry.Histogram.t =
+  let gate = Lfi_telemetry.Histogram.create ()
+  and call = Lfi_telemetry.Histogram.create () in
+  Array.iter
+    (fun i ->
+      Lfi_telemetry.Histogram.merge gate i.Instance.gate_hist;
+      Lfi_telemetry.Histogram.merge call i.Instance.call_hist)
+    pool.instances;
+  (gate, call)

@@ -1,0 +1,170 @@
+(** Deterministic request-stream dispatcher and the [lfi-serve/v1]
+    report.
+
+    [run] builds a library and a pool from a {!Api.lib_spec}, replays a
+    seeded request stream across the pool (weighted export pick +
+    argument generation, all drawn from one xorshift64 stream), and
+    reports throughput and transition costs.  Everything in the report
+    derives from the seed and the simulated machine — no wall clock, no
+    hash-table iteration order — so the JSON is byte-identical across
+    runs: the property `make serve-bench` commits to. *)
+
+open Lfi_emulator
+
+type report = {
+  json : string;
+  completed : int;
+  failed : int;
+  retired : int;  (** instances lost *)
+  gate_p50 : float;
+  gate_p99 : float;
+  gate_mean : float;
+  insns_per_request : float;
+  requests_per_sec : float;
+}
+
+(* xorshift64; the single source of randomness for the stream *)
+let make_rng (seed : int) =
+  let s = ref (Int64.of_int ((seed * 2654435761) lor 1)) in
+  fun (bound : int) ->
+    let x = !s in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    s := x;
+    Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+
+let pick_export (rng : int -> int) (exports : Api.export_spec list) :
+    Api.export_spec =
+  let weighted = List.filter (fun e -> e.Api.e_weight > 0) exports in
+  match weighted with
+  | [] -> invalid_arg "Serve.run: no weighted exports in the stream"
+  | _ ->
+      let total = List.fold_left (fun a e -> a + e.Api.e_weight) 0 weighted in
+      let n = rng total in
+      let rec go acc = function
+        | [ e ] -> e
+        | e :: tl ->
+            let acc = acc + e.Api.e_weight in
+            if n < acc then e else go acc tl
+        | [] -> assert false
+      in
+      go 0 weighted
+
+let json_float (v : float) : string =
+  if Float.is_nan v then "null" else Printf.sprintf "%.1f" v
+
+let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
+    ~(spec : Api.lib_spec) ~(pool : int) ~(requests : int) ~(seed : int) () :
+    report =
+  let lib =
+    let exports =
+      List.map (fun e -> e.Api.e_name) spec.Api.l_exports
+      @ match spec.Api.l_init with None -> [] | Some n -> [ n ]
+    in
+    Library.create ~config ~name:spec.Api.l_short ~exports spec.Api.l_program
+  in
+  let rt =
+    Lfi_runtime.Runtime.create
+      ~config:
+        { Lfi_runtime.Runtime.default_config with verify = false; uarch }
+      ()
+  in
+  let p =
+    Pool.create ~runtime:rt ~arena:spec.Api.l_arena ?init:spec.Api.l_init
+      ~size:pool lib
+  in
+  let rng = make_rng seed in
+  let per_export = Hashtbl.create 8 in
+  let serve_cycles = ref 0.0 and serve_insns = ref 0 in
+  for _ = 1 to requests do
+    let e = pick_export rng spec.Api.l_exports in
+    let args = e.Api.e_gen ~rng in
+    let _inst, r = Pool.dispatch p e.Api.e_name args in
+    (match r with
+    | Ok reply ->
+        serve_cycles := !serve_cycles +. reply.Api.stats.Api.total_cycles;
+        serve_insns := !serve_insns + reply.Api.stats.Api.call_insns
+    | Error _ -> ());
+    Hashtbl.replace per_export e.Api.e_name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt per_export e.Api.e_name))
+  done;
+  let gate, call = Pool.merged_hists p in
+  let module H = Lfi_telemetry.Histogram in
+  let completed = p.Pool.served and failed = p.Pool.failed in
+  let retired = Pool.retired p in
+  let insns_per_request =
+    if completed = 0 then 0.0
+    else float_of_int !serve_insns /. float_of_int completed
+  in
+  (* simulated wall-clock throughput: requests per second at the
+     modeled clock, from the cycles spent serving *)
+  let requests_per_sec =
+    if !serve_cycles <= 0.0 then 0.0
+    else
+      float_of_int completed
+      /. (!serve_cycles /. (uarch.Cost_model.clock_ghz *. 1e9))
+  in
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"lfi-serve/v1\",\n";
+  add "  \"workload\": %S,\n" spec.Api.l_short;
+  add "  \"system\": %S,\n" (Lfi_core.Config.name config);
+  add "  \"uarch\": %S,\n" uarch.Cost_model.name;
+  add "  \"pool\": %d,\n" pool;
+  add "  \"requests\": %d,\n" requests;
+  add "  \"seed\": %d,\n" seed;
+  add "  \"completed\": %d,\n" completed;
+  add "  \"failed\": %d,\n" failed;
+  add "  \"instances_lost\": %d,\n" retired;
+  add "  \"serve_cycles\": %.1f,\n" !serve_cycles;
+  add "  \"serve_insns\": %d,\n" !serve_insns;
+  add "  \"insns_per_request\": %.1f,\n" insns_per_request;
+  add "  \"requests_per_sec\": %.0f,\n" requests_per_sec;
+  add "  \"transition_cycles\": %s,\n" (H.to_json gate);
+  add "  \"transition_p50\": %.1f,\n" (H.percentile gate 0.50);
+  add "  \"transition_p99\": %.1f,\n" (H.percentile gate 0.99);
+  add "  \"call_cycles\": %s,\n" (H.to_json call);
+  add "  \"call_p50\": %.1f,\n" (H.percentile call 0.50);
+  add "  \"call_p99\": %.1f,\n" (H.percentile call 0.99);
+  (* the §5.3 comparison: what the same boundary crossing costs under
+     process isolation (gvisor is unmeasured/NaN on some uarches →
+     null) *)
+  add "  \"baselines\": {\"lfi_transition_mean\": %s, \
+       \"linux_pipe_roundtrip\": %s, \"gvisor_pipe_roundtrip\": %s},\n"
+    (json_float (H.mean gate))
+    (json_float uarch.Cost_model.linux_pipe_roundtrip)
+    (json_float uarch.Cost_model.gvisor_pipe_roundtrip);
+  add "  \"per_slot\": [";
+  Array.iteri
+    (fun i inst ->
+      if i > 0 then add ", ";
+      add
+        "{\"slot\": %d, \"pid\": %d, \"alive\": %b, \"calls\": %d, \
+         \"resets\": %d, \"insns\": %d, \"pages_restored\": %d}"
+        inst.Instance.p.Lfi_runtime.Proc.slot inst.Instance.p.Lfi_runtime.Proc.pid
+        inst.Instance.alive inst.Instance.calls inst.Instance.resets
+        inst.Instance.call_insns inst.Instance.pages_restored)
+    p.Pool.instances;
+  add "],\n";
+  add "  \"per_export\": {";
+  List.iteri
+    (fun i e ->
+      if i > 0 then add ", ";
+      add "%S: %d" e.Api.e_name
+        (Option.value ~default:0 (Hashtbl.find_opt per_export e.Api.e_name)))
+    (List.filter (fun e -> e.Api.e_weight > 0) spec.Api.l_exports);
+  add "}\n";
+  add "}\n";
+  {
+    json = Buffer.contents b;
+    completed;
+    failed;
+    retired;
+    gate_p50 = H.percentile gate 0.50;
+    gate_p99 = H.percentile gate 0.99;
+    gate_mean = H.mean gate;
+    insns_per_request;
+    requests_per_sec;
+  }

@@ -56,10 +56,16 @@ type t = {
 
 let is_runnable p = p.state = Runnable
 
+(** Allocate the lowest unused descriptor >= 3, as POSIX open(2) does.
+    Closed descriptors are reused — pool-style instances churn through
+    open/close far more than one-shot runs, and a high-water-mark
+    allocator would leak fd numbers without bound.  [next_fd] is kept
+    as a high-water mark so {!dup_fds} still copies the full range. *)
 let alloc_fd (p : t) (obj : Vfs.fd_object) : int =
-  let fd = p.next_fd in
-  p.next_fd <- fd + 1;
+  let rec first_free n = if Hashtbl.mem p.fds n then first_free (n + 1) else n in
+  let fd = first_free 3 in
   Hashtbl.replace p.fds fd obj;
+  if fd >= p.next_fd then p.next_fd <- fd + 1;
   fd
 
 let fd (p : t) (n : int) = Hashtbl.find_opt p.fds n

@@ -214,24 +214,47 @@ let alloc_slot rt : int =
 
 exception Load_error of string
 
+(** Rebase a slot-anchored value into [base]'s slot by replacing its
+    top 32 bits — valid because sandbox pointers are 32-bit offsets
+    (§5.3; exactly what the hardware guard would do). *)
+let rebase (base : int64) (v : int64) =
+  Int64.logor base (Int64.logand v 0xFFFFFFFFL)
+
+(** The registers the rewriter reserves as slot anchors (x18 scratch,
+    x21 call-table base, x23/x24 guard bases) plus the link register:
+    every snapshot installed on the machine must keep these inside the
+    owning slot. *)
+let reserved_regs = [ 18; 21; 23; 24; 30 ]
+
+(** Anchor a register snapshot to [base]: the reserved registers, pc
+    and sp get their top bits replaced with the slot base, everything
+    else is carried over verbatim (stray values heal through the
+    address guards).  The one place snapshot construction happens —
+    initial load, fork's child state, and libbox's call/reset snapshots
+    all go through here. *)
+let anchor_snapshot (base : int64) (snap : Machine.snapshot) :
+    Machine.snapshot =
+  let regs = Array.copy snap.Machine.s_regs in
+  List.iter (fun n -> regs.(n) <- rebase base regs.(n)) reserved_regs;
+  { snap with
+    Machine.s_regs = regs;
+    s_pc = rebase base snap.Machine.s_pc;
+    s_sp = rebase base snap.Machine.s_sp }
+
 let initial_snapshot (base : int64) ~(entry : int) ~(arg : int64) :
     Machine.snapshot =
   let regs = Array.make 31 0L in
-  let entry_addr = Int64.add base (Int64.of_int entry) in
   regs.(0) <- arg;
-  regs.(21) <- base;
-  regs.(18) <- base;
-  regs.(23) <- base;
-  regs.(24) <- base;
-  regs.(30) <- entry_addr;
-  {
-    Machine.s_pc = entry_addr;
-    s_regs = regs;
-    s_sp = Int64.add base (Int64.of_int Lfi_core.Layout.stack_top);
-    s_flags = (false, false, false, false);
-    s_vlo = Array.make 32 0L;
-    s_vhi = Array.make 32 0L;
-  }
+  regs.(30) <- Int64.of_int entry;
+  anchor_snapshot base
+    {
+      Machine.s_pc = Int64.of_int entry;
+      s_regs = regs;
+      s_sp = Int64.of_int Lfi_core.Layout.stack_top;
+      s_flags = (false, false, false, false);
+      s_vlo = Array.make 32 0L;
+      s_vhi = Array.make 32 0L;
+    }
 
 (** Load an ELF image into a fresh slot and create the process.
     Sandboxed programs ([`Lfi]) are statically verified first; native
@@ -391,11 +414,6 @@ let switch_cost rt (p : Proc.t) =
 (* Fork (§5.3)                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** Rebase a register value into the child slot by replacing its top
-    bits — valid because sandbox pointers are 32-bit offsets. *)
-let rebase (child_base : int64) (v : int64) =
-  Int64.logor child_base (Int64.logand v 0xFFFFFFFFL)
-
 let do_fork rt (parent : Proc.t) : int =
   if parent.Proc.personality <> Proc.Lfi then Vfs.einval
   else begin
@@ -424,18 +442,11 @@ let do_fork rt (parent : Proc.t) : int =
           | None -> assert false)
         end)
       (Memory.mapped_pages rt.mem);
-    (* Child registers: parent's current state with the reserved
-       registers, sp and pc rebased; everything else heals via guards. *)
+    (* Child registers: parent's current state anchored to the child
+       slot; everything non-reserved heals via guards. *)
     let snap = Machine.snapshot rt.machine in
-    let regs = snap.Machine.s_regs in
-    List.iter (fun n -> regs.(n) <- rebase base regs.(n)) [ 18; 21; 23; 24; 30 ];
-    regs.(0) <- 0L (* fork returns 0 in the child *);
-    let child_snap =
-      { snap with
-        Machine.s_regs = regs;
-        s_pc = rebase base snap.Machine.s_pc;
-        s_sp = rebase base snap.Machine.s_sp }
-    in
+    snap.Machine.s_regs.(0) <- 0L (* fork returns 0 in the child *);
+    let child_snap = anchor_snapshot base snap in
     let pid = rt.next_pid in
     rt.next_pid <- pid + 1;
     let child =
@@ -993,6 +1004,27 @@ let postmortems rt = rt.postmortems
 let postmortem_for rt (pid : int) : Lfi_telemetry.Postmortem.t option =
   List.assoc_opt pid rt.postmortems
 
+(** Kill [p]: assemble its crash report while the machine still holds
+    its register state, close its descriptors, and record the exit.
+    Factored out of the scheduler so libbox can retire a crashed warm
+    instance through exactly the fault path ordinary programs take. *)
+let kill_proc rt ?(fault : Memory.fault option) (p : Proc.t)
+    (reason : string) =
+  rt.postmortems <-
+    (p.Proc.pid, postmortem rt p ~reason ?fault ()) :: rt.postmortems;
+  Proc.close_all p;
+  p.Proc.state <- Proc.Zombie (-1);
+  rt.exit_log <- (p.Proc.pid, Killed reason) :: rt.exit_log
+
+(** Remove an exited or killed process from the runtime entirely,
+    unmapping its slot and recycling it.  Ordinary programs are reaped
+    by their parent via [wait]; pool instances have no parent, so
+    libbox retires them here. *)
+let remove_proc rt (p : Proc.t) =
+  release_slot rt p;
+  Hashtbl.remove rt.procs p.Proc.pid;
+  rt.runq <- List.filter (fun pid -> pid <> p.Proc.pid) rt.runq
+
 (** Guard-clamp audit total across all sandboxes, living and reaped:
     how many times a guarded access would have escaped its sandbox had
     the guard not clamped it.  Zero for all well-behaved programs. *)
@@ -1103,15 +1135,7 @@ let run rt : (int * exit_reason) list =
         p.Proc.snapshot <- Machine.snapshot m;
         finish ()
     | Died _ -> finish ()
-  and kill ?fault (p : Proc.t) reason =
-    (* assemble the crash report before the fd table and machine state
-       are disturbed *)
-    rt.postmortems <-
-      (p.Proc.pid, postmortem rt p ~reason ?fault ()) :: rt.postmortems;
-    Proc.close_all p;
-    p.Proc.state <- Proc.Zombie (-1);
-    rt.exit_log <- (p.Proc.pid, Killed reason) :: rt.exit_log
-  in
+  and kill ?fault (p : Proc.t) reason = kill_proc rt ?fault p reason in
   schedule ();
   rt.exit_log
 

@@ -24,7 +24,12 @@ let yield_to = 13
 let cycles = 14
 let brk = 15
 
-let count = 16
+(* library-call return (lib/libbox): the in-sandbox return trampoline
+   hands the export's result back to the embedding host.  Outside a
+   library call this is ENOSYS like any other unhandled number. *)
+let box_ret = 16
+
+let count = 17
 
 let name = function
   | 0 -> "invalid"
@@ -43,4 +48,5 @@ let name = function
   | 13 -> "yield_to"
   | 14 -> "cycles"
   | 15 -> "brk"
+  | 16 -> "box_ret"
   | n -> Printf.sprintf "sys_%d" n

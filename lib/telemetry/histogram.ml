@@ -37,6 +37,40 @@ let observe t (v : float) =
 
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 
+(** Fold [src]'s observations into [dst] (bucket-wise; exact for
+    count/sum/max, and percentiles over the merge are as precise as
+    over either side). *)
+let merge (dst : t) (src : t) =
+  for i = 0 to nbuckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max > dst.max then dst.max <- src.max
+
+(** Percentile estimate from the log2 buckets: the exclusive upper
+    bound [2^i] of the bucket containing the [q]-quantile observation
+    (so p50/p99 are conservative and, being pure bucket arithmetic,
+    deterministic across runs).  [q] in [0, 1]; 0.0 on an empty
+    histogram. *)
+let percentile t (q : float) : float =
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    let acc = ref 0 and found = ref (nbuckets - 1) in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    float_of_int (1 lsl !found)
+  end
+
 (** JSON object: count/mean/max plus the non-empty buckets as
     [[upper_bound, count], ...] pairs (upper bound exclusive). *)
 let to_json t : string =

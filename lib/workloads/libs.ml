@@ -1,0 +1,281 @@
+(** Library-shaped workloads for lib/libbox.
+
+    [xzbox] is an xz-flavoured buffer-processing library: a run-length
+    compressor, a byte checksum, and a PRNG expander, operating on
+    caller buffers marshalled through the sandbox window.  All
+    arithmetic is kept inside 30 bits so the host-side reference models
+    (used by the tests) can mirror it with plain OCaml ints.
+
+    [crashbox] is the existing {!Crashy} program served as a library:
+    [corrupt] dereferences the guard region and kills its instance,
+    which is exactly what the pool crash-containment test needs.  The
+    program is reused unmodified — the postmortem goldens that run
+    crashy as a whole program are untouched. *)
+
+open Lfi_minic.Ast
+open Lfi_minic.Ast.Dsl
+open Common
+[@@@warning "-33"]
+
+let mask30 = 0x3FFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* xzbox MiniC program                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* h' = (h * 33 + byte) & mask30 *)
+let mix h b = band (Bin (Add, Bin (Mul, h, i 33), b)) (i mask30)
+
+let xzbox_program : program =
+  let init =
+    (* fill the dictionary from the seeded PRNG; runs once per
+       instance, before the reset baseline — the dictionary persists *)
+    func "init"
+      [
+        seed_stmt 0x5eed;
+        decl "k" Int (i 0);
+        while_ (v "k" < i 4096)
+          [
+            set8 "dict" (v "k") (Bin (Rem, call "rand" [], i 256));
+            set "k" (v "k" + i 1);
+          ];
+        ret (i 0);
+      ]
+  in
+  let checksum =
+    func "checksum"
+      ~params:[ ("src", Int); ("len", Int) ]
+      [
+        decl "h" Int (i 5381);
+        decl "k" Int (i 0);
+        while_ (v "k" < v "len")
+          [
+            set "h" (mix (v "h") (ld U8 (v "src" + v "k")));
+            set "k" (v "k" + i 1);
+          ];
+        ret (v "h");
+      ]
+  in
+  let compress =
+    (* run-length encoding: runs of 4..255 become [255, byte, run];
+       anything shorter is copied literally.  Output never exceeds the
+       input length, so a dst buffer of [len] bytes always fits. *)
+    func "compress"
+      ~params:[ ("src", Int); ("len", Int); ("dst", Int) ]
+      [
+        decl "out" Int (i 0);
+        decl "k" Int (i 0);
+        while_ (v "k" < v "len")
+          [
+            decl "b" Int (ld U8 (v "src" + v "k"));
+            decl "run" Int (i 1);
+            while_
+              (band
+                 (band
+                    (v "k" + v "run" < v "len")
+                    (ld U8 (v "src" + v "k" + v "run") == v "b"))
+                 (v "run" < i 255))
+              [ set "run" (v "run" + i 1) ];
+            if_
+              (v "run" > i 3)
+              [
+                store U8 (v "dst" + v "out") (i 255);
+                store U8 (v "dst" + v "out" + i 1) (v "b");
+                store U8 (v "dst" + v "out" + i 2) (v "run");
+                set "out" (v "out" + i 3);
+              ]
+              [
+                decl "j" Int (i 0);
+                while_ (v "j" < v "run")
+                  [
+                    store U8 (v "dst" + v "out" + v "j") (v "b");
+                    set "j" (v "j" + i 1);
+                  ];
+                set "out" (v "out" + v "run");
+              ];
+            set "k" (v "k" + v "run");
+          ];
+        ret (v "out");
+      ]
+  in
+  let expand =
+    (* fill dst with LCG bytes and return their checksum — the
+       copy-out exercise *)
+    func "expand"
+      ~params:[ ("dst", Int); ("len", Int); ("seed", Int) ]
+      [
+        decl "s" Int (band (v "seed") (i mask30));
+        decl "h" Int (i 5381);
+        decl "k" Int (i 0);
+        while_ (v "k" < v "len")
+          [
+            set "s" (band (Bin (Add, Bin (Mul, v "s", i 1103515245), i 12345)) (i mask30));
+            decl "b" Int (band (shr (v "s") (i 7)) (i 255));
+            store U8 (v "dst" + v "k") (v "b");
+            set "h" (mix (v "h") (v "b"));
+            set "k" (v "k" + i 1);
+          ];
+        ret (v "h");
+      ]
+  in
+  let dict_sum =
+    (* checksum over the init-built dictionary: observable proof that
+       init effects persist across snapshot resets *)
+    func "dict_sum" [ ret (call "checksum" [ addr "dict"; i 4096 ]) ]
+  in
+  let poke_global =
+    func "poke_global" ~params:[ ("x", Int) ]
+      [ store I64 (addr "state") (v "x"); ret (i 0) ]
+  in
+  let peek_global = func "peek_global" [ ret (ld I64 (addr "state")) ] in
+  let main = func "main" [ ret (i 0) ] in
+  {
+    globals = [ rng_global; Zeroed ("dict", 4096); Zeroed ("state", 8) ];
+    funcs =
+      [
+        rand_func; init; checksum; compress; expand; dict_sum; poke_global;
+        peek_global; main;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Host-side reference models (mirrored by the tests)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* the Dsl shadows the arithmetic/comparison operators, so the plain-
+   OCaml models reopen Stdlib locally *)
+
+let ref_checksum (b : bytes) : int =
+  let open Stdlib in
+  let h = ref 5381 in
+  Bytes.iter (fun c -> h := ((!h * 33) + Char.code c) land mask30) b;
+  !h
+
+let ref_expand ~(len : int) ~(seed : int) : bytes * int =
+  let open Stdlib in
+  let s = ref (seed land mask30) and h = ref 5381 in
+  let b = Bytes.create len in
+  for k = 0 to len - 1 do
+    s := ((!s * 1103515245) + 12345) land mask30;
+    let byte = (!s lsr 7) land 255 in
+    Bytes.set b k (Char.chr byte);
+    h := ((!h * 33) + byte) land mask30
+  done;
+  (b, !h)
+
+let ref_compress (src : bytes) : bytes =
+  let open Stdlib in
+  let n = Bytes.length src in
+  let out = Buffer.create n in
+  let k = ref 0 in
+  while !k < n do
+    let b = Bytes.get src !k in
+    let run = ref 1 in
+    while !k + !run < n && Bytes.get src (!k + !run) = b && !run < 255 do
+      incr run
+    done;
+    if !run > 3 then begin
+      Buffer.add_char out '\255';
+      Buffer.add_char out b;
+      Buffer.add_char out (Char.chr !run)
+    end
+    else
+      for _ = 1 to !run do
+        Buffer.add_char out b
+      done;
+    k := !k + !run
+  done;
+  Buffer.to_bytes out
+
+(* ------------------------------------------------------------------ *)
+(* Library specs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic buffer generators drawing only from the stream rng *)
+let gen_bytes ~(rng : int -> int) (len : int) : bytes =
+  let open Stdlib in
+  let b = Bytes.create len in
+  for k = 0 to len - 1 do
+    Bytes.set b k (Char.chr (rng 256))
+  done;
+  b
+
+let gen_runs ~(rng : int -> int) (len : int) : bytes =
+  let open Stdlib in
+  let b = Bytes.create len in
+  let k = ref 0 in
+  while !k < len do
+    let c = Char.chr (rng 256) in
+    let run = 1 + rng 8 in
+    let run = min run (len - !k) in
+    for j = 0 to run - 1 do
+      Bytes.set b (!k + j) c
+    done;
+    k := !k + run
+  done;
+  b
+
+let xzbox : Lfi_libbox.Api.lib_spec =
+  let open Lfi_libbox.Api in
+  {
+    l_name = "557.xzbox";
+    l_short = "xzbox";
+    l_program = xzbox_program;
+    l_init = Some "init";
+    l_arena = 1 lsl 16;
+    l_exports =
+      [
+        {
+          e_name = "checksum";
+          e_weight = 4;
+          e_gen =
+            (fun ~rng ->
+              let len = Stdlib.( + ) 32 (rng 481) in
+              [ In (gen_bytes ~rng len); I (Int64.of_int len) ]);
+        };
+        {
+          e_name = "compress";
+          e_weight = 3;
+          e_gen =
+            (fun ~rng ->
+              let len = Stdlib.( + ) 64 (rng 449) in
+              [ In (gen_runs ~rng len); I (Int64.of_int len); Out len ]);
+        };
+        {
+          e_name = "expand";
+          e_weight = 2;
+          e_gen =
+            (fun ~rng ->
+              let len = Stdlib.( + ) 64 (rng 193) in
+              [ Out len; I (Int64.of_int len); I (Int64.of_int (rng 0x10000)) ]);
+        };
+        { e_name = "dict_sum"; e_weight = 1; e_gen = (fun ~rng:_ -> []) };
+        { e_name = "poke_global"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
+        { e_name = "peek_global"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
+      ];
+  }
+
+let crashbox : Lfi_libbox.Api.lib_spec =
+  let open Lfi_libbox.Api in
+  {
+    l_name = "001.crashbox";
+    l_short = "crashbox";
+    l_program = Crashy.program;
+    l_init = None;
+    l_arena = 1 lsl 14;
+    l_exports =
+      [
+        (* not in any request stream: [poke] needs a live in-sandbox
+           address argument and [corrupt] kills its instance — the
+           crash-containment tests drive these directly *)
+        { e_name = "poke"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
+        { e_name = "corrupt"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
+      ];
+  }
+
+let all = [ xzbox; crashbox ]
+
+let find (short : string) : Lfi_libbox.Api.lib_spec option =
+  List.find_opt
+    (fun s -> s.Lfi_libbox.Api.l_short = short || s.Lfi_libbox.Api.l_name = short)
+    all

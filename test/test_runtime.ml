@@ -259,6 +259,31 @@ let test_slot_reuse () =
   (* two forks, but the second reuses the first child's slot *)
   checki "slots used" 3 rt.Lfi_runtime.Runtime.next_slot
 
+(* ---------------- fd table allocation ---------------- *)
+
+let test_fd_alloc_reuse () =
+  (* POSIX semantics: alloc_fd hands out the lowest free descriptor
+     >= 3, so closed descriptors are reused instead of leaking fd
+     numbers across a long-lived (pool-style) process *)
+  let rt = Lfi_runtime.Runtime.create () in
+  let p =
+    Lfi_runtime.Runtime.load rt ~personality:Lfi_runtime.Proc.Lfi
+      (build "_start:\n\tsvc #1\n\tb _start\n")
+  in
+  let module Proc = Lfi_runtime.Proc in
+  checki "first" 3 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "second" 4 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "third" 5 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "close mid" 0 (Proc.close_fd p 4);
+  checki "hole refilled" 4 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "then past high-water" 6 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "close lowest" 0 (Proc.close_fd p 3);
+  checki "close highest" 0 (Proc.close_fd p 6);
+  checki "lowest wins" 3 (Proc.alloc_fd p Lfi_runtime.Vfs.Console_out);
+  checki "close unknown is ebadf" Lfi_runtime.Vfs.ebadf (Proc.close_fd p 17);
+  (* next_fd stays a high-water mark for dup_fds *)
+  checki "high-water kept" 7 p.Proc.next_fd
+
 let mk name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -283,6 +308,7 @@ let () =
           mk "file write" test_file_write_and_contents;
         ] );
       ("memory", [ mk "mmap" test_mmap; mk "brk" test_brk ]);
+      ("fds", [ mk "alloc reuses closed" test_fd_alloc_reuse ]);
       ("faults", [ mk "unmapped heap" test_guard_page_fault ]);
       ( "processes",
         [
