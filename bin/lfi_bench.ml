@@ -16,7 +16,18 @@ let experiments =
     ("coremark", Lfi_experiments.Coremark_exp.run_all);
   ]
 
-let run names =
+let run filter names =
+  (match filter with
+  | [] -> ()
+  | fs ->
+      List.iter
+        (fun f ->
+          if Option.is_none (Lfi_workloads.Registry.find f) then begin
+            Printf.eprintf "unknown workload %S in --filter\n" f;
+            exit 2
+          end)
+        fs;
+      Lfi_workloads.Registry.filter := fs);
   let names = if names = [] then List.map fst experiments else names in
   List.iter
     (fun n ->
@@ -32,8 +43,19 @@ let run names =
 
 let cmd =
   let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let filter =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "filter" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Restrict the SPEC workload matrix to $(docv) (repeatable).  \
+             Experiments that iterate the full registry only run the named \
+             workloads, so a single one can be re-measured during perf \
+             iteration.")
+  in
   Cmd.v
     (Cmd.info "lfi-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ names)
+    Term.(const run $ filter $ names)
 
 let () = exit (Cmd.eval cmd)

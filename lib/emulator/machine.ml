@@ -6,6 +6,23 @@
     cycle accounting state: a cost model, an optional TLB, and the
     running cycle counter that every experiment reports.
 
+    {2 Superblock cache}
+
+    Above the decode cache sits the superblock layer (DESIGN.md §5f):
+    decoded instructions are lowered into pre-resolved closures,
+    grouped into basic blocks keyed by entry pc, and dispatched
+    block-at-a-time by {!Exec.run} — see {!Block} for the engine.
+    This module owns only the storage and the invalidation protocol:
+    blocks live in per-executable-page tables ({!bpage}) reached
+    through a one-entry last-page pointer, each block is registered on
+    {e every} page it overlaps (a block may straddle a page boundary),
+    and {!invalidate_code} — already fired by the memory system for
+    any map / unmap / protect / write-to-executable-page — marks every
+    overlapping block dead and unlinks it, so a stale block can never
+    run.  Chain links ([b_succ0]/[b_succ1]) are validated against
+    [b_valid] on every hop, which makes dangling links after an
+    invalidation harmless.
+
     {2 Decode cache}
 
     Decoded instructions are cached in flat per-executable-page arrays
@@ -93,6 +110,22 @@ let record_escape (o : oracle) ~(pc : int64) ~(addr : int64)
     o.o_escapes <-
       { esc_pc = pc; esc_addr = addr; esc_kind = kind } :: o.o_escapes
 
+(* ---------------- superblocks ---------------- *)
+
+(** Global kill-switch for block dispatch, read once at machine
+    creation (tests flip the per-machine flag instead).  Set
+    [LFI_SUPERBLOCKS=0] to force every machine onto the single-step
+    path — CI uses this to run the whole suite in legacy mode. *)
+let superblocks_default =
+  ref
+    (match Sys.getenv_opt "LFI_SUPERBLOCKS" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | _ -> true)
+
+(** Number of instructions a block may cover (body + terminator).
+    256 bytes of code, so a block overlaps at most two 16KiB pages. *)
+let max_block_len = 64
+
 type t = {
   mutable pc : int64;
   regs : int64 array;  (** x0 .. x30 *)
@@ -135,12 +168,170 @@ type t = {
   mutable escape_oracle : oracle option;
       (** fuzzing ground truth; [None] by default.  Not part of
           {!snapshot}, so it survives context switches and restores. *)
+  (* --- superblock cache (see {!Block} for the engine) --- *)
+  mutable blocks_enabled : bool;
+      (** master switch for block dispatch on this machine; when armed
+          telemetry ({!metrics}, {!profile}) or the {!escape_oracle}
+          needs per-instruction observability, {!Exec.run} deopts to
+          the single-step path regardless of this flag *)
+  blocks : (int, bpage) Hashtbl.t;  (** per-page block tables *)
+  mutable bp_idx : int;  (** page index of [bp_arr]; -1 = none *)
+  mutable bp_arr : blk array;  (** entry slots of the last block page *)
+  mutable blk_i : int;
+      (** index of the body op currently executing, maintained by the
+          block dispatch loop so a memory fault mid-block can
+          reconstruct the faulting pc and the partial insn count *)
+  (* unconditional block-engine counters (flat ints, like the
+     translation cache's): the bench reads them off the plain
+     (metrics-off) run, which is exactly the run where blocks are
+     live *)
+  mutable blk_execs : int;  (** blocks dispatched *)
+  mutable blk_builds : int;  (** lookup misses (block lowered+built) *)
+  mutable blk_insns : int;  (** instructions retired via blocks *)
+  mutable blk_deopts : int;
+      (** times {!Exec.run} fell back to single-step: armed telemetry
+          or oracle, quantum tails shorter than the next block, or
+          [blocks_enabled = false] on a machine that has the engine
+          compiled in *)
 }
+
+(** One lowered basic block.  [b_body] holds the straight-line
+    instructions as pre-resolved closures (operands resolved to array
+    indices, immediates pre-extended and pre-boxed); [b_term] is the
+    control-flow decision that ends the block.  [b_costs] keeps each
+    instruction's cost under the machine's cost model ([b_costs.(i)]
+    for body op [i], last slot for the terminator) — the dispatch loop
+    charges them one at a time, in program order, so the cycle
+    accumulator sees bit-for-bit the same sequence of float adds as
+    the single-step path. *)
+and blk = {
+  b_pci : int;  (** entry pc, untagged *)
+  b_len : int;  (** instructions retired by a full execution *)
+  b_body : (t -> unit) array;
+  b_costs : float array;
+  b_term : bterm;
+  b_pages : int;  (** number of pages this block overlaps (1 or 2) *)
+  b_wx : bool;
+      (** some overlapped page was writable+executable at build time:
+          one of the block's own stores could invalidate it, so the
+          body loop must re-check [b_valid] after every op.  When
+          false the check is skipped — permission changes only happen
+          through host-side calls ([Memory.protect] &c.) that
+          invalidate first, never mid-block. *)
+  mutable b_valid : bool;
+  mutable b_succ0 : blk;  (** chain links: likely successors, *)
+  mutable b_succ1 : blk;  (** validated by [b_valid] + [b_pci] *)
+}
+
+(** Block terminators.  Branch targets, fall-through pcs, and the
+    terminator's own pc ([ti], for the flight recorder) are untagged
+    ints: the dispatch loop threads the pc as an int and only
+    materializes the boxed [pc] field at exit points.  The link value
+    ([bl]/[blr]) and the trap pcs stay pre-boxed [int64]s — they are
+    stored into the register file / [pc] directly. *)
+and bterm =
+  | Tb of { target : int; ti : int }
+  | Tbl of { target : int; ti : int; link : int64 }
+  | Tbcond of { cond : Lfi_arm64.Insn.cond; target : int; ti : int;
+                next : int }
+  | Tcbz of { nz : bool; reg : Lfi_arm64.Reg.t; target : int; ti : int;
+              next : int }
+  | Ttbz of { nz : bool; reg : Lfi_arm64.Reg.t; bit : int; target : int;
+              ti : int; next : int }
+  | Tbr of { reg : Lfi_arm64.Reg.t; ti : int }
+  | Tblr of { reg : Lfi_arm64.Reg.t; ti : int; link : int64 }
+  | Tret of { reg : Lfi_arm64.Reg.t; ti : int }
+  | Tsvc of { n : int; next : int64 }
+  | Tudf of { pc : int64 }
+  | Tfall of { next : int }
+      (** block ended without a branch (length cap, or the next fetch
+          would fault); counts no instruction and charges no cost *)
+
+(** Per-page block table: one entry slot per aligned word (a block is
+    found by its entry pc) plus the list of every block overlapping
+    the page, which is what invalidation walks.  A block straddling
+    into a page appears in that page's [bp_blocks] even though its
+    entry slot lives on the previous page. *)
+and bpage = {
+  bp_entries : blk array;  (** [no_blk] sentinel in empty slots *)
+  mutable bp_blocks : blk list;
+}
+
+(* Sentinel block: never valid, so an empty entry slot or chain link
+   reads as a guaranteed miss with no option boxing on the hot path. *)
+let rec no_blk =
+  {
+    b_pci = -1;
+    b_len = 0;
+    b_body = [||];
+    b_costs = [||];
+    b_term = Tfall { next = 0 };
+    b_pages = 0;
+    b_wx = false;
+    b_valid = false;
+    b_succ0 = no_blk;
+    b_succ1 = no_blk;
+  }
+
+let no_block_page : blk array = [||]
+
+(** Mark [b] dead and clear its entry slot (which lives on its entry
+    page, not necessarily the page being invalidated — the straddling
+    case).  The slot is cleared only if it still holds [b]: a newer
+    block may have replaced an already-dead one. *)
+let kill_block (m : t) (b : blk) =
+  b.b_valid <- false;
+  let epage = b.b_pci lsr Memory.page_bits in
+  match Hashtbl.find_opt m.blocks epage with
+  | None -> ()
+  | Some bp ->
+      let slot = (b.b_pci land (Memory.page_size - 1)) lsr 2 in
+      if Array.unsafe_get bp.bp_entries slot == b then
+        Array.unsafe_set bp.bp_entries slot no_blk
+
+(** Drop every lowered block overlapping a page in [first, last] —
+    including blocks whose entry is on an earlier page but whose body
+    straddles into the invalidated range. *)
+let invalidate_blocks (m : t) (first : int) (last : int) =
+  if Hashtbl.length m.blocks > 0 then begin
+    for i = first to last do
+      match Hashtbl.find_opt m.blocks i with
+      | None -> ()
+      | Some bp ->
+          List.iter (fun b -> kill_block m b) bp.bp_blocks;
+          Hashtbl.remove m.blocks i
+    done;
+    (* a block entered on page [first - 1] may straddle into [first];
+       its home page was not dropped above, so walk it too *)
+    (if first > 0 then
+       match Hashtbl.find_opt m.blocks (first - 1) with
+       | None -> ()
+       | Some bp ->
+           bp.bp_blocks <-
+             List.filter
+               (fun b ->
+                 if b.b_pages > 1 then begin
+                   kill_block m b;
+                   false
+                 end
+                 else true)
+               bp.bp_blocks);
+    if m.bp_idx >= first - 1 && m.bp_idx <= last then begin
+      m.bp_idx <- -1;
+      m.bp_arr <- no_block_page
+    end
+  end
 
 (** Drop cached decoded instructions for every page overlapping
     [addr, addr+len); called from the memory system's
     [on_code_change] hook. *)
 let invalidate_code (m : t) (addr : int64) (len : int) =
+  (let first = Memory.page_index addr in
+   let last =
+     if len <= 0 then first
+     else Memory.page_index (Int64.add addr (Int64.of_int (len - 1)))
+   in
+   invalidate_blocks m first last);
   if Hashtbl.length m.decode_pages > 0 then begin
     let first = Memory.page_index addr in
     let last =
@@ -191,6 +382,15 @@ let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
       profile = None;
       flight = None;
       escape_oracle = None;
+      blocks_enabled = !superblocks_default;
+      blocks = Hashtbl.create 16;
+      bp_idx = -1;
+      bp_arr = no_block_page;
+      blk_i = 0;
+      blk_execs = 0;
+      blk_builds = 0;
+      blk_insns = 0;
+      blk_deopts = 0;
     }
   in
   (* Join the memory system's invalidation protocol, preserving any

@@ -35,7 +35,7 @@ let measure () : row list =
         else None
       in
       { bench = w.Lfi_workloads.Common.name; text_pct; file_pct; wamr_file_pct })
-    Lfi_workloads.Registry.all
+    (Lfi_workloads.Registry.selected ())
 
 let table () : Report.table =
   let rows = measure () in

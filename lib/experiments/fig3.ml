@@ -29,7 +29,7 @@ let measure ~(uarch : Cost_model.t) :
             levels
         in
         { bench = w.Lfi_workloads.Common.name; overheads })
-      Lfi_workloads.Registry.all
+      (Lfi_workloads.Registry.selected ())
   in
   let geomeans =
     List.mapi

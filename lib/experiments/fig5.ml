@@ -17,7 +17,7 @@ let measure ~(uarch : Cost_model.t) =
         Run.overhead ~base kvm.Run.cycles,
         Run.overhead ~base lfi.Run.cycles,
         kvm.Run.tlb_miss_rate ))
-    Lfi_workloads.Registry.all
+    (Lfi_workloads.Registry.selected ())
 
 let table ~(uarch : Cost_model.t) : Report.table =
   let rows = measure ~uarch in

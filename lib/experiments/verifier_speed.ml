@@ -27,7 +27,7 @@ let measure ?(repeats = 20) () : result =
         match Lfi_elf.Elf.text_segment elf with
         | Some seg -> seg.Lfi_elf.Elf.data
         | None -> Bytes.create 0)
-      Lfi_workloads.Registry.all
+      (Lfi_workloads.Registry.selected ())
   in
   let lfi_total_bytes = List.fold_left (fun a b -> a + Bytes.length b) 0 texts in
   let (), lfi_time =

@@ -729,29 +729,72 @@ and compile_stmt ctx (s : stmt) =
       ctx.env := (name, ty) :: !(ctx.env);
       compile_store_var ctx name e
   | Assign (name, e) -> compile_store_var ctx name e
-  | Store (elt, a, value) -> (
-      match elt with
-      | F64 | F32 ->
-          let rv = compile_float ctx value in
-          let addr, used = compile_addr ctx elt a in
-          List.iter (free ctx) used;
-          (match elt with
-          | F64 -> emit ctx (Insn.Fstr { src = d rv; addr })
-          | _ ->
-              let sreg = Reg.Fp.v Reg.Fp.S rv in
-              emit ctx (Insn.Fcvt { dst = sreg; src = d rv });
-              emit ctx (Insn.Fstr { src = sreg; addr }));
-          free ctx (VFlt rv)
-      | _ ->
-          let rv = compile_int ctx value in
-          let addr, used = compile_addr ctx elt a in
-          List.iter (free ctx) used;
-          (match elt with
-          | U8 -> emit ctx (Insn.Str { sz = Insn.B; src = w rv; addr })
-          | U16 -> emit ctx (Insn.Str { sz = Insn.H; src = w rv; addr })
-          | I32 -> emit ctx (Insn.Str { sz = Insn.W; src = w rv; addr })
-          | _ -> emit ctx (Insn.Str { sz = Insn.X; src = x rv; addr }));
-          free ctx (VInt rv))
+  | Store (elt, a, value) ->
+      (* The reference interpreter evaluates the address before the
+         value, and registers holding one side must survive any calls
+         in the other (calls clobber every scratch register).  A pure
+         value commutes with the address computation, so only the
+         call-carrying shapes need the frame-slot dance of
+         compile_pair. *)
+      let is_float = match elt with F64 | F32 -> true | _ -> false in
+      let emit_store rv addr =
+        match elt with
+        | F64 -> emit ctx (Insn.Fstr { src = d rv; addr })
+        | F32 ->
+            let sreg = Reg.Fp.v Reg.Fp.S rv in
+            emit ctx (Insn.Fcvt { dst = sreg; src = d rv });
+            emit ctx (Insn.Fstr { src = sreg; addr })
+        | U8 -> emit ctx (Insn.Str { sz = Insn.B; src = w rv; addr })
+        | U16 -> emit ctx (Insn.Str { sz = Insn.H; src = w rv; addr })
+        | I32 -> emit ctx (Insn.Str { sz = Insn.W; src = w rv; addr })
+        | I64 -> emit ctx (Insn.Str { sz = Insn.X; src = x rv; addr })
+      in
+      let compile_value () =
+        if is_float then
+          let r = compile_float ctx value in
+          (r, VFlt r)
+        else
+          let r = compile_int ctx value in
+          (r, VInt r)
+      in
+      if contains_call value then begin
+        (* interp order: the address's own calls run first, then the
+           value's.  Materialize the address flat and park it in a
+           frame slot across the value computation. *)
+        let ra = compile_int ctx a in
+        let slot = alloc_temp ctx in
+        str_frame ctx ra slot;
+        free ctx (VInt ra);
+        let rv, v = compile_value () in
+        let ra' = alloc_int ctx in
+        ldr_frame ctx ra' slot;
+        free_temp ctx;
+        emit_store rv (Insn.Imm_off (x ra', 0));
+        free ctx (VInt ra');
+        free ctx v
+      end
+      else if contains_call a then begin
+        (* pure value: evaluating it first is unobservable, but it must
+           sit in a frame slot across the address's calls *)
+        let rv, v = compile_value () in
+        let slot = alloc_temp ctx in
+        if is_float then fstr_frame ctx rv slot else str_frame ctx rv slot;
+        free ctx v;
+        let addr, used = compile_addr ctx elt a in
+        let rv' = if is_float then alloc_fp ctx else alloc_int ctx in
+        if is_float then fldr_frame ctx rv' slot else ldr_frame ctx rv' slot;
+        free_temp ctx;
+        List.iter (free ctx) used;
+        emit_store rv' addr;
+        free ctx (if is_float then VFlt rv' else VInt rv')
+      end
+      else begin
+        let rv, v = compile_value () in
+        let addr, used = compile_addr ctx elt a in
+        List.iter (free ctx) used;
+        emit_store rv addr;
+        free ctx v
+      end
   | If (c, then_s, else_s) ->
       let lelse = fresh_label ctx "else" and lend = fresh_label ctx "endif" in
       compile_cond ctx c ~target:lelse ~jump_if_false:true;

@@ -141,6 +141,10 @@ let metrics_snapshot rt : Lfi_telemetry.Metrics.snapshot =
     tc_misses = rt.mem.Memory.tc_misses;
     tlb_hits = tlb.Tlb.hits;
     tlb_misses = tlb.Tlb.misses;
+    blk_execs = rt.machine.Machine.blk_execs;
+    blk_builds = rt.machine.Machine.blk_builds;
+    blk_insns = rt.machine.Machine.blk_insns;
+    blk_deopts = rt.machine.Machine.blk_deopts;
   }
 
 (** Turn on runtime-call / scheduler tracing.  Idempotent. *)

@@ -49,6 +49,14 @@ type snapshot = {
   tc_misses : int;
   tlb_hits : int;
   tlb_misses : int;  (** every miss is a page walk *)
+  (* superblock engine (unconditional machine counters; nonzero only
+     when block dispatch actually ran — metrics-armed runs deopt to
+     the step path, so a metrics run reports its own deopt count and
+     zero executions) *)
+  blk_execs : int;  (** blocks entered *)
+  blk_builds : int;  (** blocks lowered (cache misses + rebuilds) *)
+  blk_insns : int;  (** instructions retired under block dispatch *)
+  blk_deopts : int;  (** quantum tails + metrics/profile/oracle deopts *)
 }
 
 let hit_rate ~hits ~misses =
@@ -56,6 +64,19 @@ let hit_rate ~hits ~misses =
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
 let insn_total (e : emu) = e.loads + e.stores + e.branches + e.guards + e.other
+
+(** Fraction of block entries served from the block cache (an entry
+    that was not preceded by a fresh lowering). *)
+let block_hit_rate (s : snapshot) : float =
+  if s.blk_execs = 0 then 0.0
+  else
+    float_of_int (max 0 (s.blk_execs - s.blk_builds))
+    /. float_of_int s.blk_execs
+
+(** Mean instructions retired per block execution. *)
+let avg_block_len (s : snapshot) : float =
+  if s.blk_execs = 0 then 0.0
+  else float_of_int s.blk_insns /. float_of_int s.blk_execs
 
 (** Render a snapshot as a JSON object (no trailing newline). *)
 let snapshot_to_json (s : snapshot) : string =
@@ -76,6 +97,13 @@ let snapshot_to_json (s : snapshot) : string =
   cache "tlb" s.tlb_hits s.tlb_misses
     (Printf.sprintf ", \"walks\": %d" s.tlb_misses);
   Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"superblocks\": {\"executions\": %d, \"builds\": %d, \
+        \"insns\": %d, \"deopts\": %d, \"hit_rate\": %.6f, \
+        \"avg_block_len\": %.2f},\n"
+       s.blk_execs s.blk_builds s.blk_insns s.blk_deopts (block_hit_rate s)
+       (avg_block_len s));
   Buffer.add_string b (Printf.sprintf "    \"faults\": %d,\n" e.faults);
   Buffer.add_string b
     (Printf.sprintf

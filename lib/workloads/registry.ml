@@ -24,6 +24,21 @@ let all : Common.t list =
     paper (Figure 4: mcf, namd, lbm, x264, deepsjeng, nab, xz). *)
 let wasm_subset = List.filter (fun w -> w.Common.wasm_ok) all
 
+(** Optional workload filter, set by the bench CLIs' [--filter] flag:
+    when non-empty, {!selected} restricts the SPEC matrix to the named
+    workloads so a single one can be re-run during perf iteration. *)
+let filter : string list ref = ref []
+
+let matches (w : Common.t) (name : string) =
+  w.Common.short = name || w.Common.name = name
+
+(** [all], restricted to the active {!filter} (all of it when the
+    filter is empty). *)
+let selected () : Common.t list =
+  match !filter with
+  | [] -> all
+  | names -> List.filter (fun w -> List.exists (matches w) names) all
+
 (** Named workloads outside the SPEC suite (kept out of [all] so the
     SPEC-overhead experiments are unaffected). *)
 let extras : Common.t list = [ Coremark.workload; Crashy.workload ]

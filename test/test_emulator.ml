@@ -307,7 +307,38 @@ let test_golden_differential () =
         (String.split_on_char ' ' got))
     (List.combine (golden_programs ()) expected)
 
+(* With the superblock engine the same 100 programs must produce
+   byte-identical result lines (exit code, cycles to six decimals,
+   instruction count) whether dispatch runs lowered blocks or the
+   legacy single-step path: the block layer is a pure perf layer. *)
+let test_golden_mode_equivalence () =
+  let programs = golden_programs () in
+  let in_mode v f =
+    let saved = !Machine.superblocks_default in
+    Machine.superblocks_default := v;
+    Fun.protect ~finally:(fun () -> Machine.superblocks_default := saved) f
+  in
+  List.iteri
+    (fun idx prog ->
+      let blocks = in_mode true (fun () -> golden_line idx prog) in
+      let stepped = in_mode false (fun () -> golden_line idx prog) in
+      Alcotest.(check string)
+        (Printf.sprintf "program %d: block vs step dispatch" idx)
+        stepped blocks)
+    programs
+
 (* ---------------- decode-cache invalidation ---------------- *)
+
+(* Run [f] once with superblock dispatch armed and once with every
+   machine forced onto the single-step path, so invalidation coverage
+   exercises both the block cache and the decode cache. *)
+let both_modes (f : unit -> unit) =
+  List.iter
+    (fun v ->
+      let saved = !Machine.superblocks_default in
+      Machine.superblocks_default := v;
+      Fun.protect ~finally:(fun () -> Machine.superblocks_default := saved) f)
+    [ true; false ]
 
 (* Assemble a tiny program that puts [n] in x0 and stops at svc #1. *)
 let tiny_img n =
@@ -325,6 +356,7 @@ let run_to_svc m =
    instructions.  A pc-keyed decode cache without an invalidation hook
    serves the stale decode here. *)
 let test_decode_remap () =
+  both_modes @@ fun () ->
   let mem = Memory.create () in
   let m = Machine.create mem in
   let base = 0x10000L in
@@ -343,6 +375,7 @@ let test_decode_remap () =
 
 (* A store into a writable+executable page must also drop the decode. *)
 let test_decode_wx_write () =
+  both_modes @@ fun () ->
   let mem = Memory.create () in
   let m = Machine.create mem in
   let base = 0x10000L in
@@ -360,9 +393,57 @@ let test_decode_wx_write () =
   run_to_svc m;
   check64 "patched code" 3L m.Machine.regs.(0)
 
+(* A superblock whose body straddles a page boundary is registered on
+   both pages, so invalidating the *second* page (here by patching it
+   through a W+X mapping) must drop the block even though its entry pc
+   lives on the first page. *)
+let test_block_straddle_invalidation () =
+  both_modes @@ fun () ->
+  let mem = Memory.create () in
+  let m = Machine.create mem in
+  let base = 0x10000L in
+  let rwx = { Memory.r = true; w = true; x = true } in
+  Memory.map mem ~addr:base ~len:(2 * Memory.page_size) ~perm:rwx;
+  (* movz x0 on the first page, movz x1 + svc on the second: one block,
+     two pages *)
+  let entry = Int64.add base (Int64.of_int (Memory.page_size - 4)) in
+  let code =
+    (Assemble.assemble_string
+       "_start:\n\tmovz x0, #1\n\tmovz x1, #7\n\tsvc #1\n")
+      .Assemble.text
+  in
+  Memory.write_bytes mem entry code;
+  m.Machine.pc <- entry;
+  run_to_svc m;
+  check64 "first page half" 1L m.Machine.regs.(0);
+  check64 "second page half" 7L m.Machine.regs.(1);
+  if m.Machine.blocks_enabled then
+    checkb "block dispatch ran" true (m.Machine.blk_execs > 0);
+  (* patch the movz x1 word, which lives on the second page *)
+  let patched =
+    (Assemble.assemble_string "_start:\n\tmovz x1, #9\n").Assemble.text
+  in
+  let boundary = Int64.add base (Int64.of_int Memory.page_size) in
+  let word b = Int64.logand (Int64.of_int32 (Bytes.get_int32_le b 0)) 0xFFFFFFFFL in
+  Memory.write mem boundary 4 (word patched);
+  m.Machine.pc <- entry;
+  run_to_svc m;
+  check64 "straddler dropped" 9L m.Machine.regs.(1);
+  (* same again via a remap of the second page only *)
+  Memory.protect mem ~addr:boundary ~len:Memory.page_size ~perm:Memory.perm_rw;
+  let patched2 =
+    (Assemble.assemble_string "_start:\n\tmovz x1, #11\n").Assemble.text
+  in
+  Memory.write mem boundary 4 (word patched2);
+  Memory.protect mem ~addr:boundary ~len:Memory.page_size ~perm:rwx;
+  m.Machine.pc <- entry;
+  run_to_svc m;
+  check64 "straddler dropped after remap" 11L m.Machine.regs.(1)
+
 (* Revoking execute permission must fault the next fetch even though
    the page's instructions were already decoded and cached. *)
 let test_fetch_after_protect () =
+  both_modes @@ fun () ->
   let mem = Memory.create () in
   let m = Machine.create mem in
   let base = 0x10000L in
@@ -435,6 +516,8 @@ let () =
         [
           Alcotest.test_case "remap then execute" `Quick test_decode_remap;
           Alcotest.test_case "write to w+x page" `Quick test_decode_wx_write;
+          Alcotest.test_case "block straddles invalidated page" `Quick
+            test_block_straddle_invalidation;
           Alcotest.test_case "fetch after protect" `Quick
             test_fetch_after_protect;
         ] );
@@ -445,5 +528,9 @@ let () =
           Alcotest.test_case "cost" `Quick test_cost_accumulates;
         ] );
       ( "differential",
-        [ Alcotest.test_case "golden reference" `Slow test_golden_differential ] );
+        [
+          Alcotest.test_case "golden reference" `Slow test_golden_differential;
+          Alcotest.test_case "block vs step dispatch" `Slow
+            test_golden_mode_equivalence;
+        ] );
     ]

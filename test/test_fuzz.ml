@@ -109,6 +109,32 @@ let test_soundness_smoke () =
 let test_complete_smoke () =
   report_ok (Fuzz.Complete.run ~seed:42 ~count:80 ~minic_count:10 ())
 
+(* The soundness engine's escape oracle arms per-instruction address
+   checks, which block dispatch honours by deopting to the step path —
+   but the surrounding pipeline (reference runs, shrinking) still
+   exercises superblocks.  Force both dispatch modes explicitly and
+   require byte-identical reports: the oracle must observe the same
+   escapes at the same instruction granularity either way. *)
+let test_soundness_blocks () =
+  let show r = Format.asprintf "%a" Fuzz.Report.pp r in
+  let in_mode v f =
+    let saved = !Lfi_emulator.Machine.superblocks_default in
+    Lfi_emulator.Machine.superblocks_default := v;
+    Fun.protect
+      ~finally:(fun () -> Lfi_emulator.Machine.superblocks_default := saved)
+      f
+  in
+  let blocks =
+    in_mode true (fun () ->
+        let r = Fuzz.Soundness.run ~seed:42 ~count:200 () in
+        report_ok r;
+        show r)
+  in
+  let stepped =
+    in_mode false (fun () -> show (Fuzz.Soundness.run ~seed:42 ~count:200 ()))
+  in
+  checks "soundness report identical across dispatch modes" stepped blocks
+
 let test_determinism () =
   (* same seed, same outcome — byte-for-byte identical reports *)
   let show r = Format.asprintf "%a" Fuzz.Report.pp r in
@@ -256,6 +282,7 @@ let () =
         [
           mk "equiv smoke" test_equiv_smoke;
           mk "soundness smoke" test_soundness_smoke;
+          mk "soundness with superblocks" test_soundness_blocks;
           mk "complete smoke" test_complete_smoke;
           mk "deterministic" test_determinism;
           mk "weakened demo" test_weakened_demo;
