@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-compare serve-bench crash-demo trace-demo fuzz-smoke fuzz clean
+.PHONY: all build check test bench bench-json bench-compare serve-bench serve-trace-demo crash-demo trace-demo fuzz-smoke fuzz clean
 
 all: build
 
@@ -25,12 +25,25 @@ bench-compare:
 	dune exec bench/main.exe -- --quick --compare BENCH_emulator.json
 
 # Library-serving benchmark: replay a seeded request stream through a
-# pool of warm sandboxed-library instances and commit the lfi-serve/v1
-# report. The stream and every number in it are a pure function of the
-# seed, so the JSON is byte-stable; CI re-runs this and diffs it.
+# pool of warm sandboxed-library instances and commit the lfi-serve/v2
+# report plus the lfi-snap/v1 snapshot stream. The stream and every
+# number in both files are a pure function of the seed, so they are
+# byte-stable; CI re-runs this and diffs them.
 serve-bench:
 	dune exec bin/lfi_serve.exe -- --workload xzbox --requests 1000 \
-	  --pool 4 --seed 1 --json BENCH_serve.json
+	  --pool 4 --seed 1 --json BENCH_serve.json \
+	  --snapshot=BENCH_serve_snap.jsonl --snapshot-every 250
+
+# Serving observability demo: serve the slowbox workload (whose rare
+# `grind` export deliberately blows its latency SLO), writing a
+# Perfetto trace with one track per pool slot and one slice per
+# request phase, plus a snapshot stream for lfi_top.
+serve-trace-demo:
+	dune exec bin/lfi_serve.exe -- --workload slowbox --requests 400 \
+	  --pool 4 --seed 7 --trace serve_trace.json \
+	  --snapshot=serve_snap.jsonl --snapshot-every 50 --json /dev/null
+	@echo "wrote serve_trace.json (open in https://ui.perfetto.dev)"
+	@echo "view the run: dune exec bin/lfi_top.exe -- serve_snap.jsonl --replay"
 
 # Deliberately crash the `crashy` workload (wild read into the guard
 # region) and emit the postmortem crash report: text on stderr, JSON

@@ -492,6 +492,52 @@ let compare_baseline ~quick ~filter file =
     baseline;
   if !clamped > 0 then
     Printf.printf "warning: nonzero guard-clamp audit on %d sample(s)\n" !clamped;
+  (* serve-path tail-latency gate: replay the committed serve stream
+     and compare call p99 against BENCH_serve.json.  The latency is in
+     simulated cycles — a pure function of the code, no wall-clock
+     noise — so any drift past the threshold is a real serve-path
+     regression and there is nothing to retry *)
+  let serve_file = "BENCH_serve.json" in
+  (if Sys.file_exists serve_file then
+     let content =
+       let ic = open_in_bin serve_file in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s
+     in
+     let key = "\"call_p99\": " in
+     let base =
+       match find_sub content key 0 with
+       | None -> None
+       | Some i ->
+           let start = i + String.length key in
+           let stop = ref start in
+           while
+             !stop < String.length content
+             && (match content.[!stop] with
+                | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                | _ -> false)
+           do
+             incr stop
+           done;
+           float_of_string_opt (String.sub content start (!stop - start))
+     in
+     match base with
+     | None ->
+         Printf.printf "  serve      (no numeric call_p99 in %s; skipped)\n%!"
+           serve_file
+     | Some base ->
+         let r =
+           Lfi_libbox.Serve.run ~uarch:Lfi_emulator.Cost_model.m1
+             ~spec:Lfi_workloads.Libs.xzbox ~pool:4 ~requests:1000 ~seed:1 ()
+         in
+         let now = r.Lfi_libbox.Serve.call_p99 in
+         let bad = now > base *. (1.0 +. regression_threshold) in
+         if bad then incr regressions;
+         Printf.printf "  %-10s %-4s %-7s %10.0f -> %10.0f p99 cycles %s\n%!"
+           "serve" "m1" "lfi-o2" base now
+           (if bad then "  REGRESSION" else ""));
   if !regressions > 0 then begin
     Printf.printf "%d sample(s) regressed more than %.0f%%\n" !regressions
       (regression_threshold *. 100.0);

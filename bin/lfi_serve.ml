@@ -1,13 +1,20 @@
 (* lfi_serve: drive a seeded request stream through a pool of warm
    sandboxed-library instances and report throughput + transition
-   costs as lfi-serve/v1 JSON.
+   costs as lfi-serve/v2 JSON.
 
    The stream, the pool scheduling, and every number in the report
    derive from the seed and the simulated machine, so the output is
    byte-identical across runs — `make serve-bench` commits it and CI
-   re-runs and diffs it. *)
+   re-runs and diffs it.  The same determinism covers the optional
+   observability outputs: --trace writes a Chrome/Perfetto trace with
+   one track per pool slot and one slice per request phase, and
+   --snapshot writes lfi-snap/v1 frames (one JSON object per line)
+   that lfi_top renders. *)
 
-let run workload requests pool seed machine json =
+module Serve = Lfi_libbox.Serve
+
+let run workload requests pool seed machine json filter trace snapshot
+    snapshot_every =
   match Lfi_workloads.Libs.find workload with
   | None ->
       Printf.eprintf "unknown library workload %S (have: %s)\n" workload
@@ -24,27 +31,71 @@ let run workload requests pool seed machine json =
             Printf.eprintf "unknown machine %S (m1 or t2a)\n" machine;
             exit 2
       in
-      let report =
-        Lfi_libbox.Serve.run ~uarch ~spec ~pool ~requests ~seed ()
+      List.iter
+        (fun name ->
+          if
+            not
+              (List.exists
+                 (fun e -> e.Lfi_libbox.Api.e_name = name)
+                 spec.Lfi_libbox.Api.l_exports)
+          then begin
+            Printf.eprintf "--filter %s: no such export in %S (have: %s)\n"
+              name workload
+              (String.concat ", "
+                 (List.map
+                    (fun e -> e.Lfi_libbox.Api.e_name)
+                    spec.Lfi_libbox.Api.l_exports));
+            exit 2
+          end)
+        filter;
+      let tr = Option.map (fun _ -> Lfi_telemetry.Trace.create ()) trace in
+      (* snapshots default on whenever a cadence or file is given *)
+      let snapshot_every =
+        match (snapshot, snapshot_every) with
+        | None, _ -> 0
+        | Some _, n -> if n > 0 then n else 250
       in
-      (match json with
-      | None -> print_string report.Lfi_libbox.Serve.json
+      let report =
+        Serve.run ~uarch ~filter ?trace:tr ~snapshot_every ~spec ~pool
+          ~requests ~seed ()
+      in
+      (match (trace, tr) with
+      | Some file, Some t ->
+          Lfi_telemetry.Trace.write_file t file;
+          Printf.eprintf "wrote %s (open in ui.perfetto.dev)\n" file
+      | _ -> ());
+      (match snapshot with
+      | None -> ()
       | Some file ->
           let oc = open_out file in
-          output_string oc report.Lfi_libbox.Serve.json;
+          List.iter
+            (fun frame ->
+              output_string oc frame;
+              output_char oc '\n')
+            report.Serve.snapshots;
+          close_out oc;
+          Printf.eprintf "wrote %s (%d frames; view with lfi_top)\n" file
+            (List.length report.Serve.snapshots));
+      (match json with
+      | None -> print_string report.Serve.json
+      | Some file ->
+          let oc = open_out file in
+          output_string oc report.Serve.json;
           close_out oc;
           Printf.printf "wrote %s\n" file);
       (* human summary on stderr so --json stdout stays machine-clean *)
       Printf.eprintf
         "%s: %d/%d requests ok, %d instances lost; transition p50 %.0f / \
-         p99 %.0f cycles (linux pipe %.0f); %.1f insns/req, %.0f req/s\n"
-        spec.Lfi_libbox.Api.l_short report.Lfi_libbox.Serve.completed requests
-        report.Lfi_libbox.Serve.retired report.Lfi_libbox.Serve.gate_p50
-        report.Lfi_libbox.Serve.gate_p99
+         p99 %.0f cycles (linux pipe %.0f); call p999 %.0f; %.1f insns/req, \
+         %.0f req/s; %d SLO alert%s\n"
+        spec.Lfi_libbox.Api.l_short report.Serve.completed requests
+        report.Serve.retired report.Serve.gate_p50 report.Serve.gate_p99
         uarch.Lfi_emulator.Cost_model.linux_pipe_roundtrip
-        report.Lfi_libbox.Serve.insns_per_request
-        report.Lfi_libbox.Serve.requests_per_sec;
-      if report.Lfi_libbox.Serve.gate_p50 >=
+        report.Serve.call_p999 report.Serve.insns_per_request
+        report.Serve.requests_per_sec
+        (List.length report.Serve.alerts)
+        (if List.length report.Serve.alerts = 1 then "" else "s");
+      if report.Serve.gate_p50 >=
            uarch.Lfi_emulator.Cost_model.linux_pipe_roundtrip then begin
         Printf.eprintf
           "error: transition p50 not below the linux pipe round-trip\n";
@@ -55,7 +106,7 @@ open Cmdliner
 
 let workload =
   Arg.(value & opt string "xzbox" & info [ "workload" ] ~docv:"LIB"
-         ~doc:"Library workload to serve (xzbox, crashbox).")
+         ~doc:"Library workload to serve (xzbox, crashbox, slowbox).")
 
 let requests =
   Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N"
@@ -75,12 +126,36 @@ let machine =
 
 let json =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-         ~doc:"Write the lfi-serve/v1 report to $(docv) instead of stdout.")
+         ~doc:"Write the lfi-serve/v2 report to $(docv) instead of stdout.")
+
+let filter =
+  Arg.(value & opt_all string [] & info [ "filter" ] ~docv:"EXPORT"
+         ~doc:"Restrict the request stream to this export (repeatable). \
+               The stream stays a pure function of the seed and the \
+               filter set.")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome/Perfetto trace of the run to $(docv): one \
+               track per pool slot, one slice per request phase, SLO \
+               alerts as instants.")
+
+let snapshot =
+  Arg.(value & opt ~vopt:(Some "serve_snap.jsonl") (some string) None
+       & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Write lfi-snap/v1 frames (one JSON object per line) to \
+                 $(docv) (default serve_snap.jsonl); lfi_top renders them.")
+
+let snapshot_every =
+  Arg.(value & opt int 250 & info [ "snapshot-every" ] ~docv:"N"
+         ~doc:"Emit a snapshot frame every $(docv) requests (plus one \
+               final frame).")
 
 let cmd =
   let doc = "serve a request stream through a sandboxed-library pool" in
   Cmd.v
     (Cmd.info "lfi_serve" ~doc)
-    Term.(const run $ workload $ requests $ pool $ seed $ machine $ json)
+    Term.(const run $ workload $ requests $ pool $ seed $ machine $ json
+          $ filter $ trace $ snapshot $ snapshot_every)
 
 let () = exit (Cmd.eval cmd)

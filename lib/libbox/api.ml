@@ -67,6 +67,14 @@ type export_spec = {
   e_gen : rng:(int -> int) -> arg list;
 }
 
+(** A latency/error objective for one export, declared alongside the
+    request stream so the serving layer can evaluate burn rates per
+    window (see {!Lfi_telemetry.Slo}). *)
+type slo = {
+  s_export : string;
+  s_objective : Lfi_telemetry.Slo.objective;
+}
+
 (** A library-shaped workload: a MiniC program plus the exports the
     host may call.  [l_init], when present, is run once per instance
     before the reset baseline is captured, so its effects persist
@@ -78,4 +86,5 @@ type lib_spec = {
   l_init : string option;
   l_arena : int;  (** marshalling arena size in bytes *)
   l_exports : export_spec list;
+  l_slos : slo list;  (** per-export serving objectives *)
 }

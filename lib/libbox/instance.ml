@@ -39,6 +39,9 @@ type t = {
   mutable alive : bool;
   gate_hist : Lfi_telemetry.Histogram.t;
   call_hist : Lfi_telemetry.Histogram.t;
+  span : Lfi_telemetry.Span.t;
+      (** per-request phase record, rewound on every call — the serve
+          layer reads it right after dispatch *)
   mutable calls : int;
   mutable resets : int;
   mutable call_insns : int;  (** total sandboxed instructions across calls *)
@@ -205,13 +208,18 @@ let call (inst : t) (name : string) (args : Api.arg list) :
     | Some entry -> (
         if List.length args > 8 then Error Api.Too_many_args
         else
-          match marshal inst args with
+          match
+            Lfi_telemetry.Span.start inst.span name;
+            marshal inst args
+          with
           | exception Marshal_error e -> Error e
           | reg_args, outs, marshal_in -> (
               let rt = inst.rt and p = inst.p in
               let m = rt.Runtime.machine in
               let u = rt.Runtime.cfg.Runtime.uarch in
               let gate = ref marshal_in in
+              Lfi_telemetry.Span.set inst.span Lfi_telemetry.Span.Marshal_in
+                marshal_in;
               (* entry snapshot: args in x0.., x30 at the trampoline,
                  everything anchored to the slot *)
               let regs = Array.make 31 0L in
@@ -237,6 +245,9 @@ let call (inst : t) (name : string) (args : Api.arg list) :
               (* host→sandbox gate: same price as a runtime-call entry *)
               Machine.add_cycles m u.Cost_model.lfi_runtime_call_entry;
               gate := !gate +. u.Cost_model.lfi_runtime_call_entry;
+              inst.span.Lfi_telemetry.Span.t0 <- t0;
+              Lfi_telemetry.Span.set inst.span Lfi_telemetry.Span.Gate_in
+                u.Cost_model.lfi_runtime_call_entry;
               let rec drive () =
                 if m.Machine.insns - i0 > inst.insn_budget then
                   Error (kill inst "library call instruction budget exceeded")
@@ -250,10 +261,17 @@ let call (inst : t) (name : string) (args : Api.arg list) :
                       in
                       m.Machine.pc <- m.Machine.regs.(30);
                       if k = Sysno.box_ret then begin
+                        Lfi_telemetry.Span.set inst.span
+                          Lfi_telemetry.Span.Exec
+                          (Machine.cycles m -. t0
+                          -. u.Cost_model.lfi_runtime_call_entry);
                         (* sandbox→host gate *)
                         Machine.add_cycles m
                           u.Cost_model.lfi_runtime_call_entry;
                         gate := !gate +. u.Cost_model.lfi_runtime_call_entry;
+                        Lfi_telemetry.Span.set inst.span
+                          Lfi_telemetry.Span.Gate_out
+                          u.Cost_model.lfi_runtime_call_entry;
                         Ok m.Machine.regs.(0)
                       end
                       else begin
@@ -288,10 +306,15 @@ let call (inst : t) (name : string) (args : Api.arg list) :
                   Error e
               | Ok ret -> (
                   (* copy-out, in argument order *)
+                  let mout = ref 0.0 in
                   let rec collect acc = function
-                    | [] -> Ok (List.rev acc)
+                    | [] ->
+                        Lfi_telemetry.Span.set inst.span
+                          Lfi_telemetry.Span.Marshal_out !mout;
+                        Ok (List.rev acc)
                     | (addr, len) :: tl -> (
                         gate := !gate +. marshal_cycles u len;
+                        mout := !mout +. marshal_cycles u len;
                         Machine.add_cycles m (marshal_cycles u len);
                         match copy_out inst addr len with
                         | Ok b -> collect (b :: acc) tl
@@ -357,6 +380,7 @@ let create ?(arena = 1 lsl 16) ?(insn_budget = 200_000_000) ?init
       alive = true;
       gate_hist = Lfi_telemetry.Histogram.create ();
       call_hist = Lfi_telemetry.Histogram.create ();
+      span = Lfi_telemetry.Span.create ();
       calls = 0;
       resets = 0;
       call_insns = 0;

@@ -1,4 +1,4 @@
-(** Deterministic request-stream dispatcher and the [lfi-serve/v1]
+(** Deterministic request-stream dispatcher and the [lfi-serve/v2]
     report.
 
     [run] builds a library and a pool from a {!Api.lib_spec}, replays a
@@ -7,9 +7,35 @@
     reports throughput and transition costs.  Everything in the report
     derives from the seed and the simulated machine — no wall clock, no
     hash-table iteration order — so the JSON is byte-identical across
-    runs: the property `make serve-bench` commits to. *)
+    runs: the property `make serve-bench` commits to.
+
+    v2 adds the serving observability layer, all of it always-on and
+    off the cycle-accounted path (instrumentation reads the simulated
+    clock, never advances it, so v1's throughput numbers are unchanged
+    to the byte):
+
+    - {b spans}: every request's phase breakdown (queue wait, arena
+      marshal-in, gate entry, sandboxed execution, gate exit,
+      marshal-out) from the instance's allocation-free
+      {!Lfi_telemetry.Span} record, summed into the report and — when
+      a trace is attached — emitted as one Perfetto track per pool
+      slot with one slice per phase;
+    - {b windows}: rolling p50/p99/p999 latency and insns/request per
+      export and overall, from {!Lfi_telemetry.Window} rings of log2
+      histograms;
+    - {b SLOs}: per-export objectives from the workload spec evaluated
+      at every window close with fast (1-window) + slow (10-window)
+      burn rates ({!Lfi_telemetry.Slo}), alerts landing in the trace,
+      the report, and the snapshots;
+    - {b snapshots}: byte-stable [lfi-snap/v1] frames every
+      [snapshot_every] requests, the input to `lfi_top`. *)
 
 open Lfi_emulator
+module H = Lfi_telemetry.Histogram
+module Span = Lfi_telemetry.Span
+module Window = Lfi_telemetry.Window
+module Slo = Lfi_telemetry.Slo
+module Trace = Lfi_telemetry.Trace
 
 type report = {
   json : string;
@@ -19,9 +45,19 @@ type report = {
   gate_p50 : float;
   gate_p99 : float;
   gate_mean : float;
+  call_p50 : float;
+  call_p99 : float;
+  call_p999 : float;
   insns_per_request : float;
   requests_per_sec : float;
+  alerts : Slo.alert list;  (** burn-rate alerts, in firing order *)
+  snapshots : string list;  (** lfi-snap/v1 frames, in emission order *)
 }
+
+(** The serve layer's own trace process; the runtime's events stay on
+    {!Lfi_runtime.Runtime.trace_pid} so the two views sit side by side
+    in Perfetto. *)
+let trace_pid = 2
 
 (* xorshift64; the single source of randomness for the stream *)
 let make_rng (seed : int) =
@@ -36,11 +72,10 @@ let make_rng (seed : int) =
 
 let pick_export (rng : int -> int) (exports : Api.export_spec list) :
     Api.export_spec =
-  let weighted = List.filter (fun e -> e.Api.e_weight > 0) exports in
-  match weighted with
+  match exports with
   | [] -> invalid_arg "Serve.run: no weighted exports in the stream"
   | _ ->
-      let total = List.fold_left (fun a e -> a + e.Api.e_weight) 0 weighted in
+      let total = List.fold_left (fun a e -> a + e.Api.e_weight) 0 exports in
       let n = rng total in
       let rec go acc = function
         | [ e ] -> e
@@ -49,12 +84,26 @@ let pick_export (rng : int -> int) (exports : Api.export_spec list) :
             if n < acc then e else go acc tl
         | [] -> assert false
       in
-      go 0 weighted
+      go 0 exports
 
-let json_float (v : float) : string =
-  if Float.is_nan v then "null" else Printf.sprintf "%.1f" v
+let json_float = Snapshot.json_float
+
+(* burn rates of an export's window range, for the snapshot view: the
+   worse of the latency and error dimensions *)
+let range_burn (ob : Slo.objective option) (r : Window.rstats) : float =
+  match ob with
+  | None -> 0.0
+  | Some ob ->
+      Float.max
+        (Slo.burn ~bad:r.Window.r_over ~total:r.Window.r_ok
+           ~budget:ob.Slo.latency_budget)
+        (Slo.burn ~bad:r.Window.r_err
+           ~total:(r.Window.r_ok + r.Window.r_err)
+           ~budget:ob.Slo.error_budget)
 
 let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
+    ?(filter : string list = []) ?(window_cycles = 50_000.0)
+    ?(window_depth = 128) ?(trace : Trace.t option) ?(snapshot_every = 0)
     ~(spec : Api.lib_spec) ~(pool : int) ~(requests : int) ~(seed : int) () :
     report =
   let lib =
@@ -70,27 +119,211 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
         { Lfi_runtime.Runtime.default_config with verify = false; uarch }
       ()
   in
+  (match trace with
+  | None -> ()
+  | Some t ->
+      Trace.process_name t ~pid:Lfi_runtime.Runtime.trace_pid
+        ~name:"lfi-runtime";
+      rt.Lfi_runtime.Runtime.trace <- Some t);
   let p =
     Pool.create ~runtime:rt ~arena:spec.Api.l_arena ?init:spec.Api.l_init
       ~size:pool lib
   in
+  (match trace with
+  | None -> ()
+  | Some t ->
+      Trace.process_name t ~pid:trace_pid ~name:"lfi-serve";
+      Trace.thread_name t ~pid:trace_pid ~tid:0 ~name:"slo";
+      Array.iter
+        (fun inst ->
+          let slot = inst.Instance.p.Lfi_runtime.Proc.slot in
+          Trace.thread_name t ~pid:trace_pid ~tid:slot
+            ~name:(Printf.sprintf "slot %d" slot))
+        p.Pool.instances);
+  (* the request stream: weighted exports, optionally narrowed to
+     --filter names (spec order is preserved, so the stream stays a
+     pure function of seed + filter) *)
+  let stream_exports =
+    List.filter
+      (fun e ->
+        e.Api.e_weight > 0
+        && (filter = [] || List.mem e.Api.e_name filter))
+      spec.Api.l_exports
+  in
+  if stream_exports = [] then
+    invalid_arg "Serve.run: no weighted exports in the stream";
+  let machine = rt.Lfi_runtime.Runtime.machine in
+  (* window 0 opens when serving starts, after pool warm-up *)
+  let origin = Machine.cycles machine in
+  let slo_of name =
+    List.find_opt (fun s -> s.Api.s_export = name) spec.Api.l_slos
+    |> Option.map (fun s -> s.Api.s_objective)
+  in
+  let export_state =
+    List.map
+      (fun e ->
+        ( e.Api.e_name,
+          Window.create ~depth:window_depth ~origin ~width:window_cycles (),
+          slo_of e.Api.e_name ))
+      stream_exports
+  in
+  let overall =
+    Window.create ~depth:window_depth ~origin ~width:window_cycles ()
+  in
+  let phase_tot = Array.make Span.nphases 0.0 in
+  let alerts = ref [] and last_eval = ref (-1) in
+  let cursors : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let snapshots = ref [] in
   let rng = make_rng seed in
-  let per_export = Hashtbl.create 8 in
   let serve_cycles = ref 0.0 and serve_insns = ref 0 in
-  for _ = 1 to requests do
-    let e = pick_export rng spec.Api.l_exports in
+  (* evaluate SLOs over every window that closed before [gcur] *)
+  let eval_closed gcur =
+    for s = !last_eval + 1 to gcur - 1 do
+      List.iter
+        (fun (name, w, slo) ->
+          match slo with
+          | None -> ()
+          | Some ob ->
+              let f = Window.range w ~lo:s ~hi:s in
+              let sl = Window.range w ~lo:(s - 9) ~hi:s in
+              List.iter
+                (fun (kind, fast, slow) ->
+                  alerts :=
+                    { Slo.a_export = name; a_window = s; a_kind = kind;
+                      a_fast = fast; a_slow = slow }
+                    :: !alerts;
+                  match trace with
+                  | None -> ()
+                  | Some t ->
+                      Trace.instant t ~name:("slo:" ^ name) ~cat:"slo"
+                        ~ts:(origin +. (float_of_int (s + 1) *. window_cycles))
+                        ~pid:trace_pid ~tid:0
+                        ~args:
+                          [ ("kind", Trace.Str (Slo.kind_name kind));
+                            ("window", Trace.Int s);
+                            ("fast", Trace.Float fast);
+                            ("slow", Trace.Float slow) ])
+                (Slo.check ob
+                   ~fast:(f.Window.r_over, f.Window.r_err, f.Window.r_ok)
+                   ~slow:(sl.Window.r_over, sl.Window.r_err, sl.Window.r_ok)))
+        export_state
+    done;
+    if gcur - 1 > !last_eval then last_eval := gcur - 1
+  in
+  let slot_rows () =
+    Array.to_list
+      (Array.map
+         (fun inst ->
+           {
+             Snapshot.sl_slot = inst.Instance.p.Lfi_runtime.Proc.slot;
+             sl_pid = inst.Instance.p.Lfi_runtime.Proc.pid;
+             sl_alive = inst.Instance.alive;
+             sl_calls = inst.Instance.calls;
+             sl_resets = inst.Instance.resets;
+             sl_insns = inst.Instance.call_insns;
+             sl_restored = inst.Instance.pages_restored;
+           })
+         p.Pool.instances)
+  in
+  let export_rows () =
+    List.map
+      (fun (name, w, slo) ->
+        let m = Window.merged w in
+        let cur = Window.cur w in
+        let r = Window.range w ~lo:0 ~hi:cur in
+        let fast = range_burn slo (Window.range w ~lo:cur ~hi:cur) in
+        let slow = range_burn slo (Window.range w ~lo:(cur - 9) ~hi:cur) in
+        {
+          Snapshot.x_name = name;
+          x_req = Window.total_ok w + Window.total_err w;
+          x_err = Window.total_err w;
+          x_p50 = H.percentile m 0.50;
+          x_p99 = H.percentile m 0.99;
+          x_p999 = H.percentile m 0.999;
+          x_mean = (if m.H.count = 0 then Float.nan else H.mean m);
+          x_ipr =
+            (if m.H.count = 0 then Float.nan
+             else float_of_int r.Window.r_insns /. float_of_int m.H.count);
+          x_burn_fast = fast;
+          x_burn_slow = slow;
+          x_alerting = fast >= 1.0 && slow >= 1.0;
+        })
+      export_state
+  in
+  let take_frame i =
+    let frame =
+      {
+        Snapshot.workload = spec.Api.l_short;
+        seq = i;
+        now = Machine.cycles machine -. origin;
+        completed = p.Pool.served;
+        failed = p.Pool.failed;
+        retired = Pool.retired p;
+        window_cycles;
+        windows = Window.spanned overall;
+        exports = export_rows ();
+        slots = slot_rows ();
+        phases =
+          List.map (fun ph -> (Span.name ph, phase_tot.(Span.index ph))) Span.all;
+        alerts = List.rev !alerts;
+      }
+    in
+    snapshots := Snapshot.to_json frame :: !snapshots
+  in
+  for i = 1 to requests do
+    let e = pick_export rng stream_exports in
     let args = e.Api.e_gen ~rng in
-    let _inst, r = Pool.dispatch p e.Api.e_name args in
+    let inst, r = Pool.dispatch p e.Api.e_name args in
+    let now = Machine.cycles machine in
+    List.iter (fun (_, w, _) -> Window.advance w ~now) export_state;
+    Window.advance overall ~now;
+    let name, ew, slo =
+      List.find (fun (n, _, _) -> n = e.Api.e_name) export_state
+    in
+    ignore name;
     (match r with
     | Ok reply ->
-        serve_cycles := !serve_cycles +. reply.Api.stats.Api.total_cycles;
-        serve_insns := !serve_insns + reply.Api.stats.Api.call_insns
-    | Error _ -> ());
-    Hashtbl.replace per_export e.Api.e_name
-      (1 + Option.value ~default:0 (Hashtbl.find_opt per_export e.Api.e_name))
+        let total = reply.Api.stats.Api.total_cycles in
+        let insns = reply.Api.stats.Api.call_insns in
+        serve_cycles := !serve_cycles +. total;
+        serve_insns := !serve_insns + insns;
+        let over =
+          match slo with
+          | Some ob -> total > ob.Slo.latency_cycles
+          | None -> false
+        in
+        Window.observe ew ~now ~latency:total ~insns ~over;
+        Window.observe overall ~now ~latency:total ~insns ~over;
+        (match inst with
+        | None -> ()
+        | Some inst ->
+            Span.accumulate inst.Instance.span phase_tot;
+            (match trace with
+            | None -> ()
+            | Some t ->
+                let sp = inst.Instance.span in
+                let slot = inst.Instance.p.Lfi_runtime.Proc.slot in
+                let cur0 =
+                  Option.value ~default:origin (Hashtbl.find_opt cursors slot)
+                in
+                let start =
+                  Float.max cur0
+                    (sp.Span.t0 -. Span.get sp Span.Marshal_in
+                   -. Span.get sp Span.Queue)
+                in
+                Hashtbl.replace cursors slot
+                  (Span.emit sp t ~pid:trace_pid ~tid:slot ~ts:start)))
+    | Error _ ->
+        Window.fail ew ~now;
+        Window.fail overall ~now);
+    eval_closed (Window.cur overall);
+    if snapshot_every > 0 && i mod snapshot_every = 0 && i < requests then
+      take_frame i
   done;
+  if snapshot_every > 0 then take_frame requests;
+  let alerts = List.rev !alerts in
+  let snapshots = List.rev !snapshots in
   let gate, call = Pool.merged_hists p in
-  let module H = Lfi_telemetry.Histogram in
   let completed = p.Pool.served and failed = p.Pool.failed in
   let retired = Pool.retired p in
   let insns_per_request =
@@ -105,16 +338,19 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
       float_of_int completed
       /. (!serve_cycles /. (uarch.Cost_model.clock_ghz *. 1e9))
   in
-  let b = Buffer.create 2048 in
+  let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"lfi-serve/v1\",\n";
+  add "  \"schema\": \"lfi-serve/v2\",\n";
   add "  \"workload\": %S,\n" spec.Api.l_short;
   add "  \"system\": %S,\n" (Lfi_core.Config.name config);
   add "  \"uarch\": %S,\n" uarch.Cost_model.name;
   add "  \"pool\": %d,\n" pool;
   add "  \"requests\": %d,\n" requests;
   add "  \"seed\": %d,\n" seed;
+  (if filter <> [] then
+     add "  \"filter\": [%s],\n"
+       (String.concat ", " (List.map (Printf.sprintf "%S") filter)));
   add "  \"completed\": %d,\n" completed;
   add "  \"failed\": %d,\n" failed;
   add "  \"instances_lost\": %d,\n" retired;
@@ -123,11 +359,68 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
   add "  \"insns_per_request\": %.1f,\n" insns_per_request;
   add "  \"requests_per_sec\": %.0f,\n" requests_per_sec;
   add "  \"transition_cycles\": %s,\n" (H.to_json gate);
-  add "  \"transition_p50\": %.1f,\n" (H.percentile gate 0.50);
-  add "  \"transition_p99\": %.1f,\n" (H.percentile gate 0.99);
+  add "  \"transition_p50\": %s,\n" (json_float (H.percentile gate 0.50));
+  add "  \"transition_p99\": %s,\n" (json_float (H.percentile gate 0.99));
   add "  \"call_cycles\": %s,\n" (H.to_json call);
-  add "  \"call_p50\": %.1f,\n" (H.percentile call 0.50);
-  add "  \"call_p99\": %.1f,\n" (H.percentile call 0.99);
+  add "  \"call_p50\": %s,\n" (json_float (H.percentile call 0.50));
+  add "  \"call_p99\": %s,\n" (json_float (H.percentile call 0.99));
+  add "  \"call_p999\": %s,\n" (json_float (H.percentile call 0.999));
+  (* the per-request phase breakdown: where a request's cycles go
+     across the boundary (queue/marshal_in are host-side work the
+     simulated clock does not advance through; they are priced but not
+     part of serve_cycles) *)
+  add "  \"phases\": {";
+  List.iteri
+    (fun i ph ->
+      if i > 0 then add ", ";
+      add "%S: %.1f" (Span.name ph) phase_tot.(Span.index ph))
+    Span.all;
+  add "},\n";
+  (* rolling (windowed) view: what lfi_top shows live *)
+  add "  \"windows\": {\"window_cycles\": %.0f, \"spanned\": %d, \"evicted\": \
+       %d,\n"
+    window_cycles (Window.spanned overall) (Window.evicted overall);
+  let om = Window.merged overall in
+  add "    \"overall\": {\"p50\": %s, \"p99\": %s, \"p999\": %s, \"mean\": \
+       %s},\n"
+    (json_float (H.percentile om 0.50))
+    (json_float (H.percentile om 0.99))
+    (json_float (H.percentile om 0.999))
+    (json_float (if om.H.count = 0 then Float.nan else H.mean om));
+  add "    \"per_export\": [";
+  List.iteri
+    (fun i (x : Snapshot.export_row) ->
+      if i > 0 then add ", ";
+      add
+        "{\"export\": %S, \"requests\": %d, \"errors\": %d, \"p50\": %s, \
+         \"p99\": %s, \"p999\": %s, \"mean\": %s, \"insns_per_request\": %s}"
+        x.Snapshot.x_name x.Snapshot.x_req x.Snapshot.x_err
+        (json_float x.Snapshot.x_p50) (json_float x.Snapshot.x_p99)
+        (json_float x.Snapshot.x_p999) (json_float x.Snapshot.x_mean)
+        (json_float x.Snapshot.x_ipr))
+    (export_rows ());
+  add "]},\n";
+  add "  \"slo\": {\"objectives\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ", ";
+      add
+        "{\"export\": %S, \"latency_cycles\": %.0f, \"latency_budget\": %.3f, \
+         \"error_budget\": %.3f}"
+        s.Api.s_export s.Api.s_objective.Slo.latency_cycles
+        s.Api.s_objective.Slo.latency_budget s.Api.s_objective.Slo.error_budget)
+    spec.Api.l_slos;
+  add "], \"alerts\": [";
+  List.iteri
+    (fun i (a : Slo.alert) ->
+      if i > 0 then add ", ";
+      add
+        "{\"export\": %S, \"window\": %d, \"kind\": %S, \"fast\": %.2f, \
+         \"slow\": %.2f}"
+        a.Slo.a_export a.Slo.a_window (Slo.kind_name a.Slo.a_kind)
+        a.Slo.a_fast a.Slo.a_slow)
+    alerts;
+  add "]},\n";
   (* the §5.3 comparison: what the same boundary crossing costs under
      process isolation (gvisor is unmeasured/NaN on some uarches →
      null) *)
@@ -150,11 +443,10 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
   add "],\n";
   add "  \"per_export\": {";
   List.iteri
-    (fun i e ->
+    (fun i (name, w, _) ->
       if i > 0 then add ", ";
-      add "%S: %d" e.Api.e_name
-        (Option.value ~default:0 (Hashtbl.find_opt per_export e.Api.e_name)))
-    (List.filter (fun e -> e.Api.e_weight > 0) spec.Api.l_exports);
+      add "%S: %d" name (Window.total_ok w + Window.total_err w))
+    export_state;
   add "}\n";
   add "}\n";
   {
@@ -165,6 +457,11 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
     gate_p50 = H.percentile gate 0.50;
     gate_p99 = H.percentile gate 0.99;
     gate_mean = H.mean gate;
+    call_p50 = H.percentile call 0.50;
+    call_p99 = H.percentile call 0.99;
+    call_p999 = H.percentile call 0.999;
     insns_per_request;
     requests_per_sec;
+    alerts;
+    snapshots;
   }

@@ -1,0 +1,418 @@
+(** Byte-stable [lfi-snap/v1] serving snapshots.
+
+    A snapshot is one JSON line capturing the serving layer mid-run:
+    per-export rolling latency (p50/p99/p999 over the retained
+    windows), per-slot pool state, the cumulative span-phase cycle
+    breakdown, and every SLO burn-rate alert fired so far.  Everything
+    derives from the seed and the simulated clock, so the frames
+    `lfi_serve --snapshot --snapshot-every N` writes are byte-identical
+    across runs — CI diffs a committed copy, and the golden test pins
+    the format.
+
+    The module is deliberately self-contained in both directions:
+    {!to_json} renders a frame, {!of_json} parses one back (via the
+    minimal {!Json} reader below — the repo takes no JSON dependency),
+    and {!render} lays a parsed frame out as the `lfi_top` table. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let m = String.length word in
+      if !pos + m <= n && String.sub s !pos m = word then begin
+        pos := !pos + m;
+        v
+      end
+      else fail ("bad literal " ^ word)
+    in
+    let string_body () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (match peek () with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | 'r' -> Buffer.add_char b '\r'
+              | 'u' ->
+                  (* our writer only emits \u00XX for control bytes *)
+                  if !pos + 4 >= n then fail "bad \\u escape";
+                  let code =
+                    int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                  in
+                  Buffer.add_char b (Char.chr (code land 0xff));
+                  pos := !pos + 4
+              | c -> fail (Printf.sprintf "bad escape %C" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            members []
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | ']' ->
+                  incr pos;
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            elems []
+      | '"' -> Str (string_body ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let field obj name =
+    match obj with
+    | Obj kvs -> (
+        match List.assoc_opt name kvs with
+        | Some v -> v
+        | None -> raise (Parse_error ("missing field " ^ name)))
+    | _ -> raise (Parse_error ("not an object at field " ^ name))
+
+  let str = function
+    | Str s -> s
+    | _ -> raise (Parse_error "expected string")
+
+  let num = function
+    | Num f -> f
+    | Null -> Float.nan  (* the NaN→null serialization convention *)
+    | _ -> raise (Parse_error "expected number")
+
+  let boolean = function
+    | Bool b -> b
+    | _ -> raise (Parse_error "expected bool")
+
+  let arr = function
+    | Arr l -> l
+    | _ -> raise (Parse_error "expected array")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot model                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type export_row = {
+  x_name : string;
+  x_req : int;  (** cumulative requests dispatched to this export *)
+  x_err : int;  (** cumulative failures *)
+  x_p50 : float;  (** rolling percentiles over the retained windows *)
+  x_p99 : float;
+  x_p999 : float;
+  x_mean : float;  (** rolling mean latency, cycles *)
+  x_ipr : float;  (** rolling insns per ok request *)
+  x_burn_fast : float;  (** current fast/slow latency burn rates *)
+  x_burn_slow : float;
+  x_alerting : bool;  (** both burn rates ≥ 1.0 right now *)
+}
+
+type slot_row = {
+  sl_slot : int;
+  sl_pid : int;
+  sl_alive : bool;
+  sl_calls : int;
+  sl_resets : int;
+  sl_insns : int;
+  sl_restored : int;
+}
+
+type t = {
+  workload : string;
+  seq : int;  (** requests dispatched when the frame was taken *)
+  now : float;  (** cycles since serving started *)
+  completed : int;
+  failed : int;
+  retired : int;
+  window_cycles : float;
+  windows : int;  (** windows spanned so far *)
+  exports : export_row list;
+  slots : slot_row list;
+  phases : (string * float) list;  (** cumulative cycles per span phase *)
+  alerts : Lfi_telemetry.Slo.alert list;
+}
+
+let json_float (v : float) : string =
+  if Float.is_nan v then "null" else Printf.sprintf "%.1f" v
+
+(** One frame as a single JSON line (no trailing newline). *)
+let to_json (t : t) : string =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"schema\": \"lfi-snap/v1\", \"workload\": %S, \"seq\": %d, " t.workload
+    t.seq;
+  add "\"now\": %.1f, \"completed\": %d, \"failed\": %d, \"instances_lost\": %d, "
+    t.now t.completed t.failed t.retired;
+  add "\"window_cycles\": %.0f, \"windows\": %d, " t.window_cycles t.windows;
+  add "\"exports\": [";
+  List.iteri
+    (fun i x ->
+      if i > 0 then add ", ";
+      add
+        "{\"name\": %S, \"requests\": %d, \"errors\": %d, \"p50\": %s, \
+         \"p99\": %s, \"p999\": %s, \"mean\": %s, \"insns_per_request\": %s, \
+         \"burn_fast\": %.2f, \"burn_slow\": %.2f, \"alerting\": %b}"
+        x.x_name x.x_req x.x_err (json_float x.x_p50) (json_float x.x_p99)
+        (json_float x.x_p999) (json_float x.x_mean) (json_float x.x_ipr)
+        x.x_burn_fast x.x_burn_slow x.x_alerting)
+    t.exports;
+  add "], \"slots\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ", ";
+      add
+        "{\"slot\": %d, \"pid\": %d, \"alive\": %b, \"calls\": %d, \
+         \"resets\": %d, \"insns\": %d, \"pages_restored\": %d}"
+        s.sl_slot s.sl_pid s.sl_alive s.sl_calls s.sl_resets s.sl_insns
+        s.sl_restored)
+    t.slots;
+  add "], \"phases\": {";
+  List.iteri
+    (fun i (name, cycles) ->
+      if i > 0 then add ", ";
+      add "%S: %.1f" name cycles)
+    t.phases;
+  add "}, \"alerts\": [";
+  List.iteri
+    (fun i (a : Lfi_telemetry.Slo.alert) ->
+      if i > 0 then add ", ";
+      add
+        "{\"export\": %S, \"window\": %d, \"kind\": %S, \"fast\": %.2f, \
+         \"slow\": %.2f}"
+        a.Lfi_telemetry.Slo.a_export a.Lfi_telemetry.Slo.a_window
+        (Lfi_telemetry.Slo.kind_name a.Lfi_telemetry.Slo.a_kind)
+        a.Lfi_telemetry.Slo.a_fast a.Lfi_telemetry.Slo.a_slow)
+    t.alerts;
+  add "]}";
+  Buffer.contents b
+
+exception Bad_snapshot of string
+
+(** Parse one frame back.  Raises {!Bad_snapshot} on anything that is
+    not an [lfi-snap/v1] line. *)
+let of_json (line : string) : t =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> raise (Bad_snapshot msg)
+  | j -> (
+      try
+        let open Json in
+        if str (field j "schema") <> "lfi-snap/v1" then
+          raise (Bad_snapshot "not an lfi-snap/v1 frame");
+        let int_of v = int_of_float (num v) in
+        {
+          workload = str (field j "workload");
+          seq = int_of (field j "seq");
+          now = num (field j "now");
+          completed = int_of (field j "completed");
+          failed = int_of (field j "failed");
+          retired = int_of (field j "instances_lost");
+          window_cycles = num (field j "window_cycles");
+          windows = int_of (field j "windows");
+          exports =
+            List.map
+              (fun x ->
+                {
+                  x_name = str (field x "name");
+                  x_req = int_of (field x "requests");
+                  x_err = int_of (field x "errors");
+                  x_p50 = num (field x "p50");
+                  x_p99 = num (field x "p99");
+                  x_p999 = num (field x "p999");
+                  x_mean = num (field x "mean");
+                  x_ipr = num (field x "insns_per_request");
+                  x_burn_fast = num (field x "burn_fast");
+                  x_burn_slow = num (field x "burn_slow");
+                  x_alerting = boolean (field x "alerting");
+                })
+              (arr (field j "exports"));
+          slots =
+            List.map
+              (fun s ->
+                {
+                  sl_slot = int_of (field s "slot");
+                  sl_pid = int_of (field s "pid");
+                  sl_alive = boolean (field s "alive");
+                  sl_calls = int_of (field s "calls");
+                  sl_resets = int_of (field s "resets");
+                  sl_insns = int_of (field s "insns");
+                  sl_restored = int_of (field s "pages_restored");
+                })
+              (arr (field j "slots"));
+          phases =
+            (match field j "phases" with
+            | Obj kvs -> List.map (fun (k, v) -> (k, num v)) kvs
+            | _ -> raise (Bad_snapshot "phases not an object"));
+          alerts =
+            List.map
+              (fun a ->
+                {
+                  Lfi_telemetry.Slo.a_export = str (field a "export");
+                  a_window = int_of (field a "window");
+                  a_kind =
+                    (match str (field a "kind") with
+                    | "latency" -> Lfi_telemetry.Slo.Latency
+                    | "error_rate" -> Lfi_telemetry.Slo.Error_rate
+                    | k -> raise (Bad_snapshot ("unknown alert kind " ^ k)));
+                  a_fast = num (field a "fast");
+                  a_slow = num (field a "slow");
+                })
+              (arr (field j "alerts"));
+        }
+      with Json.Parse_error msg -> raise (Bad_snapshot msg))
+
+(* ------------------------------------------------------------------ *)
+(* lfi_top rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fnum (v : float) : string =
+  if Float.is_nan v then "-" else Printf.sprintf "%.0f" v
+
+(** Lay one frame out as the `lfi_top` text view. *)
+let render (t : t) : string =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let live = List.length (List.filter (fun s -> s.sl_alive) t.slots) in
+  add "lfi_top · %s · request %d · %.0f cycles · pool %d/%d live\n" t.workload
+    t.seq t.now live (List.length t.slots);
+  add "windows: %.0f cycles each, %d spanned · ok %d · err %d · lost %d\n\n"
+    t.window_cycles t.windows t.completed t.failed t.retired;
+  add "%-12s %7s %5s %8s %8s %8s %8s %10s %11s %s\n" "EXPORT" "REQ" "ERR"
+    "P50" "P99" "P999" "MEAN" "INSNS/REQ" "BURN(f/s)" "SLO";
+  List.iter
+    (fun x ->
+      add "%-12s %7d %5d %8s %8s %8s %8s %10s %5.1f/%-5.1f %s\n" x.x_name
+        x.x_req x.x_err (fnum x.x_p50) (fnum x.x_p99) (fnum x.x_p999)
+        (fnum x.x_mean) (fnum x.x_ipr) x.x_burn_fast x.x_burn_slow
+        (if x.x_alerting then "ALERT" else "ok"))
+    t.exports;
+  add "\n%-6s %5s %6s %7s %7s %12s %12s\n" "SLOT" "PID" "ALIVE" "CALLS"
+    "RESETS" "INSNS" "PG.RESTORED";
+  List.iter
+    (fun s ->
+      add "%-6d %5d %6s %7d %7d %12d %12d\n" s.sl_slot s.sl_pid
+        (if s.sl_alive then "yes" else "DEAD")
+        s.sl_calls s.sl_resets s.sl_insns s.sl_restored)
+    t.slots;
+  let phase_total =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 t.phases
+  in
+  add "\n%-12s %14s %6s\n" "PHASE" "CYCLES" "%";
+  List.iter
+    (fun (name, cycles) ->
+      add "%-12s %14.0f %5.1f%%\n" name cycles
+        (if phase_total > 0.0 then 100.0 *. cycles /. phase_total else 0.0))
+    t.phases;
+  (match t.alerts with
+  | [] -> add "\nno SLO alerts\n"
+  | alerts ->
+      add "\nALERTS (%d):\n" (List.length alerts);
+      List.iter
+        (fun (a : Lfi_telemetry.Slo.alert) ->
+          add "  window %3d  %-12s %-10s burn fast %.1f slow %.1f\n"
+            a.Lfi_telemetry.Slo.a_window a.Lfi_telemetry.Slo.a_export
+            (Lfi_telemetry.Slo.kind_name a.Lfi_telemetry.Slo.a_kind)
+            a.Lfi_telemetry.Slo.a_fast a.Lfi_telemetry.Slo.a_slow)
+        alerts);
+  Buffer.contents b

@@ -51,10 +51,12 @@ let merge (dst : t) (src : t) =
 (** Percentile estimate from the log2 buckets: the exclusive upper
     bound [2^i] of the bucket containing the [q]-quantile observation
     (so p50/p99 are conservative and, being pure bucket arithmetic,
-    deterministic across runs).  [q] in [0, 1]; 0.0 on an empty
-    histogram. *)
+    deterministic across runs).  [q] in [0, 1]; [nan] on an empty
+    histogram — there is no 0th observation to report, and serializers
+    render the NaN as JSON [null] (the same convention the cost model
+    uses for unmeasured pipe baselines). *)
 let percentile t (q : float) : float =
-  if t.count = 0 then 0.0
+  if t.count = 0 then Float.nan
   else begin
     let rank = int_of_float (ceil (q *. float_of_int t.count)) in
     let rank = max 1 (min t.count rank) in

@@ -1,0 +1,84 @@
+(** Allocation-free per-request span records for the serving layer.
+
+    A span decomposes one library-call request into the phases the
+    serve path actually spends cycles in: dispatch-queue wait, arena
+    marshal-in, the host→sandbox gate, sandboxed execution, the
+    sandbox→host gate, and marshal-out.  The record is a handful of
+    mutable floats reused across requests — filling it is a few stores
+    on the call path, so the instrumentation cannot disturb the
+    measurement (the same discipline {!Histogram.observe} follows).
+
+    Timestamps are simulated cycles, so emitted spans are byte-stable
+    across runs.  {!emit} renders the span through the existing Chrome
+    {!Trace} writer as one enclosing [req:<export>] slice plus one
+    slice per non-empty phase, laid out sequentially on the caller's
+    track (one track per pool slot); a p999 request is then directly
+    inspectable in Perfetto. *)
+
+type phase = Queue | Marshal_in | Gate_in | Exec | Gate_out | Marshal_out
+
+let nphases = 6
+
+let index = function
+  | Queue -> 0
+  | Marshal_in -> 1
+  | Gate_in -> 2
+  | Exec -> 3
+  | Gate_out -> 4
+  | Marshal_out -> 5
+
+let name = function
+  | Queue -> "queue"
+  | Marshal_in -> "marshal_in"
+  | Gate_in -> "gate_in"
+  | Exec -> "exec"
+  | Gate_out -> "gate_out"
+  | Marshal_out -> "marshal_out"
+
+(** Temporal order on the request timeline. *)
+let all = [ Queue; Marshal_in; Gate_in; Exec; Gate_out; Marshal_out ]
+
+type t = {
+  mutable export : string;  (** export being called *)
+  mutable t0 : float;  (** cycle timestamp of the gate-entry edge *)
+  dur : float array;  (** per-phase durations, indexed by {!index} *)
+}
+
+let create () = { export = ""; t0 = 0.0; dur = Array.make nphases 0.0 }
+
+(** Rewind the record for a new request (no allocation). *)
+let start t export =
+  t.export <- export;
+  t.t0 <- 0.0;
+  Array.fill t.dur 0 nphases 0.0
+
+let set t ph (v : float) = t.dur.(index ph) <- v
+let get t ph = t.dur.(index ph)
+let total t = Array.fold_left ( +. ) 0.0 t.dur
+
+(** Fold this span's durations into a per-phase accumulator of length
+    {!nphases} (the run-wide phase breakdown in the serve report). *)
+let accumulate t (acc : float array) =
+  for i = 0 to nphases - 1 do
+    acc.(i) <- acc.(i) +. t.dur.(i)
+  done
+
+(** Emit the span at [ts]: the enclosing request slice, then each
+    non-empty phase laid end to end.  Returns the end timestamp so the
+    caller can keep a per-track cursor (slices on one track must not
+    overlap). *)
+let emit t (tr : Trace.t) ~pid ~tid ~(ts : float) : float =
+  let dur = total t in
+  Trace.complete tr ~name:("req:" ^ t.export) ~cat:"request" ~ts ~dur ~pid
+    ~tid ~args:[];
+  let cursor = ref ts in
+  List.iter
+    (fun ph ->
+      let d = get t ph in
+      if d > 0.0 then begin
+        Trace.complete tr ~name:(name ph) ~cat:"phase" ~ts:!cursor ~dur:d ~pid
+          ~tid ~args:[];
+        cursor := !cursor +. d
+      end)
+    all;
+  ts +. dur

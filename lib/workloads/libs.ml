@@ -10,7 +10,15 @@
     [corrupt] dereferences the guard region and kills its instance,
     which is exactly what the pool crash-containment test needs.  The
     program is reused unmodified — the postmortem goldens that run
-    crashy as a whole program are untouched. *)
+    crashy as a whole program are untouched.
+
+    [slowbox] exists to trip the serving layer's SLO monitor on
+    purpose: a cheap [fast] export dominates the stream, and a rare
+    [grind] export burns ~200k simulated cycles — far past its
+    8192-cycle latency objective — so every window that serves a grind
+    burns its latency budget and the multi-window burn-rate alert
+    fires deterministically.  The observability tests and the golden
+    snapshot are built on it. *)
 
 open Lfi_minic.Ast
 open Lfi_minic.Ast.Dsl
@@ -253,6 +261,20 @@ let xzbox : Lfi_libbox.Api.lib_spec =
         { e_name = "poke_global"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
         { e_name = "peek_global"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
       ];
+    l_slos =
+      [
+        (* generous: checksum's worst case sits well under 64k cycles,
+           so this objective never burns — the always-green control *)
+        {
+          s_export = "checksum";
+          s_objective =
+            {
+              Lfi_telemetry.Slo.latency_cycles = 65536.0;
+              latency_budget = 0.05;
+              error_budget = 0.01;
+            };
+        };
+      ];
   }
 
 let crashbox : Lfi_libbox.Api.lib_spec =
@@ -271,9 +293,65 @@ let crashbox : Lfi_libbox.Api.lib_spec =
         { e_name = "poke"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
         { e_name = "corrupt"; e_weight = 0; e_gen = (fun ~rng:_ -> []) };
       ];
+    l_slos = [];
   }
 
-let all = [ xzbox; crashbox ]
+(* ------------------------------------------------------------------ *)
+(* slowbox: the SLO tripwire                                           *)
+(* ------------------------------------------------------------------ *)
+
+let slowbox_program : program =
+  let fast =
+    func "fast" ~params:[ ("x", Int) ] [ ret (mix (v "x") (i 99)) ]
+  in
+  let grind =
+    (* ~10 insns/iteration × 20000 iterations ≈ 2e5 simulated cycles:
+       two orders of magnitude past the 8192-cycle objective *)
+    func "grind"
+      ~params:[ ("n", Int) ]
+      [
+        decl "h" Int (i 5381);
+        decl "k" Int (i 0);
+        while_ (v "k" < v "n")
+          [ set "h" (mix (v "h") (v "k")); set "k" (v "k" + i 1) ];
+        ret (v "h");
+      ]
+  in
+  let main = func "main" [ ret (i 0) ] in
+  { globals = []; funcs = [ fast; grind; main ] }
+
+let slowbox : Lfi_libbox.Api.lib_spec =
+  let open Lfi_libbox.Api in
+  {
+    l_name = "002.slowbox";
+    l_short = "slowbox";
+    l_program = slowbox_program;
+    l_init = None;
+    l_arena = 1 lsl 12;
+    l_exports =
+      [
+        {
+          e_name = "fast";
+          e_weight = 9;
+          e_gen = (fun ~rng -> [ I (Int64.of_int (rng 1024)) ]);
+        };
+        { e_name = "grind"; e_weight = 1; e_gen = (fun ~rng:_ -> [ I 20000L ]) };
+      ];
+    l_slos =
+      [
+        {
+          s_export = "grind";
+          s_objective =
+            {
+              Lfi_telemetry.Slo.latency_cycles = 8192.0;
+              latency_budget = 0.01;
+              error_budget = 0.01;
+            };
+        };
+      ];
+  }
+
+let all = [ xzbox; crashbox; slowbox ]
 
 let find (short : string) : Lfi_libbox.Api.lib_spec option =
   List.find_opt

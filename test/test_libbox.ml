@@ -323,7 +323,85 @@ let test_serve_transition_beats_pipe () =
     (r.Serve.gate_p50 < u.Lfi_emulator.Cost_model.linux_pipe_roundtrip);
   checkb "p99 below linux pipe" true
     (r.Serve.gate_p99 < u.Lfi_emulator.Cost_model.linux_pipe_roundtrip);
-  checkb "schema tagged" true (contains r.Serve.json "\"lfi-serve/v1\"")
+  checkb "schema tagged" true (contains r.Serve.json "\"lfi-serve/v2\"");
+  checkb "phase breakdown present" true (contains r.Serve.json "\"phases\"");
+  checkb "rolling windows present" true
+    (contains r.Serve.json "\"windows\"")
+
+let test_serve_filter () =
+  let r =
+    Serve.run ~spec:Libs.xzbox ~filter:[ "checksum" ] ~pool:2 ~requests:30
+      ~seed:3 ()
+  in
+  checki "all served" 30 r.Serve.completed;
+  checkb "filter recorded" true
+    (contains r.Serve.json "\"filter\": [\"checksum\"]");
+  checkb "checksum in the stream" true
+    (contains r.Serve.json "\"export\": \"checksum\"");
+  checkb "compress filtered out" false
+    (contains r.Serve.json "\"export\": \"compress\"")
+
+let test_serve_slo_alert () =
+  (* slowbox's grind export blows its 8192-cycle objective on every
+     call; the multi-window burn-rate monitor must page, and must do so
+     identically on every run *)
+  let r1 = Serve.run ~spec:Libs.slowbox ~pool:2 ~requests:120 ~seed:7 () in
+  let r2 = Serve.run ~spec:Libs.slowbox ~pool:2 ~requests:120 ~seed:7 () in
+  checks "deterministic report" r1.Serve.json r2.Serve.json;
+  checkb "alerts fired" true (r1.Serve.alerts <> []);
+  List.iter
+    (fun (a : Lfi_telemetry.Slo.alert) ->
+      checks "grind is the offender" "grind" a.Lfi_telemetry.Slo.a_export;
+      checkb "latency dimension" true
+        (a.Lfi_telemetry.Slo.a_kind = Lfi_telemetry.Slo.Latency);
+      checkb "fast window burning" true (a.Lfi_telemetry.Slo.a_fast >= 1.0);
+      checkb "slow window burning" true (a.Lfi_telemetry.Slo.a_slow >= 1.0))
+    r1.Serve.alerts;
+  (* the control: xzbox's generous checksum objective never burns *)
+  let green = Serve.run ~spec:Libs.xzbox ~pool:2 ~requests:60 ~seed:3 () in
+  checkb "xzbox stays green" true (green.Serve.alerts = [])
+
+let test_serve_snapshot_golden () =
+  let r =
+    Serve.run ~spec:Libs.slowbox ~pool:2 ~requests:120 ~seed:7
+      ~snapshot_every:40 ()
+  in
+  checki "three frames" 3 (List.length r.Serve.snapshots);
+  let got = String.concat "\n" r.Serve.snapshots ^ "\n" in
+  let ic = open_in "serve_snap_golden.txt" in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  checks "byte-stable frames" want got;
+  (* every frame survives a parse → re-serialize round trip untouched *)
+  List.iter
+    (fun line ->
+      checks "round trip" line (Snapshot.to_json (Snapshot.of_json line)))
+    r.Serve.snapshots;
+  let last = Snapshot.of_json (List.nth r.Serve.snapshots 2) in
+  let view = Snapshot.render last in
+  checkb "alert rendered" true (contains view "ALERT");
+  checkb "slot table rendered" true (contains view "PG.RESTORED")
+
+let test_serve_trace_spans () =
+  let tr = Lfi_telemetry.Trace.create () in
+  let _r =
+    Serve.run ~spec:Libs.slowbox ~pool:2 ~requests:40 ~seed:7 ~trace:tr ()
+  in
+  let s = Lfi_telemetry.Trace.to_string tr in
+  checkb "serve process named" true (contains s "lfi-serve");
+  checkb "slot track named" true (contains s "slot 1");
+  checkb "request slice" true (contains s "req:fast");
+  checkb "exec phase slice" true (contains s "\"exec\"");
+  checkb "gate phase slice" true (contains s "\"gate_in\"");
+  checkb "slo alert instant" true (contains s "slo:grind");
+  (* buffer-carrying calls additionally get marshal slices (slowbox
+     passes scalars only, so zero-width marshal phases are elided) *)
+  let tr2 = Lfi_telemetry.Trace.create () in
+  let _r =
+    Serve.run ~spec:Libs.xzbox ~pool:2 ~requests:20 ~seed:3 ~trace:tr2 ()
+  in
+  checkb "marshal phase slice" true
+    (contains (Lfi_telemetry.Trace.to_string tr2) "\"marshal_in\"")
 
 let mk name f = Alcotest.test_case name `Quick f
 
@@ -364,5 +442,9 @@ let () =
         [
           mk "deterministic" test_serve_deterministic;
           mk "transitions beat pipe" test_serve_transition_beats_pipe;
+          mk "export filter" test_serve_filter;
+          mk "slo burn-rate alert" test_serve_slo_alert;
+          mk "snapshot golden" test_serve_snapshot_golden;
+          mk "trace spans" test_serve_trace_spans;
         ] );
     ]

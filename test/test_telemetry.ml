@@ -210,6 +210,81 @@ let test_histogram () =
   checki "bucket of 3" 2 (Lfi_telemetry.Histogram.bucket_of 3);
   checki "bucket of 4" 3 (Lfi_telemetry.Histogram.bucket_of 4)
 
+let test_histogram_empty_percentile () =
+  let h = Lfi_telemetry.Histogram.create () in
+  (* an empty histogram has no percentile; NaN serializes as null in
+     the bench JSON rather than a fake 0 *)
+  checkb "empty p99 is nan"
+    (Float.is_nan (Lfi_telemetry.Histogram.percentile h 0.99))
+    true;
+  Lfi_telemetry.Histogram.observe h 5.0;
+  checkb "one observation makes it finite"
+    (Float.is_nan (Lfi_telemetry.Histogram.percentile h 0.99))
+    false
+
+(* ---------------- windows ---------------- *)
+
+module W = Lfi_telemetry.Window
+
+let test_window_rollover () =
+  let w = W.create ~depth:4 ~width:100.0 () in
+  W.observe w ~now:10.0 ~latency:8.0 ~insns:5 ~over:false;
+  checki "window 0 current" 0 (W.cur w);
+  W.observe w ~now:150.0 ~latency:16.0 ~insns:7 ~over:true;
+  checki "boundary crossed" 1 (W.cur w);
+  checki "spanned" 2 (W.spanned w);
+  (* windows are left-closed: cycle 200 opens window 2 *)
+  W.observe w ~now:200.0 ~latency:4.0 ~insns:1 ~over:false;
+  checki "left-closed boundary" 2 (W.cur w);
+  (* a jump farther than the ring evicts the oldest windows *)
+  W.observe w ~now:1000.0 ~latency:2.0 ~insns:1 ~over:false;
+  checki "jumped to window 10" 10 (W.cur w);
+  checki "evicted count" 7 (W.evicted w);
+  checkb "window 0 off the ring" (W.slot_for w 0 = None) true;
+  let r = W.range w ~lo:0 ~hi:10 in
+  checki "only the retained observation counted" 1 r.W.r_ok;
+  checki "whole-run counters unaffected by eviction" 4 (W.total_ok w)
+
+let test_window_merge_invariant () =
+  let w = W.create ~depth:64 ~width:50.0 () in
+  for k = 1 to 500 do
+    let now = float_of_int (k * 5) in
+    if k mod 7 = 0 then W.fail w ~now
+    else
+      W.observe w ~now
+        ~latency:(float_of_int (k * 37 mod 2000))
+        ~insns:k ~over:(k mod 11 = 0)
+  done;
+  (* 2500 cycles / 50-cycle windows = 51 windows < depth 64 *)
+  checki "nothing evicted" 0 (W.evicted w);
+  (* bucket counts are exact under merge, so merging every retained
+     window reproduces the whole-run histogram bit for bit *)
+  checks "merged equals whole-run total"
+    (Lfi_telemetry.Histogram.to_json (W.total w))
+    (Lfi_telemetry.Histogram.to_json (W.merged w));
+  let r = W.range w ~lo:0 ~hi:(W.cur w) in
+  checki "ok counters add up" (W.total_ok w) r.W.r_ok;
+  checki "err counters add up" (W.total_err w) r.W.r_err;
+  checki "insns add up" (W.total_insns w) r.W.r_insns
+
+(* ---------------- spans ---------------- *)
+
+let test_span_accumulate () =
+  let open Lfi_telemetry in
+  let sp = Span.create () in
+  Span.start sp "checksum";
+  Span.set sp Span.Gate_in 10.0;
+  Span.set sp Span.Exec 100.0;
+  checkb "total sums phases" (abs_float (Span.total sp -. 110.0) < 1e-9) true;
+  let acc = Array.make Span.nphases 0.0 in
+  Span.accumulate sp acc;
+  Span.accumulate sp acc;
+  checkb "accumulates across requests"
+    (abs_float (acc.(Span.index Span.Exec) -. 200.0) < 1e-9)
+    true;
+  Span.start sp "other";
+  checkb "start rewinds the record" (Span.total sp = 0.0) true
+
 (* ---------------- ELF symbols ---------------- *)
 
 let test_elf_symbol_roundtrip () =
@@ -288,7 +363,19 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_profile_deterministic;
           Alcotest.test_case "symbol resolve" `Quick test_sym_resolve;
         ] );
-      ("histogram", [ Alcotest.test_case "buckets" `Quick test_histogram ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram;
+          Alcotest.test_case "empty percentile" `Quick
+            test_histogram_empty_percentile;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "rollover" `Quick test_window_rollover;
+          Alcotest.test_case "merge invariant" `Quick
+            test_window_merge_invariant;
+        ] );
+      ("span", [ Alcotest.test_case "accumulate" `Quick test_span_accumulate ]);
       ( "elf-symbols",
         [
           Alcotest.test_case "roundtrip" `Quick test_elf_symbol_roundtrip;
