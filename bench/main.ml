@@ -167,6 +167,81 @@ type emu_sample = {
   deopt_count : int;
 }
 
+(* One paired native-vs-rewritten overhead sample (schema v5).  Cycle
+   counts are simulated and deterministic, so a single run per level
+   suffices and the numbers are bit-stable across machines. *)
+type ov_sample = {
+  ov_workload : string;
+  ov_uarch : string;
+  ov_opt : string;
+  ov_native : float;  (** simulated cycles of the unsandboxed build *)
+  ov_cycles : float;  (** simulated cycles at this rewriter level *)
+  ov_pct : float;  (** percent over native *)
+  ov_categories : (string * float) list;
+      (** per-category tax cycles (inserted sites only), attributed by
+          the per-site profiler; only the O2 rows carry it *)
+}
+
+let opt_levels =
+  [ ("O0", Lfi_core.Config.o0); ("O1", Lfi_core.Config.o1);
+    ("O2", Lfi_core.Config.o2) ]
+
+let overhead_samples workloads : ov_sample list =
+  List.concat_map
+    (fun short ->
+      let w = Option.get (Lfi_workloads.Registry.find short) in
+      let prog = w.Lfi_workloads.Common.program in
+      List.concat_map
+        (fun uarch ->
+          let native_elf = Lfi_experiments.Run.build Lfi_experiments.Run.Native prog in
+          let native =
+            (Lfi_experiments.Run.execute ~uarch Lfi_experiments.Run.Native
+               native_elf)
+              .Lfi_experiments.Run.cycles
+          in
+          List.map
+            (fun (opt, config) ->
+              let sys = Lfi_experiments.Run.Lfi config in
+              let elf = Lfi_experiments.Run.build sys prog in
+              (* only the O2 row pays for attribution: the per-site
+                 accumulator deopts superblock dispatch, but cycle
+                 counts are dispatch-invariant, so the O0/O1 rows can
+                 run unobserved *)
+              let attribute = opt = "O2" in
+              let r, rt =
+                Lfi_experiments.Run.execute_rt ~uarch ~overhead:attribute sys
+                  elf
+              in
+              let categories =
+                match Lfi_runtime.Runtime.overhead_acc rt with
+                | None -> []
+                | Some a ->
+                    let open Lfi_telemetry.Overhead in
+                    List.map
+                      (fun cat ->
+                        let tax = ref 0.0 in
+                        Array.iteri
+                          (fun i (s : site) ->
+                            if s.category = cat && s.inserted then
+                              tax := !tax +. a.cycles.(i))
+                          a.sites;
+                        (category_name cat, !tax))
+                      all_categories
+              in
+              {
+                ov_workload = short;
+                ov_uarch = uarch.Lfi_emulator.Cost_model.name;
+                ov_opt = opt;
+                ov_native = native;
+                ov_cycles = r.Lfi_experiments.Run.cycles;
+                ov_pct =
+                  (r.Lfi_experiments.Run.cycles -. native) /. native *. 100.0;
+                ov_categories = categories;
+              })
+            opt_levels)
+        [ Lfi_emulator.Cost_model.m1; Lfi_emulator.Cost_model.t2a ])
+    workloads
+
 let time_wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -285,9 +360,17 @@ let json_perf ~quick ~filter file =
   (match verify_res with
   | Ok _ -> ()
   | Error _ -> failwith "verifier rejected the mcf proxy");
+  Printf.printf "measuring SFI overhead vs native on %s...\n%!"
+    (String.concat ", " workloads);
+  let ov = overhead_samples workloads in
+  List.iter
+    (fun s ->
+      Printf.printf "  %-10s %-4s %-3s %12.0f cycles  %+6.2f%% over native\n%!"
+        s.ov_workload s.ov_uarch s.ov_opt s.ov_cycles s.ov_pct)
+    ov;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lfi-bench/v4\",\n";
+  Buffer.add_string buf "  \"schema\": \"lfi-bench/v5\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf "  \"emulator\": [\n";
   List.iteri
@@ -308,6 +391,35 @@ let json_perf ~quick ~filter file =
            s.block_cache_hit_rate s.avg_block_len s.deopt_count
            (if i = List.length emu - 1 then "" else ",")))
     emu;
+  Buffer.add_string buf "  ],\n";
+  (* percent-over-native per (workload, uarch, opt): simulated cycles,
+     so the section is deterministic and diffs cleanly in CI.  The O2
+     rows carry the per-category tax breakdown from the per-site
+     profiler.  (The old-schema --compare scanner skips these chunks:
+     they carry no insns_per_sec.) *)
+  Buffer.add_string buf "  \"overhead\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"uarch\": %S, \"opt\": %S, \
+            \"native_cycles\": %.1f, \"cycles\": %.1f, \"overhead_pct\": \
+            %.2f"
+           s.ov_workload s.ov_uarch s.ov_opt s.ov_native s.ov_cycles s.ov_pct);
+      if s.ov_categories <> [] then begin
+        Buffer.add_string buf ",\n     \"categories\": {";
+        List.iteri
+          (fun j (name, tax) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%S: %.1f"
+                 (if j > 0 then ", " else "")
+                 name tax))
+          s.ov_categories;
+        Buffer.add_string buf "}"
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "}%s\n" (if i = List.length ov - 1 then "" else ",")))
+    ov;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
@@ -354,54 +466,75 @@ let find_sub (hay : string) (needle : string) (from : int) : int option =
   in
   go from
 
-let baseline_samples (content : string) : (string * string * string * float) list =
+let str_field chunk name =
+  let key = Printf.sprintf "\"%s\": \"" name in
+  match find_sub chunk key 0 with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key in
+      let stop = String.index_from chunk start '"' in
+      Some (String.sub chunk start (stop - start))
+
+let num_field chunk name =
+  let key = Printf.sprintf "\"%s\": " name in
+  match find_sub chunk key 0 with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key in
+      let stop = ref start in
+      while
+        !stop < String.length chunk
+        && (match chunk.[!stop] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub chunk start (!stop - start))
+
+(* every sample object in our JSON starts with the workload key *)
+let sample_chunks (content : string) : string list =
   let marker = "{\"workload\":" in
-  let str_field chunk name =
-    let key = Printf.sprintf "\"%s\": \"" name in
-    match find_sub chunk key 0 with
-    | None -> None
-    | Some i ->
-        let start = i + String.length key in
-        let stop = String.index_from chunk start '"' in
-        Some (String.sub chunk start (stop - start))
-  in
-  let num_field chunk name =
-    let key = Printf.sprintf "\"%s\": " name in
-    match find_sub chunk key 0 with
-    | None -> None
-    | Some i ->
-        let start = i + String.length key in
-        let stop = ref start in
-        while
-          !stop < String.length chunk
-          && (match chunk.[!stop] with
-             | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
-             | _ -> false)
-        do
-          incr stop
-        done;
-        float_of_string_opt (String.sub chunk start (!stop - start))
-  in
   let rec chunks acc pos =
     match find_sub content marker pos with
     | None -> List.rev acc
-    | Some i -> (
+    | Some i ->
         let stop =
           match find_sub content marker (i + 1) with
           | None -> String.length content
           | Some j -> j
         in
-        let chunk = String.sub content i (stop - i) in
-        match
-          ( str_field chunk "workload",
-            str_field chunk "uarch",
-            str_field chunk "system",
-            num_field chunk "insns_per_sec" )
-        with
-        | Some w, Some u, Some s, Some ips -> chunks ((w, u, s, ips) :: acc) stop
-        | _ -> chunks acc stop)
+        chunks (String.sub content i (stop - i) :: acc) stop
   in
   chunks [] 0
+
+let baseline_samples (content : string) : (string * string * string * float) list =
+  List.filter_map
+    (fun chunk ->
+      match
+        ( str_field chunk "workload",
+          str_field chunk "uarch",
+          str_field chunk "system",
+          num_field chunk "insns_per_sec" )
+      with
+      | Some w, Some u, Some s, Some ips -> Some (w, u, s, ips)
+      | _ -> None)
+    (sample_chunks content)
+
+(* the v5 overhead section: keyed on [opt] instead of [system], and on
+   the deterministic [overhead_pct] instead of wall-clock throughput *)
+let baseline_overhead (content : string) : (string * string * string * float) list =
+  List.filter_map
+    (fun chunk ->
+      match
+        ( str_field chunk "workload",
+          str_field chunk "uarch",
+          str_field chunk "opt",
+          num_field chunk "overhead_pct" )
+      with
+      | Some w, Some u, Some o, Some pct -> Some (w, u, o, pct)
+      | _ -> None)
+    (sample_chunks content)
 
 let compare_baseline ~quick ~filter file =
   let content =
@@ -492,6 +625,40 @@ let compare_baseline ~quick ~filter file =
     baseline;
   if !clamped > 0 then
     Printf.printf "warning: nonzero guard-clamp audit on %d sample(s)\n" !clamped;
+  (* overhead gate (schema v5): percent-over-native is a pure function
+     of the rewriter and the cost model — no wall-clock noise, nothing
+     to retry — so fail on a >10% relative regression outright *)
+  let ov_baseline =
+    let b = baseline_overhead content in
+    match filter with
+    | [] -> b
+    | names -> List.filter (fun (w, _, _, _) -> List.mem w names) b
+  in
+  (if ov_baseline <> [] then
+     let ov_workloads =
+       List.sort_uniq compare (List.map (fun (w, _, _, _) -> w) ov_baseline)
+     in
+     Printf.printf "re-deriving SFI overhead on %s...\n%!"
+       (String.concat ", " ov_workloads);
+     let ov_current = overhead_samples ov_workloads in
+     List.iter
+       (fun (w, u, o, base_pct) ->
+         match
+           List.find_opt
+             (fun s -> s.ov_workload = w && s.ov_uarch = u && s.ov_opt = o)
+             ov_current
+         with
+         | None -> Printf.printf "  %-10s %-4s %-3s (not measured)\n%!" w u o
+         | Some s ->
+             let bad =
+               s.ov_pct > base_pct *. (1.0 +. regression_threshold)
+             in
+             if bad then incr regressions;
+             Printf.printf
+               "  %-10s %-4s %-3s %8.2f%% -> %8.2f%% over native%s\n%!" w u o
+               base_pct s.ov_pct
+               (if bad then "  REGRESSION" else ""))
+       ov_baseline);
   (* serve-path tail-latency gate: replay the committed serve stream
      and compare call p99 against BENCH_serve.json.  The latency is in
      simulated cycles — a pure function of the code, no wall-clock

@@ -69,6 +69,17 @@ let run input annotate =
           let syms =
             Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols
           in
+          (* rewrite sites by address, from the .lfi_sites sidecar:
+             [guard] = rewriter-inserted, [~guard] = original
+             instruction modified in place *)
+          let sites = Hashtbl.create 64 in
+          List.iter
+            (fun (s : Lfi_telemetry.Overhead.site) ->
+              Hashtbl.replace sites s.pc
+                (Printf.sprintf "[%s%s]"
+                   (if s.inserted then "" else "~")
+                   (Lfi_telemetry.Overhead.category_tag s.category)))
+            elf.Lfi_elf.Elf.sites;
           (* symbol labels by address, in table order *)
           let labels = Hashtbl.create 64 in
           Array.iter
@@ -102,6 +113,9 @@ let run input annotate =
                 @ (if annotate then
                      match classify i with "" -> [] | tag -> [ tag ]
                    else [])
+                @ (match Hashtbl.find_opt sites addr with
+                  | Some tag -> [ tag ]
+                  | None -> [])
               in
               Printf.printf "  %6x:\t%08x\t%-40s%s\n" addr word
                 (Printer.to_string i)

@@ -45,7 +45,7 @@ let run input output opt no_loads no_exclusives stats =
           exit 1
       | out, s ->
           write_out output (Lfi_arm64.Source.to_string out);
-          if stats then
+          if stats then begin
             Printf.eprintf
               "%d -> %d instructions (+%.1f%%), %d guards inserted, %d \
                hoisting groups, %d sp guards elided, %d branches relaxed\n"
@@ -53,7 +53,16 @@ let run input output opt no_loads no_exclusives stats =
               (float_of_int (s.output_insns - s.input_insns)
               /. float_of_int (max 1 s.input_insns)
               *. 100.)
-              s.guards s.hoists s.sp_guards_elided s.branches_relaxed)
+              s.guards s.hoists s.sp_guards_elided s.branches_relaxed;
+            Printf.eprintf "sites:%s\n"
+              (String.concat ""
+                 (List.map
+                    (fun (cat, inserted, modified) ->
+                      Printf.sprintf " %s=%d+%d"
+                        (Lfi_telemetry.Overhead.category_name cat)
+                        inserted modified)
+                    (Lfi_core.Rewriter.site_counts s)))
+          end)
 
 let cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.s") in

@@ -19,18 +19,27 @@ let read_bytes path =
   close_in ic;
   b
 
+(** Rewrite [src] (unless [native]) and package it as an ELF, carrying
+    the site table so overhead attribution can find it later. *)
+let elf_of_source ?config ~native (src : Lfi_arm64.Source.t) : Lfi_elf.Elf.t =
+  if native then Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble src)
+  else begin
+    let out, stats = Lfi_core.Rewriter.rewrite ?config src in
+    let sites =
+      Lfi_core.Rewriter.resolve_sites ~input:src ~output:out stats
+    in
+    Lfi_elf.Elf.of_image ~sites (Lfi_arm64.Assemble.assemble out)
+  end
+
 let load_input ~asm ~native path : Lfi_elf.Elf.t =
   if asm then begin
     let text = Bytes.to_string (read_bytes path) in
     let src = Lfi_arm64.Parser.parse_string_exn text in
-    let src =
-      if native then src else fst (Lfi_core.Rewriter.rewrite src)
-    in
-    Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble src)
+    elf_of_source ~native src
   end
   else Lfi_elf.Elf.read (read_bytes path)
 
-let build_workload ~native name : Lfi_elf.Elf.t =
+let workload_source name : Lfi_arm64.Source.t =
   match Lfi_workloads.Registry.find name with
   | None ->
       Printf.eprintf "unknown workload %S (try: %s)\n" name
@@ -39,10 +48,110 @@ let build_workload ~native name : Lfi_elf.Elf.t =
               (fun w -> w.Lfi_workloads.Common.short)
               Lfi_workloads.Registry.all));
       exit 2
-  | Some w ->
-      let src = Lfi_minic.Compile.compile w.Lfi_workloads.Common.program in
-      let src = if native then src else fst (Lfi_core.Rewriter.rewrite src) in
-      Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble src)
+  | Some w -> Lfi_minic.Compile.compile w.Lfi_workloads.Common.program
+
+let build_workload ?config ~native name : Lfi_elf.Elf.t =
+  elf_of_source ?config ~native (workload_source name)
+
+(* ---------------- overhead attribution ---------------- *)
+
+let decode_at (elf : Lfi_elf.Elf.t) (pc : int) : Lfi_arm64.Insn.t option =
+  match Lfi_elf.Elf.text_segment elf with
+  | Some s
+    when pc >= s.Lfi_elf.Elf.vaddr
+         && pc + 4 <= s.Lfi_elf.Elf.vaddr + Bytes.length s.Lfi_elf.Elf.data
+    -> (
+      let word =
+        Int32.to_int
+          (Bytes.get_int32_le s.Lfi_elf.Elf.data (pc - s.Lfi_elf.Elf.vaddr))
+        land 0xffffffff
+      in
+      try Some (Lfi_arm64.Decode.decode word) with _ -> None)
+  | _ -> None
+
+(* The fundamental guard pattern, exactly as [Metrics] classifies it
+   at fetch time — the report's [guard_insn_execs] must reconcile with
+   the aggregate guard counter. *)
+let is_guard_insn (elf : Lfi_elf.Elf.t) (pc : int) : bool =
+  match decode_at elf pc with
+  | Some
+      (Lfi_arm64.Insn.Alu
+        { op = Lfi_arm64.Insn.ADD; flags = false;
+          src = Lfi_arm64.Reg.R (Lfi_arm64.Reg.W64, 21);
+          op2 =
+            Lfi_arm64.Insn.Ext
+              (_, (Lfi_arm64.Insn.Uxtw | Lfi_arm64.Insn.Uxtx), 0);
+          _ }) ->
+      true
+  | _ -> false
+
+(** Run [elf] to completion in a fresh, silent runtime and return its
+    cycle count — the paired-run primitive behind percent-over-native. *)
+let quiet_cycles ~uarch ~native (elf : Lfi_elf.Elf.t) : float =
+  let config = { Lfi_runtime.Runtime.default_config with uarch } in
+  let rt = Lfi_runtime.Runtime.create ~config () in
+  let personality =
+    if native then Lfi_runtime.Proc.Native_in_lfi_runtime
+    else Lfi_runtime.Proc.Lfi
+  in
+  let p = Lfi_runtime.Runtime.load rt ~personality elf in
+  let _reason, _out, cycles, _insns = Lfi_runtime.Runtime.run_one rt p in
+  cycles
+
+(** Assemble the [lfi-overhead/v1] report after an attributed run.
+    [source] (the pre-rewrite assembly), when available, enables the
+    paired native / O0 / O1 / O2 runs. *)
+let write_overhead rt ~dest ~uarch ~uarch_name ~source images =
+  match Lfi_runtime.Runtime.overhead_acc rt with
+  | None ->
+      Printf.eprintf
+        "overhead: no .lfi_sites table in the loaded images (native run, \
+         or a binary written before the profiler?)\n"
+  | Some acc ->
+      let label, elf =
+        match
+          List.find_opt (fun (_, e) -> e.Lfi_elf.Elf.sites <> []) images
+        with
+        | Some le -> le
+        | None -> List.hd images
+      in
+      let levels, native_cycles =
+        match source with
+        | None -> ([], None)
+        | Some src ->
+            let lv name config =
+              { Lfi_telemetry.Overhead.lv_name = name;
+                lv_cycles =
+                  quiet_cycles ~uarch ~native:false
+                    (elf_of_source ~config ~native:false src) }
+            in
+            ( [ lv "O0" Lfi_core.Config.o0;
+                lv "O1" Lfi_core.Config.o1;
+                lv "O2" Lfi_core.Config.o2 ],
+              Some
+                (quiet_cycles ~uarch ~native:true
+                   (elf_of_source ~native:true src)) )
+      in
+      let tbl = Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols in
+      let report =
+        Lfi_telemetry.Overhead.report ~workload:label ~uarch:uarch_name
+          ~total_cycles:(Lfi_runtime.Runtime.cycles rt)
+          ~total_insns:(Lfi_runtime.Runtime.insns rt)
+          ~native_cycles ~levels
+          ~symbol_of:(Lfi_telemetry.Profile.pp_sym tbl)
+          ~disasm_of:(fun pc ->
+            match decode_at elf pc with
+            | Some i -> Lfi_arm64.Printer.to_string i
+            | None -> "?")
+          ~guard_insn:(is_guard_insn elf) acc
+      in
+      if dest = "-" then print_string report
+      else begin
+        let oc = open_out dest in
+        output_string oc report;
+        close_out oc;
+        Printf.eprintf "wrote overhead report to %s\n" dest
+      end
 
 let print_profile rt =
   List.iter
@@ -63,7 +172,7 @@ let print_profile rt =
     (Lfi_runtime.Runtime.profile_report rt)
 
 let run inputs workload native asm uarch_name quantum stats metrics_file
-    trace_file profile profile_period postmortem_dest =
+    trace_file profile profile_period postmortem_dest overhead_dest =
   let uarch =
     match Lfi_emulator.Cost_model.by_name uarch_name with
     | Some u -> u
@@ -111,6 +220,14 @@ let run inputs workload native asm uarch_name quantum stats metrics_file
             exit 1)
       images
   in
+  (match overhead_dest with
+  | None -> ()
+  | Some _ -> (
+      match
+        List.find_opt (fun p -> p.Lfi_runtime.Proc.sites <> []) procs
+      with
+      | Some p -> ignore (Lfi_runtime.Runtime.enable_overhead rt p)
+      | None -> ()));
   let log = Lfi_runtime.Runtime.run rt in
   let worst = ref 0 in
   List.iter2
@@ -159,6 +276,21 @@ let run inputs workload native asm uarch_name quantum stats metrics_file
   | Some t, Some path -> Lfi_telemetry.Trace.write_file t path
   | _ -> ());
   if profile then print_profile rt;
+  (match overhead_dest with
+  | None -> ()
+  | Some dest ->
+      let source =
+        if native then None
+        else
+          match (workload, inputs) with
+          | Some name, _ -> Some (workload_source name)
+          | None, path :: _ when asm ->
+              Some
+                (Lfi_arm64.Parser.parse_string_exn
+                   (Bytes.to_string (read_bytes path)))
+          | _ -> None
+      in
+      write_overhead rt ~dest ~uarch ~uarch_name ~source images);
   exit !worst
 
 let cmd =
@@ -211,9 +343,19 @@ let cmd =
                    fault, flight-recorder history, guard-clamp audit) to \
                    stderr; with $(docv), also write it as JSON there.")
   in
+  let overhead =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "overhead" ] ~docv:"FILE"
+             ~doc:"Attribute cycles to SFI rewrite sites and print the \
+                   byte-stable lfi-overhead/v1 report (per-category and \
+                   per-symbol breakdowns, hot sites, and — for --workload \
+                   or --asm inputs — percent-over-native at O0/O1/O2) to \
+                   stdout, or to $(docv) if given.")
+  in
   Cmd.v
     (Cmd.info "lfi-run" ~doc:"Run programs in LFI sandboxes")
     Term.(const run $ inputs $ workload $ native $ asm $ uarch $ quantum
-          $ stats $ metrics $ trace $ profile $ profile_period $ postmortem)
+          $ stats $ metrics $ trace $ profile $ profile_period $ postmortem
+          $ overhead)
 
 let () = exit (Cmd.eval cmd)

@@ -281,6 +281,29 @@ let assemble ?(origin = default_origin) (src : Source.t) : image =
 let assemble_string ?origin text =
   assemble ?origin (Parser.parse_string_exn text)
 
+(** Sandbox-relative address of every instruction in [src], in item
+    order, without encoding anything: replays the layout pass only.
+    Used by the rewriter to resolve its site table (instruction index
+    -> pc) against the exact addresses {!assemble} will assign. *)
+let insn_addresses ?(origin = default_origin) (src : Source.t) : int array =
+  let out = ref [] in
+  let tpos = ref 0 and dpos = ref 0 in
+  let section = ref Text in
+  List.iteri
+    (fun idx item ->
+      let cursor = match !section with Text -> tpos | Data -> dpos in
+      match item with
+      | Source.Label _ -> ()
+      | Source.Insn _ ->
+          out := (origin + !tpos) :: !out;
+          tpos := !tpos + 4
+      | Source.Directive (name, args) -> (
+          match section_of_directive name args with
+          | Some s -> section := s
+          | None -> cursor := !cursor + directive_size idx ~at:!cursor name args))
+    src;
+  Array.of_list (List.rev !out)
+
 let symbol_address img name = Hashtbl.find_opt img.symbols name
 
 (** Total image size in bytes (text + alignment padding + data). *)

@@ -22,10 +22,22 @@
       sequence (§5.1 "Difficulties"). *)
 
 open Lfi_arm64
+module Overhead = Lfi_telemetry.Overhead
 
 exception Error of string
 
 let errorf fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(** One entry of the overhead-attribution site table: an instruction
+    the rewriter inserted or modified, by position.  Indices are
+    resolved to addresses by {!resolve_sites} once the final layout is
+    known. *)
+type site = {
+  s_out : int;  (** instruction index in the rewritten source *)
+  s_cat : Overhead.category;
+  s_inserted : bool;  (** inserted (pure tax) vs modified in place *)
+  s_orig : int;  (** instruction index in the pre-rewrite source *)
+}
 
 type stats = {
   mutable input_insns : int;
@@ -34,11 +46,13 @@ type stats = {
   mutable hoists : int;  (** hoisting groups created *)
   mutable sp_guards_elided : int;
   mutable branches_relaxed : int;
+  mutable sites : site list;
+      (** overhead site table, in output order (see {!site}) *)
 }
 
 let empty_stats () =
   { input_insns = 0; output_insns = 0; guards = 0; hoists = 0;
-    sp_guards_elided = 0; branches_relaxed = 0 }
+    sp_guards_elided = 0; branches_relaxed = 0; sites = [] }
 
 (* Registers of the scheme. *)
 let x21 = Reg.x 21
@@ -156,26 +170,43 @@ let base_is_reserved_addr b =
 (* Memory access transformation                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** Tag attached to every emitted instruction: [None] for instructions
+    passed through untouched, [Some (category, inserted)] for
+    rewriter-created or rewriter-modified ones.  Tags become the site
+    table. *)
+type tag = (Overhead.category * bool) option
+
+(* Tag shorthands: a guard instruction the rewriter added, an original
+   instruction rewritten in place to a guarded form, and an inserted
+   w22 address computation. *)
+let tg_guard : tag = Some (Overhead.Guard, true)
+let tg_guarded : tag = Some (Overhead.Guard, false)
+let tg_clamp : tag = Some (Overhead.Clamp, true)
+
 (** Rewrite one guarded memory access with general base [b].  Returns
-    the replacement instruction list.  [o1] selects the Table 3
+    the replacement (instruction, tag) list.  [o1] selects the Table 3
     zero/one-instruction guards; otherwise the O0 basic guard through
     x18 is used. *)
 let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
-    (b : Reg.t) : Insn.t list =
+    (b : Reg.t) : (Insn.t * tag) list =
   let via_x18 ~guard ~pre ~post addr_for_x18 =
     (* O0 / specialized instructions: guard an address into x18 and
        access through it *)
-    pre @ (guard :: Insn.with_addr insn addr_for_x18 :: post)
+    pre @ ((guard, tg_guard) :: (Insn.with_addr insn addr_for_x18, tg_guarded)
+           :: post)
   in
   if o1 && has_reg_offset_form insn then
     match addr with
-    | Insn.Imm_off (_, 0) -> [ Insn.with_addr insn (guarded_reg b) ]
+    | Insn.Imm_off (_, 0) -> [ (Insn.with_addr insn (guarded_reg b), tg_guarded) ]
     | Insn.Imm_off (_, i) ->
-        materialize_offset32 b i @ [ Insn.with_addr insn guarded_w22 ]
+        List.map (fun g -> (g, tg_clamp)) (materialize_offset32 b i)
+        @ [ (Insn.with_addr insn guarded_w22, tg_guarded) ]
     | Insn.Pre (_, i) ->
-        [ add_imm_to b i; Insn.with_addr insn (guarded_reg b) ]
+        [ (add_imm_to b i, tg_clamp);
+          (Insn.with_addr insn (guarded_reg b), tg_guarded) ]
     | Insn.Post (_, i) ->
-        [ Insn.with_addr insn (guarded_reg b); add_imm_to b i ]
+        [ (Insn.with_addr insn (guarded_reg b), tg_guarded);
+          (add_imm_to b i, tg_clamp) ]
     | Insn.Reg_off (_, m, e, a) ->
         let op2 =
           match e with
@@ -185,9 +216,9 @@ let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
           | Insn.Sxtx -> Insn.Sh (w_of m, Insn.Lsl, a)
           | e -> Insn.Ext (w_of m, e, a)
         in
-        [ Insn.Alu { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
-                     op2 };
-          Insn.with_addr insn guarded_w22 ]
+        [ (Insn.Alu { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
+                      op2 }, tg_clamp);
+          (Insn.with_addr insn guarded_w22, tg_guarded) ]
   else
     (* Basic scheme: the two-cycle guard into x18.  Immediates up to
        the 32KiB encoding limit stay within the 48KiB guard region, so
@@ -197,10 +228,12 @@ let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
         via_x18 ~guard:(addr_guard x18 b) ~pre:[] ~post:[]
           (Insn.Imm_off (x18, i))
     | Insn.Pre (_, i) ->
-        via_x18 ~guard:(addr_guard x18 b) ~pre:[ add_imm_to b i ] ~post:[]
+        via_x18 ~guard:(addr_guard x18 b)
+          ~pre:[ (add_imm_to b i, tg_clamp) ] ~post:[]
           (Insn.Imm_off (x18, 0))
     | Insn.Post (_, i) ->
-        via_x18 ~guard:(addr_guard x18 b) ~pre:[] ~post:[ add_imm_to b i ]
+        via_x18 ~guard:(addr_guard x18 b) ~pre:[]
+          ~post:[ (add_imm_to b i, tg_clamp) ]
           (Insn.Imm_off (x18, 0))
     | Insn.Reg_off (_, m, e, a) ->
         let op2 =
@@ -212,9 +245,9 @@ let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
         via_x18
           ~guard:(addr_guard x18 (Reg.x 22))
           ~pre:
-            [ Insn.Alu
-                { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
-                  op2 } ]
+            [ (Insn.Alu
+                 { op = Insn.ADD; flags = false; dst = w22; src = w_of b;
+                   op2 }, tg_clamp) ]
           ~post:[]
           (Insn.Imm_off (x18, 0))
 
@@ -368,23 +401,27 @@ let sp_guard_elidable (items : Source.item array) (i : int) (n : int) : bool =
 (* ------------------------------------------------------------------ *)
 
 let transform_insn (cfg : Config.t) (stats : stats)
-    (items : Source.item array) (idx : int) (insn : Insn.t) : Insn.t list =
+    (items : Source.item array) (idx : int) (insn : Insn.t) :
+    (Insn.t * tag) list =
   let o1 = cfg.opt <> Config.O0 in
+  let tg_sp : tag = Some (Overhead.Sp_anchor, true) in
+  let tg_sp_mod : tag = Some (Overhead.Sp_anchor, false) in
   let out =
     match insn with
     (* ---- system calls -> runtime calls (§4.4) ---- *)
     | Insn.Svc n ->
         if n < 0 || n >= Layout.rtcall_entry_count then
           errorf "runtime call number %d out of range" n;
-        [ Insn.Ldr
-            { sz = Insn.X; signed = false; dst = x30;
-              addr = Insn.Imm_off (x21, Layout.rtcall_entry_offset n) };
-          Insn.Blr x30 ]
+        [ (Insn.Ldr
+             { sz = Insn.X; signed = false; dst = x30;
+               addr = Insn.Imm_off (x21, Layout.rtcall_entry_offset n) },
+           Some (Overhead.Rtcall_gate, true));
+          (Insn.Blr x30, Some (Overhead.Rtcall_gate, false)) ]
     (* ---- indirect branches ---- *)
-    | Insn.Br r -> [ addr_guard x18 r; Insn.Br x18 ]
-    | Insn.Blr r -> [ addr_guard x18 r; Insn.Blr x18 ]
-    | Insn.Ret (Reg.R (Reg.W64, 30)) -> [ insn ]
-    | Insn.Ret r -> [ addr_guard x18 r; Insn.Ret x18 ]
+    | Insn.Br r -> [ (addr_guard x18 r, tg_guard); (Insn.Br x18, tg_guarded) ]
+    | Insn.Blr r -> [ (addr_guard x18 r, tg_guard); (Insn.Blr x18, tg_guarded) ]
+    | Insn.Ret (Reg.R (Reg.W64, 30)) -> [ (insn, None) ]
+    | Insn.Ret r -> [ (addr_guard x18 r, tg_guard); (Insn.Ret x18, tg_guarded) ]
     (* ---- stack pointer writes ---- *)
     | Insn.Alu { dst = Reg.SP Reg.W64; op; flags = false; src; op2 } -> (
         match (op, src, op2) with
@@ -393,23 +430,23 @@ let transform_insn (cfg : Config.t) (stats : stats)
                && v < Layout.max_sp_drift
                && sp_guard_elidable items idx (Array.length items) ->
             stats.sp_guards_elided <- stats.sp_guards_elided + 1;
-            [ insn ]
+            [ (insn, None) ]
         | (Insn.ADD | Insn.SUB), Reg.SP Reg.W64, Insn.Imm _ ->
-            insn :: sp_guard
+            (insn, None) :: List.map (fun g -> (g, tg_sp)) sp_guard
         | Insn.ADD, _, Insn.Imm (0, 0) ->
             (* mov sp, xN *)
-            [ Insn.Alu
-                { op = Insn.ORR; flags = false; dst = w22;
-                  src = Reg.ZR Reg.W32;
-                  op2 = Insn.Sh (w_of src, Insn.Lsl, 0) };
-              List.nth sp_guard 1 ]
+            [ (Insn.Alu
+                 { op = Insn.ORR; flags = false; dst = w22;
+                   src = Reg.ZR Reg.W32;
+                   op2 = Insn.Sh (w_of src, Insn.Lsl, 0) }, tg_sp_mod);
+              (List.nth sp_guard 1, tg_sp) ]
         | (Insn.ADD | Insn.SUB), _, Insn.Ext (m, _, a) ->
             (* variable adjustment (e.g. alloca): compute in 32 bits,
                then guard *)
-            [ Insn.Alu
-                { op; flags = false; dst = w22; src = w_of src;
-                  op2 = Insn.Ext (w_of m, Insn.Uxtw, a) };
-              List.nth sp_guard 1 ]
+            [ (Insn.Alu
+                 { op; flags = false; dst = w22; src = w_of src;
+                   op2 = Insn.Ext (w_of m, Insn.Uxtw, a) }, tg_sp_mod);
+              (List.nth sp_guard 1, tg_sp) ]
         | _ -> errorf "unsupported sp write %S" (Printer.to_string insn))
     | _ when Insn.writes_sp insn && not (Insn.is_memory insn) ->
         errorf "unsupported sp write %S" (Printer.to_string insn)
@@ -428,22 +465,22 @@ let transform_insn (cfg : Config.t) (stats : stats)
           (* sp-based: immediate and pre/post modes are safe as-is;
              register offsets are rare and rewritten through w22 *)
           match addr with
-          | Insn.Imm_off _ | Insn.Pre _ | Insn.Post _ -> [ insn ]
+          | Insn.Imm_off _ | Insn.Pre _ | Insn.Post _ -> [ (insn, None) ]
           | Insn.Reg_off (_, m, e, a) when needs_guard ->
               let ext =
                 match e with
                 | Insn.Uxtx | Insn.Sxtx -> Insn.Uxtw
                 | e -> e
               in
-              [ Insn.Alu
-                  { op = Insn.ADD; flags = false; dst = w22; src = wsp;
-                    op2 = Insn.Ext (w_of m, ext, a) };
-                Insn.with_addr insn guarded_w22 ]
-          | Insn.Reg_off _ -> [ insn ]
-        else if base_is_reserved_addr b || Reg.equal b x21 then [ insn ]
-        else if not needs_guard then [ insn ]
+              [ (Insn.Alu
+                   { op = Insn.ADD; flags = false; dst = w22; src = wsp;
+                     op2 = Insn.Ext (w_of m, ext, a) }, tg_clamp);
+                (Insn.with_addr insn guarded_w22, tg_guarded) ]
+          | Insn.Reg_off _ -> [ (insn, None) ]
+        else if base_is_reserved_addr b || Reg.equal b x21 then [ (insn, None) ]
+        else if not needs_guard then [ (insn, None) ]
         else transform_general_mem ~o1 insn addr b)
-    | _ -> [ insn ]
+    | _ -> [ (insn, None) ]
   in
   (* Loads that wrote the link register must be followed by the x30
      guard (§4.2); bl/blr/guards are exempt by construction. *)
@@ -454,7 +491,7 @@ let transform_insn (cfg : Config.t) (stats : stats)
   in
   let rec fix = function
     | [] -> []
-    | i :: tl when needs_lr_guard i && Insn.is_memory i ->
+    | (i, t) :: tl when needs_lr_guard i && Insn.is_memory i ->
         (* exception: the runtime-call table load is immediately
            followed by blr x30 *)
         let is_table_load =
@@ -464,8 +501,9 @@ let transform_insn (cfg : Config.t) (stats : stats)
               true
           | _ -> false
         in
-        if is_table_load then i :: fix tl else i :: lr_guard :: fix tl
-    | i :: tl -> i :: fix tl
+        if is_table_load then (i, t) :: fix tl
+        else (i, t) :: (lr_guard, Some (Overhead.Retag, true)) :: fix tl
+    | it :: tl -> it :: fix tl
   in
   fix out
 
@@ -473,16 +511,22 @@ let transform_insn (cfg : Config.t) (stats : stats)
 (* Branch range relaxation                                             *)
 (* ------------------------------------------------------------------ *)
 
+(** An output item carrying its attribution: which input instruction
+    it descends from, and whether (and how) the rewriter touched it. *)
+type stamped = { it : Source.item; orig : int; tag : tag }
+
 (** Replace out-of-range tbz/cbz/b.cond with an inverted short branch
     over an unconditional one.  Iterates to a fixpoint because each
-    relaxation adds an instruction. *)
-let relax_branches (stats : stats) (src : Source.t) : Source.t =
-  let offsets (items : Source.item list) =
+    relaxation adds an instruction.  Both halves of a relaxation are
+    [Trampoline] sites: the inverted branch is the original one
+    modified, the unconditional [b] is inserted. *)
+let relax_branches (stats : stats) (src : stamped list) : stamped list =
+  let offsets (items : stamped list) =
     let tbl = Hashtbl.create 64 in
     let off = ref 0 in
     List.iter
-      (fun item ->
-        match item with
+      (fun { it; _ } ->
+        match it with
         | Source.Label l -> Hashtbl.replace tbl l !off
         | Source.Insn _ -> incr off
         | Source.Directive _ -> ())
@@ -497,8 +541,8 @@ let relax_branches (stats : stats) (src : Source.t) : Source.t =
     let off = ref 0 in
     let out =
       List.concat_map
-        (fun item ->
-          match item with
+        (fun stamp ->
+          match stamp.it with
           | Source.Insn insn ->
               let here = !off in
               incr off;
@@ -511,8 +555,12 @@ let relax_branches (stats : stats) (src : Source.t) : Source.t =
                 changed := true;
                 stats.branches_relaxed <- stats.branches_relaxed + 1;
                 off := !off + 1;
-                [ Source.Insn (mk_inverted (Insn.Off 8));
-                  Source.Insn (Insn.B (Insn.Sym target_sym)) ]
+                [ { stamp with
+                    it = Source.Insn (mk_inverted (Insn.Off 8));
+                    tag = Some (Overhead.Trampoline, false) };
+                  { stamp with
+                    it = Source.Insn (Insn.B (Insn.Sym target_sym));
+                    tag = Some (Overhead.Trampoline, true) } ]
               in
               (match insn with
               | Insn.Tbz ({ target = Insn.Sym l; _ } as r) -> (
@@ -521,21 +569,21 @@ let relax_branches (stats : stats) (src : Source.t) : Source.t =
                       relax
                         (fun t -> Insn.Tbz { r with nz = not r.nz; target = t })
                         l
-                  | _ -> [ item ])
+                  | _ -> [ stamp ])
               | Insn.Cbz ({ target = Insn.Sym l; _ } as r) -> (
                   match dist l with
                   | Some d when abs d > cond_range ->
                       relax
                         (fun t -> Insn.Cbz { r with nz = not r.nz; target = t })
                         l
-                  | _ -> [ item ])
+                  | _ -> [ stamp ])
               | Insn.Bcond (c, Insn.Sym l) -> (
                   match dist l with
                   | Some d when abs d > cond_range ->
                       relax (fun t -> Insn.Bcond (Insn.invert_cond c, t)) l
-                  | _ -> [ item ])
-              | _ -> [ item ])
-          | _ -> [ item ])
+                  | _ -> [ stamp ])
+              | _ -> [ stamp ])
+          | _ -> [ stamp ])
         items
     in
     if !changed then pass out else out
@@ -569,12 +617,17 @@ let rewrite ?(config = Config.default) (src : Source.t) :
   Array.iteri
     (fun idx item ->
       match item with
-      | Source.Label _ | Source.Directive _ -> out := item :: !out
+      | Source.Label _ | Source.Directive _ ->
+          out := { it = item; orig = idx; tag = None } :: !out
       | Source.Insn insn ->
           (match Hashtbl.find_opt guards idx with
           | Some (reg, base_n) ->
-              out := Source.Insn (addr_guard reg (Reg.x base_n)) :: !out
+              out :=
+                { it = Source.Insn (addr_guard reg (Reg.x base_n));
+                  orig = idx; tag = tg_guard }
+                :: !out
           | None -> ());
+          let subbed = Hashtbl.mem subs idx in
           let insn =
             match Hashtbl.find_opt subs idx with
             | Some reg -> (
@@ -585,13 +638,78 @@ let rewrite ?(config = Config.default) (src : Source.t) :
             | None -> insn
           in
           List.iter
-            (fun i -> out := Source.Insn i :: !out)
+            (fun (i, tag) ->
+              (* an access redirected at a hoisted base is a modified
+                 guard site even though the rewrite leaves it alone *)
+              let tag =
+                if subbed && tag = None then tg_guarded else tag
+              in
+              out := { it = Source.Insn i; orig = idx; tag } :: !out)
             (transform_insn config stats items idx insn))
     items;
-  let result = relax_branches stats (List.rev !out) in
+  let stamped = relax_branches stats (List.rev !out) in
+  (* Flatten: split items from stamps, and turn tags into the site
+     table (indices into the input/output instruction streams; see
+     {!resolve_sites}). *)
+  let result = List.map (fun s -> s.it) stamped in
+  let in_insn_index = Array.make (Array.length items) (-1) in
+  let k = ref 0 in
+  Array.iteri
+    (fun idx item ->
+      match item with
+      | Source.Insn _ ->
+          in_insn_index.(idx) <- !k;
+          incr k
+      | _ -> ())
+    items;
+  let sites = ref [] and out_idx = ref 0 in
+  List.iter
+    (fun s ->
+      match s.it with
+      | Source.Insn _ ->
+          (match s.tag with
+          | Some (cat, inserted) ->
+              sites :=
+                { s_out = !out_idx; s_cat = cat; s_inserted = inserted;
+                  s_orig = in_insn_index.(s.orig) }
+                :: !sites
+          | None -> ());
+          incr out_idx
+      | _ -> ())
+    stamped;
+  stats.sites <- List.rev !sites;
   stats.output_insns <- Source.insn_count result;
   stats.guards <- stats.output_insns - stats.input_insns;
   (result, stats)
+
+(** Resolve the site table of a finished rewrite to sandbox-relative
+    addresses, by replaying the assembler's layout over both the input
+    and the output source. *)
+let resolve_sites ?origin ~(input : Source.t) ~(output : Source.t)
+    (stats : stats) : Overhead.site list =
+  let out_pcs = Assemble.insn_addresses ?origin output in
+  let in_pcs = Assemble.insn_addresses ?origin input in
+  List.map
+    (fun s ->
+      { Overhead.pc = out_pcs.(s.s_out);
+        category = s.s_cat;
+        inserted = s.s_inserted;
+        orig_pc = (if s.s_orig >= 0 then in_pcs.(s.s_orig) else 0) })
+    stats.sites
+
+(** Per-category (inserted, modified) site counts, for cross-checking
+    static stats against the dynamic overhead report. *)
+let site_counts (stats : stats) :
+    (Overhead.category * int * int) list =
+  List.map
+    (fun cat ->
+      let ins = ref 0 and md = ref 0 in
+      List.iter
+        (fun s ->
+          if s.s_cat = cat then if s.s_inserted then incr ins else incr md)
+        stats.sites;
+      (cat, !ins, !md))
+    Overhead.all_categories
 
 (** Convenience: rewrite assembly text to assembly text. *)
 let rewrite_string ?config (text : string) : string =

@@ -26,6 +26,10 @@ type t = {
   symbols : (string * int) list;
       (** symbol name -> sandbox-relative address; empty when the
           image was written or read without a symbol table *)
+  sites : Lfi_telemetry.Overhead.site list;
+      (** the rewriter's overhead-attribution site table, carried in a
+          [.lfi_sites] sidecar section; empty for native images or
+          images written before the profiler existed *)
 }
 
 let pf_x = 1
@@ -49,6 +53,14 @@ let shname_symtab = 1
 let shname_strtab = 9
 let shname_shstrtab = 17
 
+(* [.lfi_sites] payload: an 8-byte header (magic "LFIS", u32 version)
+   followed by one 12-byte record per site: u32 pc, u32 orig_pc,
+   u8 category code, u8 inserted flag, u16 reserved. *)
+let sites_magic = "LFIS"
+let sites_version = 1
+let sites_entsize = 12
+let shname_sites = String.length shstrtab_data (* 27 *)
+
 let align8 v = (v + 7) land lnot 7
 
 let write (t : t) : bytes =
@@ -57,21 +69,33 @@ let write (t : t) : bytes =
   let seg_bytes =
     List.fold_left (fun acc s -> acc + Bytes.length s.data) 0 t.segments
   in
-  (* Optional .symtab / .strtab / .shstrtab (plus the null section):
-     written after the loadable segments so a symbol-free image is
+  (* Optional .symtab / .strtab / .shstrtab (plus the null section and,
+     when a site table is present, .lfi_sites): written after the
+     loadable segments so a symbol-free, site-free image is
      byte-for-byte what the seed writer produced. *)
-  let with_syms = t.symbols <> [] in
+  let with_sites = t.sites <> [] in
+  let with_syms = t.symbols <> [] || with_sites in
   let nsyms = List.length t.symbols in
   let strtab =
     if not with_syms then ""
     else "\000" ^ String.concat "" (List.map (fun (n, _) -> n ^ "\000") t.symbols)
   in
+  let shstrtab =
+    if with_sites then shstrtab_data ^ ".lfi_sites\000" else shstrtab_data
+  in
   let symtab_off = align8 (header_bytes + seg_bytes) in
   let symtab_size = (nsyms + 1) * symentsize in
   let strtab_off = symtab_off + symtab_size in
   let shstr_off = strtab_off + String.length strtab in
-  let shoff = align8 (shstr_off + String.length shstrtab_data) in
-  let shnum = 4 in
+  let sites_off = align8 (shstr_off + String.length shstrtab) in
+  let sites_size =
+    if with_sites then 8 + (List.length t.sites * sites_entsize) else 0
+  in
+  let shoff =
+    if with_sites then align8 (sites_off + sites_size)
+    else align8 (shstr_off + String.length shstrtab)
+  in
+  let shnum = if with_sites then 5 else 4 in
   let total =
     if with_syms then shoff + (shnum * shentsize) else header_bytes + seg_bytes
   in
@@ -134,8 +158,20 @@ let write (t : t) : bytes =
         name_off := !name_off + String.length name + 1)
       t.symbols;
     Bytes.blit_string strtab 0 b strtab_off (String.length strtab);
-    Bytes.blit_string shstrtab_data 0 b shstr_off (String.length shstrtab_data);
-    (* section headers: [null; .symtab; .strtab; .shstrtab] *)
+    Bytes.blit_string shstrtab 0 b shstr_off (String.length shstrtab);
+    if with_sites then begin
+      Bytes.blit_string sites_magic 0 b sites_off 4;
+      u32 (sites_off + 4) sites_version;
+      List.iteri
+        (fun i (s : Lfi_telemetry.Overhead.site) ->
+          let e = sites_off + 8 + (i * sites_entsize) in
+          u32 e s.pc;
+          u32 (e + 4) s.orig_pc;
+          u8 (e + 8) (Lfi_telemetry.Overhead.category_code s.category);
+          u8 (e + 9) (if s.inserted then 1 else 0))
+        t.sites
+    end;
+    (* section headers: [null; .symtab; .strtab; .shstrtab; .lfi_sites?] *)
     let sh i ~name ~ty ~off ~size ~link ~info ~entsize =
       let s = shoff + (i * shentsize) in
       u32 s name;
@@ -152,7 +188,10 @@ let write (t : t) : bytes =
     sh 2 ~name:shname_strtab ~ty:3 (* SHT_STRTAB *) ~off:strtab_off
       ~size:(String.length strtab) ~link:0 ~info:0 ~entsize:0;
     sh 3 ~name:shname_shstrtab ~ty:3 ~off:shstr_off
-      ~size:(String.length shstrtab_data) ~link:0 ~info:0 ~entsize:0
+      ~size:(String.length shstrtab) ~link:0 ~info:0 ~entsize:0;
+    if with_sites then
+      sh 4 ~name:shname_sites ~ty:1 (* SHT_PROGBITS *) ~off:sites_off
+        ~size:sites_size ~link:0 ~info:0 ~entsize:sites_entsize
   end;
   b
 
@@ -193,16 +232,19 @@ let read (b : bytes) : t =
           Some { vaddr; flags; data = Bytes.sub b offset filesz; memsz })
     |> List.filter_map Fun.id
   in
-  (* Optional symbol table: first SHT_SYMTAB section, names resolved
-     through its sh_link string table.  e_shoff = 0 (the seed layout)
-     means no sections and hence no symbols. *)
-  let symbols =
+  (* Optional metadata sections: the first SHT_SYMTAB (names resolved
+     through its sh_link string table) and the [.lfi_sites] sidecar
+     (found by name through e_shstrndx).  e_shoff = 0 (the seed layout)
+     means no sections at all. *)
+  let symbols, sites =
     let shoff = u64 40 in
     let shnum = u16 60 in
-    if shoff = 0 || shnum = 0 then []
+    if shoff = 0 || shnum = 0 then ([], [])
     else begin
       if u16 58 <> shentsize then raise (Bad_elf "bad shentsize");
       if shoff + (shnum * shentsize) > len then raise (Bad_elf "truncated shdrs");
+      let u32at off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
+      let sh_name i = u32at (shoff + (i * shentsize)) in
       let sh_type i = Int32.to_int (Bytes.get_int32_le b (shoff + (i * shentsize) + 4)) in
       let sh_off i = u64 (shoff + (i * shentsize) + 24) in
       let sh_size i = u64 (shoff + (i * shentsize) + 32) in
@@ -212,31 +254,76 @@ let read (b : bytes) : t =
         else if sh_type i = 2 (* SHT_SYMTAB *) then Some i
         else find_symtab (i + 1)
       in
-      match find_symtab 0 with
-      | None -> []
-      | Some si ->
-          let link = sh_link si in
-          if link >= shnum || sh_type link <> 3 then
-            raise (Bad_elf "symtab without strtab");
-          let str_off = sh_off link and str_size = sh_size link in
-          if str_off + str_size > len then raise (Bad_elf "truncated strtab");
-          let name_at off =
-            if off >= str_size then raise (Bad_elf "bad st_name");
-            let stop = Bytes.index_from b (str_off + off) '\000' in
-            Bytes.sub_string b (str_off + off) (stop - (str_off + off))
-          in
-          let sym_off = sh_off si and sym_size = sh_size si in
-          if sym_off + sym_size > len then raise (Bad_elf "truncated symtab");
-          let nsyms = sym_size / symentsize in
-          List.init nsyms (fun i ->
-              let e = sym_off + (i * symentsize) in
-              let st_name = Int32.to_int (Bytes.get_int32_le b e) in
-              if st_name = 0 then None
-              else Some (name_at st_name, u64 (e + 8)))
-          |> List.filter_map Fun.id
+      let symbols =
+        match find_symtab 0 with
+        | None -> []
+        | Some si ->
+            let link = sh_link si in
+            if link >= shnum || sh_type link <> 3 then
+              raise (Bad_elf "symtab without strtab");
+            let str_off = sh_off link and str_size = sh_size link in
+            if str_off + str_size > len then raise (Bad_elf "truncated strtab");
+            let name_at off =
+              if off >= str_size then raise (Bad_elf "bad st_name");
+              let stop = Bytes.index_from b (str_off + off) '\000' in
+              Bytes.sub_string b (str_off + off) (stop - (str_off + off))
+            in
+            let sym_off = sh_off si and sym_size = sh_size si in
+            if sym_off + sym_size > len then raise (Bad_elf "truncated symtab");
+            let nsyms = sym_size / symentsize in
+            List.init nsyms (fun i ->
+                let e = sym_off + (i * symentsize) in
+                let st_name = Int32.to_int (Bytes.get_int32_le b e) in
+                if st_name = 0 then None
+                else Some (name_at st_name, u64 (e + 8)))
+            |> List.filter_map Fun.id
+      in
+      (* section names live in the e_shstrndx string table *)
+      let shstrndx = u16 62 in
+      let section_name =
+        if shstrndx = 0 || shstrndx >= shnum || sh_type shstrndx <> 3 then
+          fun _ -> ""
+        else
+          let str_off = sh_off shstrndx and str_size = sh_size shstrndx in
+          fun i ->
+            let noff = sh_name i in
+            if noff >= str_size then ""
+            else
+              let stop = Bytes.index_from b (str_off + noff) '\000' in
+              Bytes.sub_string b (str_off + noff) (stop - (str_off + noff))
+      in
+      let rec find_sites i =
+        if i >= shnum then None
+        else if section_name i = ".lfi_sites" then Some i
+        else find_sites (i + 1)
+      in
+      let sites =
+        match find_sites 0 with
+        | None -> []
+        | Some si ->
+            let off = sh_off si and size = sh_size si in
+            if off + size > len then raise (Bad_elf "truncated .lfi_sites");
+            if size < 8 || Bytes.sub_string b off 4 <> sites_magic then
+              raise (Bad_elf "bad .lfi_sites header");
+            if u32at (off + 4) <> sites_version then
+              raise (Bad_elf "unsupported .lfi_sites version");
+            let n = (size - 8) / sites_entsize in
+            List.init n (fun i ->
+                let e = off + 8 + (i * sites_entsize) in
+                match
+                  Lfi_telemetry.Overhead.category_of_code (u8 (e + 8))
+                with
+                | None -> raise (Bad_elf "bad .lfi_sites category")
+                | Some category ->
+                    { Lfi_telemetry.Overhead.pc = u32at e;
+                      category;
+                      inserted = u8 (e + 9) <> 0;
+                      orig_pc = u32at (e + 4) })
+      in
+      (symbols, sites)
     end
   in
-  { entry; segments; symbols }
+  { entry; segments; symbols; sites }
 
 (* ------------------------------------------------------------------ *)
 (* Bridges                                                             *)
@@ -252,8 +339,9 @@ let trim_bss (data : bytes) : bytes * int =
 
 (** Package an assembled image as an ELF executable, carrying the
     assembler's label table as ELF symbols (sorted by address, then
-    name, so the written bytes are deterministic). *)
-let of_image (img : Lfi_arm64.Assemble.image) : t =
+    name, so the written bytes are deterministic) and, when the image
+    came out of the rewriter, its overhead site table ([?sites]). *)
+let of_image ?(sites = []) (img : Lfi_arm64.Assemble.image) : t =
   let data, data_memsz = trim_bss img.Lfi_arm64.Assemble.data in
   let symbols =
     Hashtbl.fold (fun n v acc -> (n, v) :: acc) img.Lfi_arm64.Assemble.symbols []
@@ -268,6 +356,7 @@ let of_image (img : Lfi_arm64.Assemble.image) : t =
         { vaddr = img.data_origin; flags = pf_r lor pf_w; data;
           memsz = data_memsz } ];
     symbols;
+    sites;
   }
 
 (** Look up an exported symbol's sandbox-relative address.  This is how

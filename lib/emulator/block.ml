@@ -28,8 +28,12 @@
       W+X page) stops after the offending instruction, exactly where
       the step path would re-fetch;
     - anything needing finer observation ({!Machine.metrics},
-      {!Machine.profile}, {!Machine.escape_oracle}) never reaches this
-      module — {!Exec.run} deopts to the step loop first. *)
+      {!Machine.profile}, {!Machine.escape_oracle},
+      {!Machine.overhead}) never reaches this module — {!Exec.run}
+      deopts to the step loop first.  Overhead attribution in
+      particular charges per fetched pc, so both dispatch modes
+      produce identical site accounting: armed, they run the same
+      step path; off, neither charges anything. *)
 
 open Lfi_arm64
 open Machine

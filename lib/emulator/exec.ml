@@ -13,6 +13,8 @@
       [m.insns] maintained every instruction;
     - [m.escape_oracle] armed: the fuzzing oracle checks every data
       access and branch target;
+    - [m.overhead] armed: per-site cycle attribution charges at fetch
+      time, which only the step path performs per instruction;
     - [m.blocks_enabled = false]: the per-machine kill switch
       (seeded from [LFI_SUPERBLOCKS]).
 
@@ -27,6 +29,7 @@ let[@inline] blocks_armed (m : Machine.t) : bool =
   && (match m.Machine.metrics with None -> true | Some _ -> false)
   && (match m.Machine.profile with None -> true | Some _ -> false)
   && (match m.Machine.escape_oracle with None -> true | Some _ -> false)
+  && (match m.Machine.overhead with None -> true | Some _ -> false)
 
 (** Run until an event occurs or [quantum] instructions have executed. *)
 let run (m : Machine.t) ~(quantum : int) : event =

@@ -358,8 +358,12 @@ let fetch_insn (m : Machine.t) : Insn.t =
   if m.dc_idx <> pidx then Machine.decode_page m pidx;
   let i = Array.unsafe_get m.dc_arr slot in
   if i != Machine.undecoded then begin
-    add_cycles m (Array.unsafe_get m.dc_cost slot);
+    let c = Array.unsafe_get m.dc_cost slot in
+    add_cycles m c;
     (match m.metrics with None -> () | Some t -> count_fetch t ~hit:true i);
+    (match m.overhead with
+    | None -> ()
+    | Some a -> Lfi_telemetry.Overhead.charge a pci c);
     i
   end
   else begin
@@ -370,6 +374,9 @@ let fetch_insn (m : Machine.t) : Insn.t =
     Array.unsafe_set m.dc_cost slot c;
     add_cycles m c;
     (match m.metrics with None -> () | Some t -> count_fetch t ~hit:false i);
+    (match m.overhead with
+    | None -> ()
+    | Some a -> Lfi_telemetry.Overhead.charge a pci c);
     i
   end
 

@@ -168,6 +168,10 @@ type t = {
   mutable escape_oracle : oracle option;
       (** fuzzing ground truth; [None] by default.  Not part of
           {!snapshot}, so it survives context switches and restores. *)
+  mutable overhead : Lfi_telemetry.Overhead.acc option;
+      (** per-rewrite-site cycle attribution; [None] (the default)
+          charges nothing — one predictable branch per fetch, same
+          discipline as {!metrics} *)
   (* --- superblock cache (see {!Block} for the engine) --- *)
   mutable blocks_enabled : bool;
       (** master switch for block dispatch on this machine; when armed
@@ -382,6 +386,7 @@ let create ?(uarch = Cost_model.m1) (mem : Memory.t) =
       profile = None;
       flight = None;
       escape_oracle = None;
+      overhead = None;
       blocks_enabled = !superblocks_default;
       blocks = Hashtbl.create 16;
       bp_idx = -1;

@@ -32,18 +32,20 @@ exception Run_failure of string
 
 (** Compile [prog] for [system] and return the ELF image. *)
 let build (system : system) (prog : Lfi_minic.Ast.program) : Lfi_elf.Elf.t =
-  let source =
+  let source, sites =
     match system with
-    | Native | Native_kvm -> Lfi_minic.Compile.compile prog
+    | Native | Native_kvm -> (Lfi_minic.Compile.compile prog, [])
     | Lfi config ->
         let native = Lfi_minic.Compile.compile prog in
-        let rewritten, _ = Lfi_core.Rewriter.rewrite ~config native in
-        rewritten
+        let rewritten, stats = Lfi_core.Rewriter.rewrite ~config native in
+        ( rewritten,
+          Lfi_core.Rewriter.resolve_sites ~input:native ~output:rewritten
+            stats )
     | Wasm engine ->
         let m = Lfi_wasm.From_minic.lower prog in
-        Lfi_wasm.Compile_wasm.compile engine m
+        (Lfi_wasm.Compile_wasm.compile engine m, [])
   in
-  Lfi_elf.Elf.of_image (Lfi_arm64.Assemble.assemble source)
+  Lfi_elf.Elf.of_image ~sites (Lfi_arm64.Assemble.assemble source)
 
 let personality = function
   | Native | Native_kvm | Wasm _ -> Lfi_runtime.Proc.Native_in_lfi_runtime
@@ -51,9 +53,11 @@ let personality = function
 
 (** Execute a prebuilt image, returning the runtime too (so callers
     can read telemetry off it).  [metrics] turns the emulator counters
-    on before the run. *)
-let execute_rt ?(uarch = Cost_model.m1) ?(metrics = false) (system : system)
-    (elf : Lfi_elf.Elf.t) : result * Lfi_runtime.Runtime.t =
+    on before the run; [overhead] arms per-site cycle attribution
+    (effective only when the image carries a [.lfi_sites] table). *)
+let execute_rt ?(uarch = Cost_model.m1) ?(metrics = false)
+    ?(overhead = false) (system : system) (elf : Lfi_elf.Elf.t) :
+    result * Lfi_runtime.Runtime.t =
   let verifier_config =
     match system with
     | Lfi c ->
@@ -70,6 +74,7 @@ let execute_rt ?(uarch = Cost_model.m1) ?(metrics = false) (system : system)
   if system = Native_kvm then
     rt.Lfi_runtime.Runtime.machine.Machine.nested_paging <- true;
   let p = Lfi_runtime.Runtime.load rt ~personality:(personality system) elf in
+  if overhead then ignore (Lfi_runtime.Runtime.enable_overhead rt p);
   let reason, _out, cycles, insns = Lfi_runtime.Runtime.run_one rt p in
   let exit_code =
     match reason with

@@ -48,6 +48,9 @@ type t = {
   symbols : Lfi_telemetry.Profile.sym_table;
       (** the ELF symbol table sorted for pc-sample folding; [[||]]
           when the image carried no symbols *)
+  sites : Lfi_telemetry.Overhead.site list;
+      (** the image's [.lfi_sites] overhead site table
+          (sandbox-relative pcs); [[]] when the image carried none *)
   flight : Lfi_telemetry.Flight.t;
       (** per-sandbox flight recorder; the runtime installs it on the
           machine while this process runs, and drains it into the

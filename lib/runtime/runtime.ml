@@ -167,6 +167,28 @@ let enable_profile ?period rt : Lfi_telemetry.Profile.t =
       p
   | Some p -> p
 
+(** Arm per-rewrite-site cycle attribution for sandbox [p], using the
+    [.lfi_sites] table its image carried ([Proc.sites], rebased to the
+    slot).  Returns [None] when the image has no site table.
+    Idempotent; the machine holds one accumulator, so attribute one
+    sandbox per runtime (exactly what [lfi_run --overhead] does). *)
+let enable_overhead rt (p : Proc.t) : Lfi_telemetry.Overhead.acc option =
+  match rt.machine.Machine.overhead with
+  | Some a -> Some a
+  | None ->
+      if p.Proc.sites = [] then None
+      else begin
+        let a =
+          Lfi_telemetry.Overhead.create
+            ~base:(Int64.to_int p.Proc.base)
+            p.Proc.sites
+        in
+        rt.machine.Machine.overhead <- Some a;
+        Some a
+      end
+
+let overhead_acc rt = rt.machine.Machine.overhead
+
 (* ------------------------------------------------------------------ *)
 (* Address-space management                                            *)
 (* ------------------------------------------------------------------ *)
@@ -333,6 +355,7 @@ let load rt ?(arg = 0L) ~(personality : Proc.personality)
       user_insns = 0;
       rtcalls = 0;
       symbols = Lfi_telemetry.Profile.sym_table elf.Lfi_elf.Elf.symbols;
+      sites = elf.Lfi_elf.Elf.sites;
       flight = Lfi_telemetry.Flight.create ();
     }
   in
@@ -470,6 +493,7 @@ let do_fork rt (parent : Proc.t) : int =
         user_insns = 0;
         rtcalls = 0;
         symbols = parent.Proc.symbols;
+        sites = parent.Proc.sites;
         flight = Lfi_telemetry.Flight.create ();
       }
     in
@@ -1076,7 +1100,19 @@ let run rt : (int * exit_reason) list =
     let finish () =
       p.Proc.user_insns <- p.Proc.user_insns + (m.Machine.insns - start_insns)
     in
-    match Exec.run m ~quantum:rt.cfg.quantum with
+    let ev = Exec.run m ~quantum:rt.cfg.quantum in
+    (* overhead counter track: one sample per scheduler quantum keeps
+       the trace linear in scheduling events, not instructions *)
+    (match (rt.trace, m.Machine.overhead) with
+    | Some t, Some a ->
+        Lfi_telemetry.Trace.counter t ~name:"sfi-overhead-cycles"
+          ~cat:"overhead" ~ts:(Machine.cycles m) ~pid:trace_pid
+          ~args:
+            [ ( "attributed",
+                Lfi_telemetry.Trace.Float
+                  (Lfi_telemetry.Overhead.attributed_cycles a) ) ]
+    | _ -> ());
+    match ev with
     | Exec.Quantum_expired ->
         (* timer preemption (setitimer in the real runtime) *)
         rt.preemptions <- rt.preemptions + 1;

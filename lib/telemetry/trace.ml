@@ -84,6 +84,13 @@ let instant t ~name ~cat ~ts ~pid ~tid ~args =
   if args <> [] then add_args t.buf args;
   finish_event t
 
+(** A counter sample ([ph = "C"]): Perfetto renders one stacked-area
+    track per counter name, one series per arg key. *)
+let counter t ~name ~cat ~ts ~pid ~args =
+  start_event t ~ph:'C' ~name ~cat ~ts ~pid ~tid:0;
+  add_args t.buf args;
+  finish_event t
+
 (* Metadata events name the process and thread tracks in the viewer. *)
 
 let metadata t ~name ~pid ~tid ~value =
