@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-compare serve-bench serve-trace-demo crash-demo trace-demo fuzz-smoke fuzz clean
+.PHONY: all build check test bench bench-json bench-compare serve-bench serve-trace-demo crash-demo trace-demo fuzz-smoke fuzz prove-smoke prove clean
 
 all: build
 
@@ -66,6 +66,21 @@ trace-demo:
 fuzz-smoke:
 	dune exec bin/lfi_fuzz.exe -- all --seed 0 --count 500 --minic 40
 	dune exec bin/lfi_fuzz.exe -- --demo-weakened
+
+# Symbolic soundness gate: every instruction the verifier accepts
+# (smoke strata) must carry a symbolic proof that it preserves the
+# sandbox invariant — zero holes expected — and every deliberate
+# verifier weakening must surface a hole the escape oracle confirms.
+# Deterministic and fast; runs on every push.
+prove-smoke:
+	dune exec bin/lfi_prove.exe
+	dune exec bin/lfi_prove.exe -- --demo-weakened
+
+# Full per-instruction enumeration (nightly): ~5M candidate encodings
+# across all strata, still zero holes expected; writes the byte-stable
+# lfi-prove/v1 report.
+prove:
+	dune exec bin/lfi_prove.exe -- --full --json PROVE_full.json
 
 # Long fuzzing run (nightly): a different seed per day, large counts.
 # Minimized repros for any failure land in test/corpus/repro_*.s and

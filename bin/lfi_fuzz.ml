@@ -26,19 +26,38 @@ let run_engine name f =
 
 let run engine seed count minic pool weaken demo repro_dir =
   let repro_dir = if repro_dir = "" then None else Some repro_dir in
+  let weakening =
+    if weaken = "" then None
+    else
+      match Lfi_verifier.Verifier.weakening_of_name weaken with
+      | Some w -> Some w
+      | None ->
+          Printf.eprintf "unknown weakening %s (known: %s)\n" weaken
+            (String.concat ", "
+               (List.map Lfi_verifier.Verifier.weakening_name
+                  Lfi_verifier.Verifier.all_weakenings));
+          exit 2
+  in
   if demo then begin
-    (* regression test for the soundness oracle itself: the weakened
-       verifier must let an escaping mutant through, the real one must
-       not *)
-    let d = Lfi_fuzz.Soundness.demo_weakened () in
-    Format.printf
-      "weakened-verifier demo: %d escaping mutants accepted by weakened \
-       verifier, %d by real verifier@."
-      d.Lfi_fuzz.Soundness.weakened_escapes d.Lfi_fuzz.Soundness.real_escapes;
-    if d.Lfi_fuzz.Soundness.weakened_escapes > 0
-       && d.Lfi_fuzz.Soundness.real_escapes = 0
-    then begin
-      Format.printf "demo: OK (oracle catches the weakened verifier)@.";
+    (* regression test for the soundness oracle itself: for every known
+       weakening, the weakened verifier must let an escaping mutant
+       through, the real one must not *)
+    let results = Lfi_fuzz.Soundness.demo_weakened () in
+    let ok =
+      List.for_all
+        (fun (w, d) ->
+          Format.printf
+            "weakened-verifier demo [%s]: %d escaping mutants accepted by \
+             weakened verifier, %d by real verifier@."
+            (Lfi_verifier.Verifier.weakening_name w)
+            d.Lfi_fuzz.Soundness.weakened_escapes
+            d.Lfi_fuzz.Soundness.real_escapes;
+          d.Lfi_fuzz.Soundness.weakened_escapes > 0
+          && d.Lfi_fuzz.Soundness.real_escapes = 0)
+        results
+    in
+    if ok then begin
+      Format.printf "demo: OK (oracle catches every weakened verifier)@.";
       exit 0
     end
     else begin
@@ -56,7 +75,8 @@ let run engine seed count minic pool weaken demo repro_dir =
     | "soundness" ->
         [ ( "soundness",
             fun () ->
-              Lfi_fuzz.Soundness.run ~seed ~count ~pool ~weaken ?repro_dir ()
+              Lfi_fuzz.Soundness.run ~seed ~count ~pool ?weakening ?repro_dir
+                ()
           ) ]
     | "complete" ->
         [ ( "complete",
@@ -71,7 +91,8 @@ let run engine seed count minic pool weaken demo repro_dir =
           );
           ( "soundness",
             fun () ->
-              Lfi_fuzz.Soundness.run ~seed ~count ~pool ~weaken ?repro_dir ()
+              Lfi_fuzz.Soundness.run ~seed ~count ~pool ?weakening ?repro_dir
+                ()
           );
           ( "complete",
             fun () ->
@@ -110,15 +131,16 @@ let cmd =
            ~doc:"Verified seed binaries in the soundness mutation pool.")
   in
   let weaken =
-    Arg.(value & flag & info [ "weaken-uxtw-check" ]
-           ~doc:"Run the soundness engine against the deliberately weakened \
-                 verifier (unsafe_no_uxtw_check); failures are then expected.")
+    Arg.(value & opt string "" & info [ "weaken" ] ~docv:"NAME"
+           ~doc:"Run the soundness engine against a deliberately weakened \
+                 verifier (e.g. no-uxtw-check); failures are then expected.")
   in
   let demo =
     Arg.(value & flag & info [ "demo-weakened" ]
-           ~doc:"Run the oracle regression demo: enumerate single-bit flips \
-                 of the crafted uxtw seed under both verifier configs and \
-                 require that only the weakened one lets an escape through.")
+           ~doc:"Run the oracle regression demo: for every known verifier \
+                 weakening, enumerate single-bit flips of its crafted seed \
+                 under both verifier configs and require that only the \
+                 weakened one lets an escape through.")
   in
   let repro_dir =
     Arg.(value & opt string "test/corpus" & info [ "corpus-dir" ] ~docv:"DIR"

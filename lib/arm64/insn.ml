@@ -267,6 +267,22 @@ let access_bytes = function
   | Fldp { r1; _ } | Fstp { r1; _ } -> 2 * Reg.Fp.bytes r1
   | _ -> 0
 
+(** Value range an extended-register operand can contribute, as a
+    closed interval of byte offsets, independent of the register's
+    contents — the symbolic interface the soundness prover
+    (lib/prover) evaluates addressing and guard arithmetic with.
+    [None] for the identity extends [uxtx]/[sxtx], whose result spans
+    the full 64-bit range of the source register. *)
+let extend_bounds (e : extend) ~(amount : int) : (int * int) option =
+  match e with
+  | Uxtb -> Some (0, 0xFF lsl amount)
+  | Uxth -> Some (0, 0xFFFF lsl amount)
+  | Uxtw -> Some (0, 0xFFFFFFFF lsl amount)
+  | Sxtb -> Some (-(0x80 lsl amount), 0x7F lsl amount)
+  | Sxth -> Some (-(0x8000 lsl amount), 0x7FFF lsl amount)
+  | Sxtw -> Some (-(0x8000_0000 lsl amount), 0x7FFF_FFFF lsl amount)
+  | Uxtx | Sxtx -> None
+
 let is_branch = function
   | B _ | Bl _ | Bcond _ | Cbz _ | Tbz _ | Br _ | Blr _ | Ret _ -> true
   | _ -> false

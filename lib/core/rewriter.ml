@@ -224,9 +224,20 @@ let transform_general_mem ~o1 (insn : Insn.t) (addr : Insn.addr)
        the 32KiB encoding limit stay within the 48KiB guard region, so
        they may remain as offsets from the guarded base. *)
     match addr with
-    | Insn.Imm_off (_, i) ->
+    | Insn.Imm_off (_, i)
+      when i >= 0 && i + Insn.access_bytes insn <= Layout.max_mem_immediate
+           || i < 0 ->
         via_x18 ~guard:(addr_guard x18 b) ~pre:[] ~post:[]
           (Insn.Imm_off (x18, i))
+    | Insn.Imm_off (_, i) ->
+        (* scaled q-register offsets can reach 65520 bytes, past the
+           guard margin the verifier accepts: fold the offset into w22
+           and guard the combined address instead *)
+        via_x18
+          ~guard:(addr_guard x18 (Reg.x 22))
+          ~pre:(List.map (fun g -> (g, tg_clamp)) (materialize_offset32 b i))
+          ~post:[]
+          (Insn.Imm_off (x18, 0))
     | Insn.Pre (_, i) ->
         via_x18 ~guard:(addr_guard x18 b)
           ~pre:[ (add_imm_to b i, tg_clamp) ] ~post:[]

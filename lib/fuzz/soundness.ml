@@ -150,6 +150,44 @@ let uxtw_demo_source : Source.t =
     Source.Insn (Insn.Blr x30);
   ]
 
+(** The crafted seed for the sp-drift weakening (committed as
+    [test/corpus/sp_drift_weak.s]): sp parked at the sandbox top, a
+    small legal drift, then a maximal sp-relative store that lands in
+    the guard region — safe as written.  One bit-22 flip turns
+    [add sp, sp, #5] into [add sp, sp, #5, lsl #12]: the 20 KiB drift
+    pushes the store past the guard — an escape the real verifier
+    prevents by bounding the drift. *)
+let sp_drift_demo_source : Source.t =
+  [
+    Source.Directive (".text", "");
+    Source.Label "_start";
+    Source.Insn (Insn.Mov { op = Insn.MOVN; dst = Reg.R (Reg.W32, 22); imm = 0; hw = 0 });
+    Source.Insn
+      (Insn.Alu
+         { op = Insn.ADD; flags = false; dst = Reg.sp; src = x21;
+           op2 = Insn.Ext (Reg.R (Reg.W64, 22), Insn.Uxtx, 0) });
+    Source.Insn
+      (Insn.Alu
+         { op = Insn.ADD; flags = false; dst = Reg.sp; src = Reg.sp;
+           op2 = Insn.Imm (5, 0) });
+    Source.Insn
+      (Insn.Str
+         { sz = Insn.X; src = Reg.R (Reg.W64, 0);
+           addr =
+             Insn.Imm_off (Reg.sp, Lfi_core.Layout.max_mem_immediate - 8) });
+    Source.Insn
+      (Insn.Ldr
+         { sz = Insn.X; signed = false; dst = x30;
+           addr = Insn.Imm_off (x21, Lfi_core.Layout.rtcall_entry_offset
+                                       Lfi_runtime.Sysno.exit) });
+    Source.Insn (Insn.Blr x30);
+  ]
+
+(** The crafted seed whose single-bit flips exercise [weakening]. *)
+let demo_seed_source : Lfi_verifier.Verifier.weakening -> Source.t = function
+  | Lfi_verifier.Verifier.No_uxtw_check -> uxtw_demo_source
+  | Lfi_verifier.Verifier.No_sp_drift_check -> sp_drift_demo_source
+
 let build_seed (src : Source.t) : Lfi_elf.Elf.t =
   Lfi_elf.Elf.of_image (Assemble.assemble src)
 
@@ -173,15 +211,16 @@ let seed_pool ~seed ~(n : int) : Lfi_elf.Elf.t list =
 (* ------------------------------------------------------------------ *)
 
 (** [run ~seed ~count ()] tests [count] mutants drawn over the seed
-    pool.  [weaken] swaps in the deliberately unsound verifier config
+    pool.  [weakening] swaps in a deliberately unsound verifier config
     (to exercise the oracle; failures are then expected).  A failure
     is an accepted mutant whose execution escapes. *)
-let run ?(seed = 0) ?(count = 200) ?(pool = 6) ?(weaken = false) ?repro_dir
-    () : Report.t =
+let run ?(seed = 0) ?(count = 200) ?(pool = 6)
+    ?(weakening : Lfi_verifier.Verifier.weakening option) ?repro_dir () :
+    Report.t =
   let config =
-    if weaken then
-      { Lfi_verifier.Verifier.default_config with unsafe_no_uxtw_check = true }
-    else Lfi_verifier.Verifier.default_config
+    match weakening with
+    | Some w -> Lfi_verifier.Verifier.(weaken default_config w)
+    | None -> Lfi_verifier.Verifier.default_config
   in
   let seeds = seed_pool ~seed ~n:pool |> Array.of_list in
   (* drop any seed the (possibly weakened) verifier does not accept:
@@ -255,14 +294,13 @@ type demo = {
       (** same mutants filtered by the *real* verifier — must be 0 *)
 }
 
-(** Enumerate every single-bit flip of [elf]'s text under both
-    verifier configs. *)
-let bit_flip_audit (elf : Lfi_elf.Elf.t) : demo =
+(** Enumerate every single-bit flip of [elf]'s text under both the
+    real verifier config and the config weakened by [weakening]. *)
+let bit_flip_audit ?(weakening = Lfi_verifier.Verifier.No_uxtw_check)
+    (elf : Lfi_elf.Elf.t) : demo =
   let orig = (text_of elf).Lfi_elf.Elf.data in
   let nwords = Bytes.length orig / 4 in
-  let weak =
-    { Lfi_verifier.Verifier.default_config with unsafe_no_uxtw_check = true }
-  in
+  let weak = Lfi_verifier.Verifier.(weaken default_config weakening) in
   let real = Lfi_verifier.Verifier.default_config in
   let weakened_escapes = ref 0 and real_escapes = ref 0 in
   for word = 0 to nwords - 1 do
@@ -276,6 +314,10 @@ let bit_flip_audit (elf : Lfi_elf.Elf.t) : demo =
   done;
   { weakened_escapes = !weakened_escapes; real_escapes = !real_escapes }
 
-(** The audit on the crafted uxtw seed: the acceptance demo for the
-    whole oracle. *)
-let demo_weakened () : demo = bit_flip_audit (build_seed uxtw_demo_source)
+(** The audit on every known weakening's crafted seed: the acceptance
+    demo for the whole oracle. *)
+let demo_weakened () : (Lfi_verifier.Verifier.weakening * demo) list =
+  List.map
+    (fun w ->
+      (w, bit_flip_audit ~weakening:w (build_seed (demo_seed_source w))))
+    Lfi_verifier.Verifier.all_weakenings

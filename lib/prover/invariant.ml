@@ -1,0 +1,115 @@
+(** The sandbox invariant, stated per instruction boundary
+    (DESIGN.md §5i).
+
+    The verifier's rules are local — one instruction plus a bounded
+    forward window — so the soundness statement is inductive: assume
+    the invariant at a boundary, run the symbolic transfer function
+    over one accepted instruction (with its completion window), and
+    re-establish the invariant while discharging every memory and
+    branch obligation along the way.
+
+    Clauses, mirroring Section 3 of the paper:
+    - x21 is exactly the sandbox base;
+    - x18/x23/x24 hold base + a 32-bit offset (valid guarded
+      addresses);
+    - x22 holds a 32-bit value (so the sp guard
+      [add sp, x21, x22, uxtx] lands in the sandbox);
+    - x30 is a valid branch target (in-sandbox, or a runtime-table
+      word);
+    - sp is anchored near the sandbox, with at most one small pending
+      drift.
+
+    The sp clause is the only stateful one.  The verifier accepts a
+    bare [add sp, sp, #imm] only when an sp access or the sp guard
+    re-anchors it before the next sp write or branch, and rejects two
+    bare drifts in a row; so boundaries come in two flavours:
+    [sp_anchored] (right after a guard, a pre/post writeback, or an
+    access that proved sp in-sandbox) and [sp_boundary] — the anchored
+    range widened by one maximal pending drift — which every boundary
+    satisfies.  A proof window whose head is the drift instruction may
+    start from the anchored range; everything else starts from the
+    widened join. *)
+
+open Lfi_core
+
+let four_g = Layout.sandbox_size
+let guard = Layout.guard_size
+
+(** Largest accepted positive immediate reach of an access, cf. the
+    verifier's [imm_off_in_guard]. *)
+let mem_slack = Layout.max_mem_immediate
+
+(** Largest pre/post-index writeback magnitude the encodings allow
+    (pair q registers: 64 x 16). *)
+let wb_slack = 1024
+
+(** Largest single pending sp drift ([Layout.max_sp_drift] is an
+    exclusive bound). *)
+let drift = Layout.max_sp_drift - 1
+
+let sp_anchored = Sym.Rel (-mem_slack, four_g - 1 + wb_slack)
+let sp_boundary = Sym.Rel (-mem_slack - drift, four_g - 1 + wb_slack + drift)
+
+type clause =
+  | X21_base
+  | Reserved_addr of int
+  | X22_scratch
+  | X30_target
+  | Sp_anchor
+  | Mem_window
+  | Branch_window
+
+let clause_name = function
+  | X21_base -> "x21-base"
+  | Reserved_addr n -> Printf.sprintf "x%d-guarded" n
+  | X22_scratch -> "x22-scratch"
+  | X30_target -> "x30-target"
+  | Sp_anchor -> "sp-anchor"
+  | Mem_window -> "mem-window"
+  | Branch_window -> "branch-window"
+
+(** Invariant bound for register [n], [None] when unconstrained. *)
+let reg_bound (n : int) : Sym.value option =
+  match n with
+  | 21 -> Some (Sym.Rel (0, 0))
+  | 18 | 23 | 24 -> Some (Sym.Rel (0, four_g - 1))
+  | 22 -> Some Sym.u32
+  | 30 -> Some Sym.Branchable
+  | _ -> None
+
+let clause_of_reg (n : int) : clause =
+  match n with
+  | 21 -> X21_base
+  | 22 -> X22_scratch
+  | 30 -> X30_target
+  | n -> Reserved_addr n
+
+(** The weakest state satisfying the invariant: the induction
+    hypothesis at the head of a proof window.  [pre_anchored] selects
+    the anchored sp range (valid exactly when the head instruction is
+    a bare sp drift, cf. the module comment). *)
+let start ~(pre_anchored : bool) : Sym.state =
+  Sym.create
+    ~sp:(if pre_anchored then sp_anchored else sp_boundary)
+    (fun n ->
+      match reg_bound n with Some v -> v | None -> Sym.Top)
+
+(** Check the invariant at a boundary; returns the violated clauses
+    with the offending abstract value. *)
+let check (st : Sym.state) : (clause * string) list =
+  let fails = ref [] in
+  for n = 30 downto 0 do
+    match reg_bound n with
+    | Some bound ->
+        if not (Sym.leq st.Sym.regs.(n) bound) then
+          fails :=
+            ( clause_of_reg n,
+              Printf.sprintf "x%d = %s" n (Sym.to_string st.Sym.regs.(n)) )
+            :: !fails
+    | None -> ()
+  done;
+  if not (Sym.leq st.Sym.sp sp_boundary) then
+    fails :=
+      (Sp_anchor, Printf.sprintf "sp = %s" (Sym.to_string st.Sym.sp))
+      :: !fails;
+  !fails

@@ -1,0 +1,133 @@
+(** The [lfi-prove/v1] report (DESIGN.md §5i).
+
+    Byte-stable by construction, like the fuzz and bench reports: the
+    JSON is hand-rolled with a fixed field order, counts are fully
+    determined by (strata tier, verifier config), and wall-clock
+    timing is only included when explicitly requested ([~elapsed_ms]),
+    so the default report can be pinned by a golden test and compared
+    byte-for-byte in CI. *)
+
+type hole = {
+  word : int;  (** encoding of the offending instruction *)
+  disasm : string;
+  clause : string;  (** violated invariant clause, cf. {!Invariant.clause_name} *)
+  detail : string;
+}
+
+type stratum_result = {
+  s_name : string;
+  candidates : int;  (** encodings enumerated *)
+  rejected : int;  (** verifier refused every completion *)
+  accepted : int;  (** verifier accepted at least one completion *)
+  proved : int;  (** accepted and symbolically proved *)
+  holes : int;  (** accepted but unprovable: soundness holes *)
+  samples : hole list;  (** first few holes, for the report *)
+}
+
+type t = {
+  tier : string;  (** "smoke" or "full" *)
+  weakenings : string list;  (** deliberate config weakenings applied *)
+  strata : stratum_result list;
+  elapsed_ms : int option;
+}
+
+let total f r = List.fold_left (fun a s -> a + f s) 0 r.strata
+let total_holes r = total (fun s -> s.holes) r
+
+(* ---- JSON ---- *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_json (r : t) : string =
+  let b = Buffer.create 4096 in
+  let str s =
+    Buffer.add_char b '"';
+    buf_escape b s;
+    Buffer.add_char b '"'
+  in
+  Buffer.add_string b "{\"schema\":\"lfi-prove/v1\",\"tier\":";
+  str r.tier;
+  Buffer.add_string b ",\"weakenings\":[";
+  List.iteri
+    (fun k w ->
+      if k > 0 then Buffer.add_char b ',';
+      str w)
+    r.weakenings;
+  Buffer.add_string b "],\"strata\":[";
+  List.iteri
+    (fun k s ->
+      if k > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":";
+      str s.s_name;
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"candidates\":%d,\"rejected\":%d,\"accepted\":%d,\"proved\":%d,\"holes\":%d,\"samples\":["
+           s.candidates s.rejected s.accepted s.proved s.holes);
+      List.iteri
+        (fun j h ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"word\":\"0x%08x\",\"disasm\":" h.word);
+          str h.disasm;
+          Buffer.add_string b ",\"clause\":";
+          str h.clause;
+          Buffer.add_string b ",\"detail\":";
+          str h.detail;
+          Buffer.add_char b '}')
+        s.samples;
+      Buffer.add_string b "]}")
+    r.strata;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"totals\":{\"candidates\":%d,\"rejected\":%d,\"accepted\":%d,\"proved\":%d,\"holes\":%d},\"elapsed_ms\":%s}"
+       (total (fun s -> s.candidates) r)
+       (total (fun s -> s.rejected) r)
+       (total (fun s -> s.accepted) r)
+       (total (fun s -> s.proved) r)
+       (total_holes r)
+       (match r.elapsed_ms with
+       | None -> "null"
+       | Some ms -> string_of_int ms));
+  Buffer.contents b
+
+(* ---- human summary ---- *)
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "lfi-prove/v1 · tier %s%s@." r.tier
+    (match r.weakenings with
+    | [] -> ""
+    | ws -> " · weakened: " ^ String.concat ", " ws);
+  Format.fprintf fmt "  %-14s %10s %9s %9s %9s %7s@." "stratum"
+    "candidates" "rejected" "accepted" "proved" "holes";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-14s %10d %9d %9d %9d %7d@." s.s_name
+        s.candidates s.rejected s.accepted s.proved s.holes)
+    r.strata;
+  Format.fprintf fmt "  %-14s %10d %9d %9d %9d %7d@." "total"
+    (total (fun s -> s.candidates) r)
+    (total (fun s -> s.rejected) r)
+    (total (fun s -> s.accepted) r)
+    (total (fun s -> s.proved) r)
+    (total_holes r);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun h ->
+          Format.fprintf fmt "  HOLE %s: 0x%08x  %-28s %s: %s@." s.s_name
+            h.word h.disasm h.clause h.detail)
+        s.samples)
+    r.strata;
+  match r.elapsed_ms with
+  | Some ms -> Format.fprintf fmt "  elapsed: %d ms@." ms
+  | None -> ()

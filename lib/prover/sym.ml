@@ -1,0 +1,81 @@
+(** Symbolic value domain of the soundness prover (DESIGN.md §5i).
+
+    The prover never needs full bit-level reasoning: every sandbox
+    invariant is an interval statement about addresses relative to the
+    sandbox base (which the verifier keeps abstract in x21), plus two
+    special facts — "this value was loaded from the runtime-call
+    table" and "this value is a valid branch target".  Five abstract
+    values cover all of it.
+
+    Intervals are closed ([lo], [hi] both included) and fit OCaml's
+    native [int]: the largest magnitude ever tracked is a few guard
+    regions past 2^32. *)
+
+type value =
+  | Rel of int * int
+      (** sandbox base + an offset in [\[lo, hi\]] — the shape of every
+          guarded address *)
+  | Abs of int * int
+      (** a known absolute (base-independent) range, e.g. the 32-bit
+          scratch register x22 *)
+  | Table
+      (** loaded from the runtime-call table: a host entry address or
+          the in-sandbox guard-trap word — a valid [blr] target by the
+          loader's construction *)
+  | Branchable
+      (** any valid branch target: base + [\[0, 4GiB)] or [Table] —
+          the x30 invariant *)
+  | Top  (** no information *)
+
+let u32 = Abs (0, 0xFFFF_FFFF)
+
+(** Order of the domain: [leq a b] when every concrete value described
+    by [a] is also described by [b].  [Abs] is never below [Rel] (the
+    base is abstract) and never below [Branchable] (an absolute
+    address proves nothing about the sandbox). *)
+let leq (a : value) (b : value) : bool =
+  match (a, b) with
+  | _, Top -> true
+  | Rel (alo, ahi), Rel (blo, bhi) | Abs (alo, ahi), Abs (blo, bhi) ->
+      blo <= alo && ahi <= bhi
+  | Table, (Table | Branchable) -> true
+  | Rel (lo, hi), Branchable -> lo >= 0 && hi < 1 lsl 32
+  | Branchable, Branchable -> true
+  | _ -> false
+
+(** Shift a value by a constant interval.  Anything without interval
+    structure degrades to [Top]: adding to a table word or an unknown
+    produces an unknown. *)
+let add_interval (v : value) ((lo, hi) : int * int) : value =
+  match v with
+  | Rel (a, b) -> Rel (a + lo, b + hi)
+  | Abs (a, b) -> Abs (a + lo, b + hi)
+  | Table | Branchable | Top -> Top
+
+(** Intersect a base-relative value with a known base-relative window
+    (used to re-anchor sp after a non-trapping access).  From [Top]
+    the window itself is the whole story; an empty intersection means
+    the path cannot execute, so any sound representative will do. *)
+let meet_rel (v : value) ((lo, hi) : int * int) : value =
+  match v with
+  | Rel (a, b) -> Rel (max a lo, min b hi)
+  | Top | Abs _ | Table | Branchable -> Rel (lo, hi)
+
+let to_string = function
+  | Rel (lo, hi) ->
+      if lo = hi then Printf.sprintf "base+%d" lo
+      else Printf.sprintf "base+[%d, %d]" lo hi
+  | Abs (lo, hi) ->
+      if lo = hi then Printf.sprintf "%d" lo
+      else Printf.sprintf "[%d, %d]" lo hi
+  | Table -> "table-entry"
+  | Branchable -> "branch-target"
+  | Top -> "top"
+
+(** Machine state at an instruction boundary: one abstract value per
+    general register x0-x30, plus sp.  (Flags and FP registers never
+    appear in an invariant or an obligation.) *)
+type state = { regs : value array; mutable sp : value }
+
+let create ~(sp : value) (init : int -> value) : state =
+  { regs = Array.init 31 init; sp }

@@ -37,11 +37,33 @@ type config = {
           soundness engine uses this to prove the escape oracle can
           catch a weakened verifier; it must never be set in a
           loader. *)
+  unsafe_no_sp_drift_check : bool;
+      (** DELIBERATELY UNSOUND, same purpose: accept any immediate in
+          the drift-then-access sp pattern, including shifted
+          immediates far beyond the guard region. *)
 }
 
 let default_config =
   { sandbox_loads = true; allow_exclusives = true;
-    unsafe_no_uxtw_check = false }
+    unsafe_no_uxtw_check = false; unsafe_no_sp_drift_check = false }
+
+(** The deliberate weakenings as an enumerable set, so the soundness
+    fuzzer, the symbolic prover and the tests all iterate the same
+    list instead of hard-coding one knob (DESIGN.md §5d, §5i). *)
+type weakening = No_uxtw_check | No_sp_drift_check
+
+let all_weakenings = [ No_uxtw_check; No_sp_drift_check ]
+
+let weakening_name = function
+  | No_uxtw_check -> "no-uxtw-check"
+  | No_sp_drift_check -> "no-sp-drift-check"
+
+let weakening_of_name s =
+  List.find_opt (fun w -> weakening_name w = s) all_weakenings
+
+let weaken config = function
+  | No_uxtw_check -> { config with unsafe_no_uxtw_check = true }
+  | No_sp_drift_check -> { config with unsafe_no_sp_drift_check = true }
 
 type violation = {
   index : int;  (** instruction index within the text segment *)
@@ -113,6 +135,15 @@ let is_table_load = function
 let is_blr_x30 = function
   | Insn.Blr (Reg.R (Reg.W64, 30)) -> true
   | _ -> false
+
+(* Immediate offsets on sp and the reserved registers must stay inside
+   the 48KiB guard regions.  Negative encodable offsets bottom out at
+   -1024 (pair pre/post on q registers); positive *scaled* offsets
+   reach 4095 x 16 = 65520 bytes on q registers, which overruns the
+   guard, so the whole access is capped at [Layout.max_mem_immediate]
+   (the bound the rewriter materializes larger offsets down to). *)
+let imm_off_in_guard i off =
+  off < 0 || off + Insn.access_bytes i <= Lfi_core.Layout.max_mem_immediate
 
 let is_sp_based_access (i : Insn.t) =
   Insn.is_memory i
@@ -192,13 +223,18 @@ let verify ?(config = default_config) ?(origin = 0) ~(code : bytes) () :
                (* fuzzing-only hole: trusts the index extension, so an
                   [uxtw -> uxtx/lsl] bit flip slips through *)
                ()
-           | Insn.Imm_off (b, _) when Reg.is_sp b -> ()
+           | Insn.Imm_off (b, off) when Reg.is_sp b ->
+               if not (imm_off_in_guard i off) then
+                 fail idx "scaled offset overruns the guard margin"
            | (Insn.Pre (b, _) | Insn.Post (b, _)) when Reg.is_sp b -> ()
-           | Insn.Imm_off (Reg.R (Reg.W64, bn), _)
-             when reserved_addr_number bn || bn = 21 ->
-               (* offsets are capped at 32KiB by the encoding, within
-                  the 48KiB guard regions *)
+           | Insn.Imm_off (Reg.R (Reg.W64, 21), _) ->
+               (* x21 is the sandbox base itself: any encodable
+                  immediate lands inside the 4GiB sandbox *)
                ()
+           | Insn.Imm_off (Reg.R (Reg.W64, bn), off)
+             when reserved_addr_number bn ->
+               if not (imm_off_in_guard i off) then
+                 fail idx "scaled offset overruns the guard margin"
            | (Insn.Pre (Reg.R (Reg.W64, bn), _)
              | Insn.Post (Reg.R (Reg.W64, bn), _))
              when reserved_addr_number bn ->
@@ -231,6 +267,15 @@ let verify ?(config = default_config) ?(origin = 0) ~(code : bytes) () :
                 `Access
                 when v < Lfi_core.Layout.max_sp_drift ->
                   (* small drift, trapped by the next sp access *)
+                  ()
+              | Insn.Alu
+                  { op = Insn.ADD | Insn.SUB; flags = false;
+                    dst = Reg.SP Reg.W64; src = Reg.SP Reg.W64;
+                    op2 = Insn.Imm _ },
+                `Access
+                when config.unsafe_no_sp_drift_check ->
+                  (* fuzzing-only hole: trusts any immediate drift, so
+                     a [lsl #12] bit flip walks sp past the guard *)
                   ()
               | _, `Access ->
                   fail idx "sp drift too large for the guard region"

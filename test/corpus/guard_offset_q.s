@@ -1,0 +1,14 @@
+// engine: soundness
+// expect: reject
+// A q-register load with the maximal scaled immediate reaches
+// base + 4GiB - 1 + 65520 + 16, far past the 48 KiB guard region:
+// the guard only bounds the *register* part of the address, so the
+// immediate must satisfy off + access-size <= 32 KiB (the rewriter
+// splits anything larger).  Found by the symbolic prover; the
+// verifier now rejects it as "scaled offset overruns the guard
+// margin".
+	movn w1, #0
+	add x18, x21, w1, uxtw
+	ldr q0, [x18, #65520]
+	ldr x30, [x21, #8]
+	blr x30

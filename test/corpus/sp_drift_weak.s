@@ -1,0 +1,16 @@
+// engine: soundness
+// expect: accept-escape-weakened
+// The sp-drift regression seed (Soundness.sp_drift_demo_source): sp is
+// parked at the sandbox top, drifts by a legal #5, and the maximal
+// sp-relative store lands inside the guard region — safe as written.
+// A single bit flip (bit 22: the imm12 shift) turns the drift into
+// add sp, sp, #5, lsl #12: the 20 KiB drift pushes the store past the
+// guard — a mutant the deliberately weakened verifier
+// (unsafe_no_sp_drift_check) accepts and that escapes at run time,
+// and that the real verifier rejects as "sp drift too large".
+	movn w22, #0
+	add sp, x21, x22, uxtx
+	add sp, sp, #5
+	str x0, [sp, #32760]
+	ldr x30, [x21, #8]
+	blr x30

@@ -61,11 +61,21 @@ let replay_soundness (e : Fuzz.Corpus.entry) =
       (match verify_elf elf with
       | Ok _ -> ()
       | Error _ -> Alcotest.failf "%s: seed itself must verify" e.path);
-      let d = Fuzz.Soundness.bit_flip_audit elf in
-      checkb (e.path ^ ": weakened verifier leaks an escaping mutant") true
-        (d.Fuzz.Soundness.weakened_escapes > 0);
-      checki (e.path ^ ": real verifier escaping mutants") 0
-        d.Fuzz.Soundness.real_escapes
+      let audits =
+        List.map
+          (fun w -> Fuzz.Soundness.bit_flip_audit ~weakening:w elf)
+          Lfi_verifier.Verifier.all_weakenings
+      in
+      checkb (e.path ^ ": some weakened verifier leaks an escaping mutant")
+        true
+        (List.exists
+           (fun d -> d.Fuzz.Soundness.weakened_escapes > 0)
+           audits);
+      List.iter
+        (fun d ->
+          checki (e.path ^ ": real verifier escaping mutants") 0
+            d.Fuzz.Soundness.real_escapes)
+        audits
 
 let replay_equiv (e : Fuzz.Corpus.entry) =
   let src = Parser.parse_string_exn e.Fuzz.Corpus.text in
@@ -148,11 +158,14 @@ let test_determinism () =
 (* ---------------- the weakened-verifier demo ---------------- *)
 
 let test_weakened_demo () =
-  let d = Fuzz.Soundness.demo_weakened () in
-  checkb "weakened verifier accepts an escaping mutant" true
-    (d.Fuzz.Soundness.weakened_escapes > 0);
-  checki "real verifier accepts no escaping mutant" 0
-    d.Fuzz.Soundness.real_escapes
+  List.iter
+    (fun (w, d) ->
+      let name = Lfi_verifier.Verifier.weakening_name w in
+      checkb (name ^ ": weakened verifier accepts an escaping mutant") true
+        (d.Fuzz.Soundness.weakened_escapes > 0);
+      checki (name ^ ": real verifier accepts no escaping mutant") 0
+        d.Fuzz.Soundness.real_escapes)
+    (Fuzz.Soundness.demo_weakened ())
 
 (* ---------------- cross-page straddling branches ---------------- *)
 
