@@ -25,14 +25,18 @@ bench-compare:
 	dune exec bench/main.exe -- --quick --compare BENCH_emulator.json
 
 # Library-serving benchmark: replay a seeded request stream through a
-# pool of warm sandboxed-library instances and commit the lfi-serve/v2
-# report plus the lfi-snap/v1 snapshot stream. The stream and every
-# number in both files are a pure function of the seed, so they are
+# pool of warm sandboxed-library instances and commit the lfi-serve/v3
+# report plus the lfi-snap/v2 snapshot stream; --suite appends the
+# multi-tenant scale runs (open + closed loop at 256 slots / 4
+# tenants, the knee sweep, the measured yield_to handoff cost) and
+# writes the knee-sweep artifact. The stream and every number in all
+# three files are a pure function of the seed, so they are
 # byte-stable; CI re-runs this and diffs them.
 serve-bench:
 	dune exec bin/lfi_serve.exe -- --workload xzbox --requests 1000 \
 	  --pool 4 --seed 1 --json BENCH_serve.json \
-	  --snapshot=BENCH_serve_snap.jsonl --snapshot-every 250
+	  --snapshot=BENCH_serve_snap.jsonl --snapshot-every 250 \
+	  --suite --knee-json BENCH_serve_knee.json
 
 # Serving observability demo: serve the slowbox workload (whose rare
 # `grind` export deliberately blows its latency SLO), writing a

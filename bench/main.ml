@@ -705,6 +705,53 @@ let compare_baseline ~quick ~filter file =
          Printf.printf "  %-10s %-4s %-7s %10.0f -> %10.0f p99 cycles %s\n%!"
            "serve" "m1" "lfi-o2" base now
            (if bad then "  REGRESSION" else ""));
+  (* closed-loop tail-latency gate (schema v3): re-run the suite's
+     closed-loop point (256 slots, 4 tenants, 64 clients — the same
+     parameters lfi_serve --suite committed) and fail if end-to-end
+     p999 grew more than the threshold.  Also simulated cycles: a pure
+     function of the scheduler, so drift means a real scheduling
+     regression *)
+  (if Sys.file_exists serve_file then
+     let content =
+       let ic = open_in_bin serve_file in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s
+     in
+     match find_sub content "\"closed_loop\": " 0 with
+     | None ->
+         Printf.printf
+           "  serve-closed (no closed_loop section in %s; skipped)\n%!"
+           serve_file
+     | Some i ->
+         let stop =
+           match find_sub content "\"knee\"" i with
+           | Some j -> j
+           | None -> String.length content
+         in
+         let chunk = String.sub content i (stop - i) in
+         (match num_field chunk "p999" with
+          | None ->
+              Printf.printf
+                "  serve-closed (no numeric p999 in closed_loop; skipped)\n%!"
+          | Some base ->
+              let module S = Lfi_libbox.Serve.Suite in
+              let r =
+                Lfi_libbox.Serve.run ~uarch:Lfi_emulator.Cost_model.m1
+                  ~arrival:
+                    (Lfi_sched.Arrival.Closed { concurrency = S.concurrency })
+                  ~tenants:S.tenants ~batch_max:S.batch_max
+                  ~spec:Lfi_workloads.Libs.xzbox ~pool:S.pool
+                  ~requests:S.requests ~seed:1 ()
+              in
+              let now = r.Lfi_libbox.Serve.latency_p999 in
+              let bad = now > base *. (1.0 +. regression_threshold) in
+              if bad then incr regressions;
+              Printf.printf
+                "  %-10s %-4s %-7s %10.0f -> %10.0f p999 cycles %s\n%!"
+                "serve-closed" "m1" "lfi-o2" base now
+                (if bad then "  REGRESSION" else "")));
   if !regressions > 0 then begin
     Printf.printf "%d sample(s) regressed more than %.0f%%\n" !regressions
       (regression_threshold *. 100.0);

@@ -1,20 +1,150 @@
 (* lfi_serve: drive a seeded request stream through a pool of warm
    sandboxed-library instances and report throughput + transition
-   costs as lfi-serve/v2 JSON.
+   costs as lfi-serve/v3 JSON.
 
-   The stream, the pool scheduling, and every number in the report
+   The stream, the scheduling (per-tenant queues, quotas, DRR service,
+   work stealing — see lib/sched), and every number in the report
    derive from the seed and the simulated machine, so the output is
    byte-identical across runs — `make serve-bench` commits it and CI
    re-runs and diffs it.  The same determinism covers the optional
    observability outputs: --trace writes a Chrome/Perfetto trace with
    one track per pool slot and one slice per request phase, and
-   --snapshot writes lfi-snap/v1 frames (one JSON object per line)
-   that lfi_top renders. *)
+   --snapshot writes lfi-snap/v2 frames (one JSON object per line)
+   that lfi_top renders.
+
+   --arrival picks the load model: replay (back-to-back, the committed
+   anchor), open (seeded Poisson at --rate), or closed (--concurrency
+   clients).  --suite appends the committed scale runs — open + closed
+   loop at 256 slots / 4 tenants, the knee sweep (written separately
+   to --knee-json), and the measured yield_to handoff cost on both
+   cost models — to the anchor report. *)
 
 module Serve = Lfi_libbox.Serve
+module Arrival = Lfi_sched.Arrival
+module Tenant = Lfi_sched.Tenant
+
+let tenant_specs n =
+  if n <= 1 then [ Tenant.default_spec ]
+  else if n <= List.length Serve.Suite.tenants then
+    List.filteri (fun i _ -> i < n) Serve.Suite.tenants
+  else begin
+    Printf.eprintf "--tenants %d: at most %d tenant classes are defined\n" n
+      (List.length Serve.Suite.tenants);
+    exit 2
+  end
+
+(* the committed scale runs appended by --suite; each is summarized by
+   the report's condensed one-object JSON *)
+let suite_sections spec seed knee_file =
+  let module S = Serve.Suite in
+  let run ~arrival ~pool ~requests =
+    Serve.run ~arrival ~tenants:S.tenants ~batch_max:S.batch_max ~spec ~pool
+      ~requests ~seed ()
+  in
+  Printf.eprintf "suite: open loop (%d slots, %.0f rps offered)...\n%!"
+    S.pool S.open_rate;
+  let open_r =
+    run ~arrival:(Arrival.Open { rate_rps = S.open_rate }) ~pool:S.pool
+      ~requests:S.requests
+  in
+  Printf.eprintf "suite: closed loop (%d slots, %d clients)...\n%!" S.pool
+    S.concurrency;
+  let closed_r =
+    run ~arrival:(Arrival.Closed { concurrency = S.concurrency }) ~pool:S.pool
+      ~requests:S.requests
+  in
+  Printf.eprintf "suite: knee sweep (%d slots, %d rates)...\n%!" S.knee_pool
+    (List.length S.knee_rates);
+  let knee_rows =
+    List.map
+      (fun rate ->
+        ( rate,
+          run ~arrival:(Arrival.Open { rate_rps = rate }) ~pool:S.knee_pool
+            ~requests:S.knee_requests ))
+      S.knee_rates
+  in
+  let base_p999 =
+    match knee_rows with
+    | (_, r) :: _ -> r.Serve.latency_p999
+    | [] -> nan
+  in
+  let knee =
+    List.fold_left
+      (fun acc (rate, r) ->
+        if S.sustainable ~base_p999 r then Float.max acc rate else acc)
+      0.0 knee_rows
+  in
+  let shed_queue r =
+    List.fold_left (fun a t -> a + t.Serve.ts_shed_queue) 0 r.Serve.tenants
+  in
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "  , \"open_loop\": %s,\n" open_r.Serve.summary;
+  add "  \"closed_loop\": %s,\n" closed_r.Serve.summary;
+  add
+    "  \"knee\": {\"pool\": %d, \"requests_per_rate\": %d, \
+     \"max_sustainable_rps\": %.0f, \"rule\": \"largest swept rate with \
+     p999 <= 4x the lowest rate's p999 and no queue-bound sheds\",\n\
+    \    \"rates\": ["
+    S.knee_pool S.knee_requests knee;
+  List.iteri
+    (fun i (rate, r) ->
+      if i > 0 then add ", ";
+      add
+        "{\"offered_rps\": %.0f, \"achieved_rps\": %.0f, \"p50\": %s, \
+         \"p99\": %s, \"p999\": %s, \"shed\": %d, \"shed_queue\": %d, \
+         \"duration_cycles\": %.1f}"
+        rate r.Serve.achieved_rps
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p50)
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p99)
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p999)
+        r.Serve.shed (shed_queue r) r.Serve.duration_cycles)
+    knee_rows;
+  add "]},\n";
+  Printf.eprintf "suite: yield_to handoff microbenchmark...\n%!";
+  let hm1 = Lfi_experiments.Handoff.measure Lfi_emulator.Cost_model.m1 in
+  let ht2a = Lfi_experiments.Handoff.measure Lfi_emulator.Cost_model.t2a in
+  add
+    "  \"yield_handoff\": {\"paper_cycles\": %.1f, \"m1\": %s, \"t2a\": %s}\n"
+    Lfi_experiments.Handoff.paper_cycles
+    (Lfi_experiments.Handoff.to_json hm1)
+    (Lfi_experiments.Handoff.to_json ht2a);
+  (* the knee sweep as its own artifact (CI uploads it) *)
+  let kb = Buffer.create 1024 in
+  let kadd fmt = Printf.ksprintf (Buffer.add_string kb) fmt in
+  kadd "{\n  \"schema\": \"lfi-serve-knee/v1\",\n";
+  kadd "  \"workload\": %S,\n  \"seed\": %d,\n" spec.Lfi_libbox.Api.l_short
+    seed;
+  kadd "  \"pool\": %d,\n  \"requests_per_rate\": %d,\n" S.knee_pool
+    S.knee_requests;
+  kadd "  \"max_sustainable_rps\": %.0f,\n  \"rates\": [\n" knee;
+  List.iteri
+    (fun i (rate, r) ->
+      kadd
+        "    {\"offered_rps\": %.0f, \"achieved_rps\": %.0f, \"p50\": %s, \
+         \"p99\": %s, \"p999\": %s, \"shed\": %d, \"shed_queue\": %d}%s\n"
+        rate r.Serve.achieved_rps
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p50)
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p99)
+        (Lfi_libbox.Snapshot.json_float r.Serve.latency_p999)
+        r.Serve.shed (shed_queue r)
+        (if i = List.length knee_rows - 1 then "" else ","))
+    knee_rows;
+  kadd "  ]\n}\n";
+  let oc = open_out knee_file in
+  Buffer.output_buffer oc kb;
+  close_out oc;
+  Printf.eprintf "wrote %s (knee sweep artifact)\n" knee_file;
+  Printf.eprintf
+    "suite: closed-loop p999 %.0f cycles; knee %.0f rps; handoff m1 %.1f / \
+     t2a %.1f cycles (paper ~%.0f)\n"
+    closed_r.Serve.latency_p999 knee hm1.Lfi_experiments.Handoff.h_cycles_per_handoff
+    ht2a.Lfi_experiments.Handoff.h_cycles_per_handoff
+    Lfi_experiments.Handoff.paper_cycles;
+  Buffer.contents b
 
 let run workload requests pool seed machine json filter trace snapshot
-    snapshot_every =
+    snapshot_every arrival rate concurrency tenants batch_max suite knee_file =
   match Lfi_workloads.Libs.find workload with
   | None ->
       Printf.eprintf "unknown library workload %S (have: %s)\n" workload
@@ -29,6 +159,15 @@ let run workload requests pool seed machine json filter trace snapshot
         | Some u -> u
         | None ->
             Printf.eprintf "unknown machine %S (m1 or t2a)\n" machine;
+            exit 2
+      in
+      let arrival =
+        match arrival with
+        | "replay" -> Arrival.Replay
+        | "open" -> Arrival.Open { rate_rps = rate }
+        | "closed" -> Arrival.Closed { concurrency }
+        | s ->
+            Printf.eprintf "unknown --arrival %S (replay, open, closed)\n" s;
             exit 2
       in
       List.iter
@@ -56,8 +195,9 @@ let run workload requests pool seed machine json filter trace snapshot
         | Some _, n -> if n > 0 then n else 250
       in
       let report =
-        Serve.run ~uarch ~filter ?trace:tr ~snapshot_every ~spec ~pool
-          ~requests ~seed ()
+        Serve.run ~uarch ~filter ?trace:tr ~snapshot_every ~arrival
+          ~tenants:(tenant_specs tenants) ~batch_max ~spec ~pool ~requests
+          ~seed ()
       in
       (match (trace, tr) with
       | Some file, Some t ->
@@ -76,20 +216,32 @@ let run workload requests pool seed machine json filter trace snapshot
           close_out oc;
           Printf.eprintf "wrote %s (%d frames; view with lfi_top)\n" file
             (List.length report.Serve.snapshots));
+      (* --suite: splice the scale runs into the anchor report, just
+         before its closing brace, so the anchor's v2/v3 lines stay
+         byte-identical to a plain run *)
+      let final_json =
+        if not suite then report.Serve.json
+        else begin
+          let extra = suite_sections spec seed knee_file in
+          let j = report.Serve.json in
+          String.sub j 0 (String.length j - 2) ^ extra ^ "}\n"
+        end
+      in
       (match json with
-      | None -> print_string report.Serve.json
+      | None -> print_string final_json
       | Some file ->
           let oc = open_out file in
-          output_string oc report.Serve.json;
+          output_string oc final_json;
           close_out oc;
           Printf.printf "wrote %s\n" file);
       (* human summary on stderr so --json stdout stays machine-clean *)
       Printf.eprintf
-        "%s: %d/%d requests ok, %d instances lost; transition p50 %.0f / \
-         p99 %.0f cycles (linux pipe %.0f); call p999 %.0f; %.1f insns/req, \
-         %.0f req/s; %d SLO alert%s\n"
+        "%s: %d/%d requests ok, %d shed, %d instances lost; transition p50 \
+         %.0f / p99 %.0f cycles (linux pipe %.0f); call p999 %.0f; %.1f \
+         insns/req, %.0f req/s; %d SLO alert%s\n"
         spec.Lfi_libbox.Api.l_short report.Serve.completed requests
-        report.Serve.retired report.Serve.gate_p50 report.Serve.gate_p99
+        report.Serve.shed report.Serve.retired report.Serve.gate_p50
+        report.Serve.gate_p99
         uarch.Lfi_emulator.Cost_model.linux_pipe_roundtrip
         report.Serve.call_p999 report.Serve.insns_per_request
         report.Serve.requests_per_sec
@@ -110,7 +262,7 @@ let workload =
 
 let requests =
   Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N"
-         ~doc:"Number of requests to replay.")
+         ~doc:"Number of requests to serve (offered, for open loop).")
 
 let pool =
   Arg.(value & opt int 4 & info [ "pool" ] ~docv:"N"
@@ -126,7 +278,7 @@ let machine =
 
 let json =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-         ~doc:"Write the lfi-serve/v2 report to $(docv) instead of stdout.")
+         ~doc:"Write the lfi-serve/v3 report to $(docv) instead of stdout.")
 
 let filter =
   Arg.(value & opt_all string [] & info [ "filter" ] ~docv:"EXPORT"
@@ -143,7 +295,7 @@ let trace =
 let snapshot =
   Arg.(value & opt ~vopt:(Some "serve_snap.jsonl") (some string) None
        & info [ "snapshot" ] ~docv:"FILE"
-           ~doc:"Write lfi-snap/v1 frames (one JSON object per line) to \
+           ~doc:"Write lfi-snap/v2 frames (one JSON object per line) to \
                  $(docv) (default serve_snap.jsonl); lfi_top renders them.")
 
 let snapshot_every =
@@ -151,11 +303,44 @@ let snapshot_every =
          ~doc:"Emit a snapshot frame every $(docv) requests (plus one \
                final frame).")
 
+let arrival =
+  Arg.(value & opt string "replay" & info [ "arrival" ] ~docv:"MODEL"
+         ~doc:"Arrival model: replay (back-to-back), open (seeded Poisson \
+               at --rate), or closed (--concurrency clients).")
+
+let rate =
+  Arg.(value & opt float 800_000.0 & info [ "rate" ] ~docv:"RPS"
+         ~doc:"Open-loop offered rate, requests per simulated second.")
+
+let concurrency =
+  Arg.(value & opt int 64 & info [ "concurrency" ] ~docv:"N"
+         ~doc:"Closed-loop client count.")
+
+let tenants =
+  Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N"
+         ~doc:"Number of tenant classes (from the suite's canned specs; 1 \
+               = single unlimited tenant).")
+
+let batch_max =
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N"
+         ~doc:"Max same-export requests served per dispatch decision.")
+
+let suite =
+  Arg.(value & flag & info [ "suite" ]
+         ~doc:"Append the committed scale runs (open + closed loop at 256 \
+               slots / 4 tenants, knee sweep, yield_to handoff cost) to \
+               the report.")
+
+let knee_file =
+  Arg.(value & opt string "BENCH_serve_knee.json" & info [ "knee-json" ]
+         ~docv:"FILE" ~doc:"Where --suite writes the knee-sweep artifact.")
+
 let cmd =
   let doc = "serve a request stream through a sandboxed-library pool" in
   Cmd.v
     (Cmd.info "lfi_serve" ~doc)
     Term.(const run $ workload $ requests $ pool $ seed $ machine $ json
-          $ filter $ trace $ snapshot $ snapshot_every)
+          $ filter $ trace $ snapshot $ snapshot_every $ arrival $ rate
+          $ concurrency $ tenants $ batch_max $ suite $ knee_file)
 
 let () = exit (Cmd.eval cmd)

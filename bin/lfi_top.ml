@@ -1,5 +1,6 @@
-(* lfi_top: render lfi-snap/v1 snapshot frames as a top(1)-style view
-   of a serving run.
+(* lfi_top: render lfi-snap/v2 snapshot frames (v1 files still parse)
+   as a top(1)-style view of a serving run, including the per-tenant
+   scheduling columns (queue depth, quota utilization, sheds).
 
    lfi_serve --snapshot writes one JSON frame per line; this tool
    renders the last frame (default), replays every frame in order
@@ -30,7 +31,7 @@ let render line =
   match Snapshot.of_json line with
   | frame -> print_string (Snapshot.render frame)
   | exception Snapshot.Bad_snapshot why ->
-      Printf.eprintf "lfi_top: malformed lfi-snap/v1 frame: %s\n" why;
+      Printf.eprintf "lfi_top: malformed lfi-snap frame: %s\n" why;
       exit 2
 
 let clear () = print_string "\027[2J\027[H"
@@ -76,7 +77,7 @@ open Cmdliner
 let file =
   Arg.(value & pos 0 string "serve_snap.jsonl"
        & info [] ~docv:"SNAPSHOT"
-           ~doc:"lfi-snap/v1 file written by lfi_serve --snapshot.")
+           ~doc:"lfi-snap/v1 or /v2 file written by lfi_serve --snapshot.")
 
 let replay =
   Arg.(value & flag & info [ "replay" ]

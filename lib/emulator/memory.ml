@@ -298,3 +298,7 @@ let page_clear_dirty (p : page) = p.dirty <- false
 
 (** Find a mapped page by index (used by fork's bulk copy). *)
 let find_page_by_index m (idx : int) = Hashtbl.find_opt m.pages idx
+
+(** Unordered iteration over mapped pages, for order-insensitive scans
+    that should not pay {!mapped_pages}' sort and list allocation. *)
+let iter_pages m (f : int -> page -> unit) = Hashtbl.iter f m.pages

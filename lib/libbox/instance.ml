@@ -59,15 +59,13 @@ let addr_of_idx idx = Int64.shift_left (Int64.of_int idx) Memory.page_bits
 let capture_baseline (inst : t) =
   Hashtbl.reset inst.pristine;
   let first = slot_first inst.p in
-  List.iter
-    (fun (idx, pg) ->
+  Memory.iter_pages inst.rt.Runtime.mem (fun idx pg ->
       if idx >= first && idx < first + pages_per_slot then begin
         Hashtbl.replace inst.pristine idx
           { pg_bytes = Bytes.copy (Memory.page_data pg);
             pg_perm = Memory.page_perm pg };
         Memory.page_clear_dirty pg
-      end)
-    (Memory.mapped_pages inst.rt.Runtime.mem);
+      end);
   inst.heap_end0 <- inst.p.Proc.heap_end;
   inst.baseline <- inst.p.Proc.snapshot
 
@@ -75,39 +73,51 @@ let capture_baseline (inst : t) =
     the pristine copies (a straight [Bytes.blit] — data pages are never
     executable, so no decode-cache entry can go stale; the map/unmap
     paths go through the invalidating entry points), rewind the heap
-    break, and rebuild the std fd table. *)
+    break, and rebuild the std fd table.
+
+    Cost is O(pages of this slot), never O(pages of the runtime): the
+    baseline pages are walked through [pristine], and any page the
+    request mapped beyond the baseline must sit in
+    [heap_end0, heap_end) because both [mmap] and [brk] bump-allocate
+    at the break — so with hundreds of resident instances a reset
+    still touches only its own slot. *)
 let reset (inst : t) =
   let mem = inst.rt.Runtime.mem in
-  let first = slot_first inst.p in
   let restored = ref 0 in
-  (* mapped now: restore if dirty, drop if the request mapped it *)
-  List.iter
-    (fun (idx, pg) ->
-      if idx >= first && idx < first + pages_per_slot then
-        match Hashtbl.find_opt inst.pristine idx with
-        | None -> Memory.unmap mem ~addr:(addr_of_idx idx) ~len:page
-        | Some pr ->
-            if Memory.page_dirty pg then begin
-              Bytes.blit pr.pg_bytes 0 (Memory.page_data pg) 0 page;
-              Memory.page_clear_dirty pg;
-              incr restored
-            end;
-            if Memory.page_perm pg <> pr.pg_perm then
-              Memory.set_page_perm mem idx pr.pg_perm)
-    (Memory.mapped_pages mem);
-  (* unmapped by the request: bring back *)
+  (* baseline pages: restore if dirtied, re-protect if mprotected,
+     bring back if the request unmapped them *)
   Hashtbl.iter
     (fun idx pr ->
-      if Memory.find_page_by_index mem idx = None then begin
-        Memory.map mem ~addr:(addr_of_idx idx) ~len:page ~perm:pr.pg_perm;
-        (match Memory.find_page_by_index mem idx with
-        | Some pg ->
+      match Memory.find_page_by_index mem idx with
+      | Some pg ->
+          if Memory.page_dirty pg then begin
             Bytes.blit pr.pg_bytes 0 (Memory.page_data pg) 0 page;
-            Memory.page_clear_dirty pg
-        | None -> assert false);
-        incr restored
-      end)
+            Memory.page_clear_dirty pg;
+            incr restored
+          end;
+          if Memory.page_perm pg <> pr.pg_perm then
+            Memory.set_page_perm mem idx pr.pg_perm
+      | None ->
+          Memory.map mem ~addr:(addr_of_idx idx) ~len:page ~perm:pr.pg_perm;
+          (match Memory.find_page_by_index mem idx with
+          | Some pg ->
+              Bytes.blit pr.pg_bytes 0 (Memory.page_data pg) 0 page;
+              Memory.page_clear_dirty pg
+          | None -> assert false);
+          incr restored)
     inst.pristine;
+  (* pages the request mapped (mmap/brk allocate at the break, so they
+     all live in the heap-growth range): drop them *)
+  let lo = Memory.page_index inst.heap_end0
+  and hi =
+    Memory.page_index
+      (Int64.add inst.p.Proc.heap_end (Int64.of_int (page - 1)))
+  in
+  for idx = lo to hi - 1 do
+    if not (Hashtbl.mem inst.pristine idx)
+       && Memory.find_page_by_index mem idx <> None
+    then Memory.unmap mem ~addr:(addr_of_idx idx) ~len:page
+  done;
   inst.pages_restored <- inst.pages_restored + !restored;
   inst.p.Proc.heap_end <- inst.heap_end0;
   Proc.close_all inst.p;

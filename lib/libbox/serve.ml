@@ -1,34 +1,43 @@
-(** Deterministic request-stream dispatcher and the [lfi-serve/v2]
-    report.
+(** Multi-tenant request scheduler and the [lfi-serve/v3] report.
 
-    [run] builds a library and a pool from a {!Api.lib_spec}, replays a
-    seeded request stream across the pool (weighted export pick +
-    argument generation, all drawn from one xorshift64 stream), and
-    reports throughput and transition costs.  Everything in the report
-    derives from the seed and the simulated machine — no wall clock, no
-    hash-table iteration order — so the JSON is byte-identical across
-    runs: the property `make serve-bench` commits to.
+    [run] builds a library and a pool from a {!Api.lib_spec} and drives
+    a seeded request stream through it under one of three arrival
+    models ({!Lfi_sched.Arrival}): back-to-back [Replay] (the v2 shape,
+    whose report fields are preserved byte for byte), open-loop seeded
+    Poisson arrivals at an offered rate, and closed-loop fixed
+    concurrency.  Everything in the report derives from the seed and
+    the simulated machine — no wall clock, no hash-table iteration
+    order — so the JSON is byte-identical across runs: the property
+    `make serve-bench` commits to.
 
-    v2 adds the serving observability layer, all of it always-on and
-    off the cycle-accounted path (instrumentation reads the simulated
-    clock, never advances it, so v1's throughput numbers are unchanged
-    to the byte):
+    v3 adds the scheduling layer between arrival and dispatch:
 
-    - {b spans}: every request's phase breakdown (queue wait, arena
-      marshal-in, gate entry, sandboxed execution, gate exit,
-      marshal-out) from the instance's allocation-free
-      {!Lfi_telemetry.Span} record, summed into the report and — when
-      a trace is attached — emitted as one Perfetto track per pool
-      slot with one slice per phase;
-    - {b windows}: rolling p50/p99/p999 latency and insns/request per
-      export and overall, from {!Lfi_telemetry.Window} rings of log2
-      histograms;
-    - {b SLOs}: per-export objectives from the workload spec evaluated
-      at every window close with fast (1-window) + slow (10-window)
-      burn rates ({!Lfi_telemetry.Slo}), alerts landing in the trace,
-      the report, and the snapshots;
-    - {b snapshots}: byte-stable [lfi-snap/v1] frames every
-      [snapshot_every] requests, the input to `lfi_top`. *)
+    - {b per-tenant queues} ({!Lfi_sched.Tenant}): each request is
+      assigned a tenant (weighted pick from the stream's xorshift when
+      there is more than one); admission refills the tenant's token
+      bucket from the simulated clock and sheds deterministically on an
+      empty bucket or a full queue — the reject path is counted, never
+      silent;
+    - {b weighted service}: tenants rotate through a {!Lfi_sched.Runq}
+      (the same abstraction the runtime scheduler and {!Pool} run on)
+      under deficit round-robin, so a heavy tenant gets its weight
+      share and no more;
+    - {b batching}: consecutive same-export requests of the chosen
+      tenant are served as one batch on one instance, paying the
+      dispatch-decision cost once;
+    - {b shards + work stealing}: the pool's slots are partitioned into
+      per-tenant home shards; a tenant whose shard has no live instance
+      steals from the next shard around the ring (counted per request);
+    - {b latency under load}: every request's end-to-end latency
+      (arrival → completion, queue wait included) lands in full-run
+      histograms — the p50/p99/p999 the paper's serving story is
+      about — next to the v2 windows/SLO/span instrumentation, which
+      now sees end-to-end latency too.
+
+    Request latency is measured in simulated cycles; queue wait and
+    the per-batch dispatch-decision cost (8 cycles, the runtime
+    scheduler's bookkeeping charge) advance the clock only under the
+    open- and closed-loop models, so replay throughput is untouched. *)
 
 open Lfi_emulator
 module H = Lfi_telemetry.Histogram
@@ -36,11 +45,34 @@ module Span = Lfi_telemetry.Span
 module Window = Lfi_telemetry.Window
 module Slo = Lfi_telemetry.Slo
 module Trace = Lfi_telemetry.Trace
+module Runq = Lfi_sched.Runq
+module Tenant = Lfi_sched.Tenant
+module Arrival = Lfi_sched.Arrival
+
+type tenant_stat = {
+  ts_name : string;
+  ts_weight : int;
+  ts_quota_rps : float;  (** 0 = no quota *)
+  ts_queue_bound : int;
+  ts_admitted : int;
+  ts_completed : int;
+  ts_failed : int;
+  ts_shed_queue : int;
+  ts_shed_quota : int;
+  ts_depth_max : int;
+  ts_depth_avg : float;
+  ts_steals : int;
+  ts_quota_util : float;  (** NaN = no quota *)
+  ts_p50 : float;
+  ts_p99 : float;
+  ts_p999 : float;
+}
 
 type report = {
   json : string;
   completed : int;
   failed : int;
+  shed : int;  (** requests rejected at admission (quota or queue bound) *)
   retired : int;  (** instances lost *)
   gate_p50 : float;
   gate_p99 : float;
@@ -48,16 +80,31 @@ type report = {
   call_p50 : float;
   call_p99 : float;
   call_p999 : float;
+  latency_p50 : float;  (** end-to-end (queue wait included), cycles *)
+  latency_p99 : float;
+  latency_p999 : float;
   insns_per_request : float;
   requests_per_sec : float;
+  achieved_rps : float;  (** served / simulated duration *)
+  duration_cycles : float;
+  steals : int;
+  batches : int;
+  tenants : tenant_stat list;
   alerts : Slo.alert list;  (** burn-rate alerts, in firing order *)
-  snapshots : string list;  (** lfi-snap/v1 frames, in emission order *)
+  snapshots : string list;  (** lfi-snap/v2 frames, in emission order *)
+  summary : string;
+      (** condensed one-object JSON of the run, for suite embedding *)
 }
 
 (** The serve layer's own trace process; the runtime's events stay on
     {!Lfi_runtime.Runtime.trace_pid} so the two views sit side by side
     in Perfetto. *)
 let trace_pid = 2
+
+(** Per-batch dispatch-decision charge under the open- and closed-loop
+    models — the same price the runtime scheduler pays per context
+    switch ({!Lfi_runtime.Runtime.lfi_sched_bookkeeping}). *)
+let dispatch_decision_cycles = 8.0
 
 (* xorshift64; the single source of randomness for the stream *)
 let make_rng (seed : int) =
@@ -101,11 +148,29 @@ let range_burn (ob : Slo.objective option) (r : Window.rstats) : float =
            ~total:(r.Window.r_ok + r.Window.r_err)
            ~budget:ob.Slo.error_budget)
 
+(** One admitted request waiting in a tenant queue. *)
+type pending = {
+  pr_export : Api.export_spec;
+  pr_args : Api.arg list;
+  pr_arrival : float;  (** simulated-cycle arrival timestamp *)
+  pr_tenant : int;
+  pr_client : int;  (** closed-loop client id; -1 otherwise *)
+}
+
 let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
     ?(filter : string list = []) ?(window_cycles = 50_000.0)
     ?(window_depth = 128) ?(trace : Trace.t option) ?(snapshot_every = 0)
-    ~(spec : Api.lib_spec) ~(pool : int) ~(requests : int) ~(seed : int) () :
-    report =
+    ?(arrival = Arrival.Replay)
+    ?(tenants : Tenant.spec list = [ Tenant.default_spec ])
+    ?(batch_max = 8) ~(spec : Api.lib_spec) ~(pool : int) ~(requests : int)
+    ~(seed : int) () : report =
+  if batch_max < 1 then invalid_arg "Serve.run: batch_max < 1";
+  if tenants = [] then invalid_arg "Serve.run: no tenants";
+  List.iter
+    (fun (t : Tenant.spec) ->
+      if t.Tenant.t_weight < 1 then
+        invalid_arg "Serve.run: tenant weight < 1")
+    tenants;
   let lib =
     let exports =
       List.map (fun e -> e.Api.e_name) spec.Api.l_exports
@@ -153,6 +218,7 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
   if stream_exports = [] then
     invalid_arg "Serve.run: no weighted exports in the stream";
   let machine = rt.Lfi_runtime.Runtime.machine in
+  let clock_hz = uarch.Cost_model.clock_ghz *. 1e9 in
   (* window 0 opens when serving starts, after pool warm-up *)
   let origin = Machine.cycles machine in
   let slo_of name =
@@ -170,12 +236,33 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
   let overall =
     Window.create ~depth:window_depth ~origin ~width:window_cycles ()
   in
+  (* ---------------- tenants, shards, tenant run queue -------------- *)
+  let tenant_specs = Array.of_list tenants in
+  let ntenants = Array.length tenant_specs in
+  let tns : pending Tenant.t array =
+    Array.map (Tenant.create ~clock_hz) tenant_specs
+  in
+  (* home shards: slot i belongs to tenant (i mod ntenants); with one
+     tenant the shard IS the pool in creation order, so replay keeps
+     the v2 rotation exactly *)
+  let shards = Array.init ntenants (fun _ -> Runq.create ()) in
+  Array.iteri
+    (fun i _ -> Runq.push shards.(i mod ntenants) i)
+    p.Pool.instances;
+  let tq = Runq.create ~capacity:ntenants () in
+  Array.iteri (fun t _ -> Runq.push tq t) tns;
+  (* full-run end-to-end latency (the v3 headline numbers); windows
+     above keep the v2 rolling view *)
+  let lat_overall = H.create () in
+  let lat_tenant = Array.init ntenants (fun _ -> H.create ()) in
   let phase_tot = Array.make Span.nphases 0.0 in
   let alerts = ref [] and last_eval = ref (-1) in
   let cursors : (int, float) Hashtbl.t = Hashtbl.create 8 in
   let snapshots = ref [] in
   let rng = make_rng seed in
   let serve_cycles = ref 0.0 and serve_insns = ref 0 in
+  let steals_total = ref 0 and batches = ref 0 and batched_reqs = ref 0 in
+  let served_count = ref 0 in
   (* evaluate SLOs over every window that closed before [gcur] *)
   let eval_closed gcur =
     for s = !last_eval + 1 to gcur - 1 do
@@ -250,6 +337,27 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
         })
       export_state
   in
+  let duration () = Machine.cycles machine -. origin in
+  let tenant_rows () =
+    Array.to_list
+      (Array.mapi
+         (fun t (tn : pending Tenant.t) ->
+           {
+             Snapshot.tn_name = tn.Tenant.spec.Tenant.t_name;
+             tn_depth = Tenant.depth tn;
+             tn_depth_max = tn.Tenant.depth_max;
+             tn_admitted = tn.Tenant.admitted;
+             tn_completed = tn.Tenant.completed;
+             tn_failed = tn.Tenant.failed;
+             tn_shed_queue = tn.Tenant.shed_queue;
+             tn_shed_quota = tn.Tenant.shed_quota;
+             tn_quota_util =
+               Tenant.quota_utilization tn ~duration:(duration ());
+             tn_steals = tn.Tenant.steals;
+             tn_p99 = H.percentile lat_tenant.(t) 0.99;
+           })
+         tns)
+  in
   let take_frame i =
     let frame =
       {
@@ -263,6 +371,7 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
         windows = Window.spanned overall;
         exports = export_rows ();
         slots = slot_rows ();
+        tenants = tenant_rows ();
         phases =
           List.map (fun ph -> (Span.name ph, phase_tot.(Span.index ph))) Span.all;
         alerts = List.rev !alerts;
@@ -270,33 +379,69 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
     in
     snapshots := Snapshot.to_json frame :: !snapshots
   in
-  for i = 1 to requests do
+  (* ---------------- request generation ----------------------------- *)
+  let tenant_weight_total =
+    Array.fold_left (fun a (s : Tenant.spec) -> a + s.Tenant.t_weight) 0
+      tenant_specs
+  in
+  let pick_tenant () =
+    if ntenants = 1 then 0
+    else begin
+      let n = rng tenant_weight_total in
+      let rec go acc t =
+        let acc = acc + tenant_specs.(t).Tenant.t_weight in
+        if n < acc || t = ntenants - 1 then t else go acc (t + 1)
+      in
+      go 0 0
+    end
+  in
+  (* tenant pick (when not pinned) draws before export pick, so the
+     request stream stays a pure function of seed + tenant list *)
+  let gen ?tenant ~(at : float) ~(client : int) () : pending =
+    let t = match tenant with Some t -> t | None -> pick_tenant () in
     let e = pick_export rng stream_exports in
     let args = e.Api.e_gen ~rng in
-    let inst, r = Pool.dispatch p e.Api.e_name args in
+    { pr_export = e; pr_args = args; pr_arrival = at; pr_tenant = t;
+      pr_client = client }
+  in
+  (* ---------------- dispatch + accounting -------------------------- *)
+  let replaying = arrival = Arrival.Replay in
+  (* closed-loop clients re-issue on completion *)
+  let issued = ref 0 in
+  let on_complete : (pending -> unit) ref = ref (fun _ -> ()) in
+  let record (req : pending) (inst : Instance.t option)
+      (r : (Api.reply, Api.error) result) =
     let now = Machine.cycles machine in
     List.iter (fun (_, w, _) -> Window.advance w ~now) export_state;
     Window.advance overall ~now;
-    let name, ew, slo =
-      List.find (fun (n, _, _) -> n = e.Api.e_name) export_state
+    let _, ew, slo =
+      List.find (fun (n, _, _) -> n = req.pr_export.Api.e_name) export_state
     in
-    ignore name;
+    let tn = tns.(req.pr_tenant) in
     (match r with
     | Ok reply ->
         let total = reply.Api.stats.Api.total_cycles in
         let insns = reply.Api.stats.Api.call_insns in
         serve_cycles := !serve_cycles +. total;
         serve_insns := !serve_insns + insns;
+        (* end-to-end latency: queue wait + service; under replay the
+           request arrived the instant it was served, so this is
+           exactly the v2 number *)
+        let latency = if replaying then total else now -. req.pr_arrival in
         let over =
           match slo with
-          | Some ob -> total > ob.Slo.latency_cycles
+          | Some ob -> latency > ob.Slo.latency_cycles
           | None -> false
         in
-        Window.observe ew ~now ~latency:total ~insns ~over;
-        Window.observe overall ~now ~latency:total ~insns ~over;
+        Window.observe ew ~now ~latency ~insns ~over;
+        Window.observe overall ~now ~latency ~insns ~over;
+        H.observe lat_overall latency;
+        H.observe lat_tenant.(req.pr_tenant) latency;
+        tn.Tenant.completed <- tn.Tenant.completed + 1;
         (match inst with
         | None -> ()
         | Some inst ->
+            Span.set inst.Instance.span Span.Queue (latency -. total);
             Span.accumulate inst.Instance.span phase_tot;
             (match trace with
             | None -> ()
@@ -314,18 +459,162 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
                 Hashtbl.replace cursors slot
                   (Span.emit sp t ~pid:trace_pid ~tid:slot ~ts:start)))
     | Error _ ->
+        tn.Tenant.failed <- tn.Tenant.failed + 1;
         Window.fail ew ~now;
         Window.fail overall ~now);
     eval_closed (Window.cur overall);
-    if snapshot_every > 0 && i mod snapshot_every = 0 && i < requests then
-      take_frame i
-  done;
-  if snapshot_every > 0 then take_frame requests;
+    incr served_count;
+    if
+      snapshot_every > 0
+      && !served_count mod snapshot_every = 0
+      && !served_count < requests
+    then take_frame !served_count;
+    !on_complete req
+  in
+  (* pick an instance for tenant [t]: home shard first, then steal
+     around the ring *)
+  let keep i = p.Pool.instances.(i).Instance.alive in
+  let always _ = true in
+  let pick_instance t : (Instance.t * bool) option =
+    let rec go k =
+      if k >= ntenants then None
+      else
+        match Runq.select shards.((t + k) mod ntenants) ~keep ~runnable:always
+        with
+        | Some i -> Some (p.Pool.instances.(i), k > 0)
+        | None -> go (k + 1)
+    in
+    go 0
+  in
+  let dispatch_one (req : pending) (inst : (Instance.t * bool) option) =
+    match inst with
+    | None -> record req None (Error Api.No_instances)
+    | Some (inst, stolen) ->
+        if stolen then begin
+          let tn = tns.(req.pr_tenant) in
+          tn.Tenant.steals <- tn.Tenant.steals + 1;
+          incr steals_total
+        end;
+        record req (Some inst)
+          (Pool.dispatch_on p inst req.pr_export.Api.e_name req.pr_args)
+  in
+  (* serve one DRR batch for tenant [t]: up to [min deficit batch_max]
+     consecutive same-export requests on one instance, one dispatch
+     decision for the whole batch *)
+  let serve_batch t =
+    let tn = tns.(t) in
+    let w = tn.Tenant.spec.Tenant.t_weight in
+    tn.Tenant.deficit <- min (tn.Tenant.deficit + w) (max batch_max w);
+    let limit = min tn.Tenant.deficit batch_max in
+    let ename =
+      match Tenant.peek tn with
+      | Some r -> r.pr_export.Api.e_name
+      | None -> assert false
+    in
+    Machine.add_cycles machine dispatch_decision_cycles;
+    let inst = ref (pick_instance t) in
+    let served = ref 0 in
+    let continue = ref true in
+    while !continue && !served < limit do
+      match Tenant.peek tn with
+      | Some r when r.pr_export.Api.e_name = ename ->
+          let req = Tenant.take tn in
+          (match !inst with
+          | Some (i, _) when i.Instance.alive -> ()
+          | _ -> inst := pick_instance t (* re-pick: batch killed it *));
+          dispatch_one req !inst;
+          incr served
+      | _ -> continue := false
+    done;
+    tn.Tenant.deficit <- tn.Tenant.deficit - !served;
+    if Tenant.depth tn = 0 then tn.Tenant.deficit <- 0;
+    incr batches;
+    batched_reqs := !batched_reqs + !served
+  in
+  let next_tenant () =
+    Runq.select tq ~keep:always ~runnable:(fun t -> Tenant.depth tns.(t) > 0)
+  in
+  (* ---------------- the three arrival models ----------------------- *)
+  (match arrival with
+  | Arrival.Replay ->
+      (* v2 shape: each request arrives the instant the server is
+         ready — no queueing, no decision charge, batch of one *)
+      for _ = 1 to requests do
+        let now = Machine.cycles machine in
+        let req = gen ~at:now ~client:(-1) () in
+        match Tenant.admit tns.(req.pr_tenant) ~now req with
+        | Tenant.Admitted ->
+            let req = Tenant.take tns.(req.pr_tenant) in
+            dispatch_one req (pick_instance req.pr_tenant)
+        | Tenant.Shed_queue | Tenant.Shed_quota -> ()
+      done
+  | Arrival.Open { rate_rps } ->
+      if rate_rps <= 0.0 then invalid_arg "Serve.run: open-loop rate <= 0";
+      let sample =
+        Arrival.exp_stream ~seed ~mean_cycles:(clock_hz /. rate_rps)
+      in
+      let generated = ref 0 in
+      let next_arrival = ref (origin +. sample ()) in
+      let admit_due () =
+        (* everything that arrived while the server was busy *)
+        let now = Machine.cycles machine in
+        while !generated < requests && !next_arrival <= now do
+          let at = !next_arrival in
+          let req = gen ~at ~client:(-1) () in
+          incr generated;
+          ignore (Tenant.admit tns.(req.pr_tenant) ~now:at req);
+          next_arrival := at +. sample ()
+        done
+      in
+      let rec loop () =
+        admit_due ();
+        match next_tenant () with
+        | Some t ->
+            serve_batch t;
+            loop ()
+        | None ->
+            if !generated < requests then begin
+              (* idle until the next arrival *)
+              let now = Machine.cycles machine in
+              if !next_arrival > now then
+                Machine.add_cycles machine (!next_arrival -. now);
+              loop ()
+            end
+      in
+      loop ()
+  | Arrival.Closed { concurrency } ->
+      if concurrency < 1 then invalid_arg "Serve.run: concurrency < 1";
+      (* [concurrency] clients, pinned round-robin to tenants; each
+         re-issues the instant its previous request completes.  Closed
+         loops self-limit, so admission control does not apply. *)
+      let issue k at =
+        let t = k mod ntenants in
+        let req = gen ~tenant:t ~at ~client:k () in
+        Tenant.enqueue tns.(t) req;
+        incr issued
+      in
+      on_complete :=
+        (fun req ->
+          if req.pr_client >= 0 && !issued < requests then
+            issue req.pr_client (Machine.cycles machine));
+      for k = 0 to min concurrency requests - 1 do
+        issue k origin
+      done;
+      let rec loop () =
+        match next_tenant () with
+        | Some t ->
+            serve_batch t;
+            loop ()
+        | None -> ()
+      in
+      loop ());
+  if snapshot_every > 0 then take_frame !served_count;
   let alerts = List.rev !alerts in
   let snapshots = List.rev !snapshots in
   let gate, call = Pool.merged_hists p in
   let completed = p.Pool.served and failed = p.Pool.failed in
   let retired = Pool.retired p in
+  let shed = Array.fold_left (fun a tn -> a + Tenant.sheds tn) 0 tns in
   let insns_per_request =
     if completed = 0 then 0.0
     else float_of_int !serve_insns /. float_of_int completed
@@ -338,10 +627,81 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
       float_of_int completed
       /. (!serve_cycles /. (uarch.Cost_model.clock_ghz *. 1e9))
   in
+  let dur = duration () in
+  let achieved_rps =
+    if dur <= 0.0 then 0.0
+    else float_of_int !served_count /. (dur /. clock_hz)
+  in
+  let tenant_stats =
+    Array.to_list
+      (Array.mapi
+         (fun t (tn : pending Tenant.t) ->
+           let s = tn.Tenant.spec in
+           {
+             ts_name = s.Tenant.t_name;
+             ts_weight = s.Tenant.t_weight;
+             ts_quota_rps = (if Tenant.has_quota tn then s.Tenant.t_quota_rps else 0.0);
+             ts_queue_bound = s.Tenant.t_queue_bound;
+             ts_admitted = tn.Tenant.admitted;
+             ts_completed = tn.Tenant.completed;
+             ts_failed = tn.Tenant.failed;
+             ts_shed_queue = tn.Tenant.shed_queue;
+             ts_shed_quota = tn.Tenant.shed_quota;
+             ts_depth_max = tn.Tenant.depth_max;
+             ts_depth_avg = Tenant.depth_avg tn;
+             ts_steals = tn.Tenant.steals;
+             ts_quota_util = Tenant.quota_utilization tn ~duration:dur;
+             ts_p50 = H.percentile lat_tenant.(t) 0.50;
+             ts_p99 = H.percentile lat_tenant.(t) 0.99;
+             ts_p999 = H.percentile lat_tenant.(t) 0.999;
+           })
+         tns)
+  in
+  let lat_p50 = H.percentile lat_overall 0.50 in
+  let lat_p99 = H.percentile lat_overall 0.99 in
+  let lat_p999 = H.percentile lat_overall 0.999 in
+  let lat_mean =
+    if lat_overall.H.count = 0 then Float.nan else H.mean lat_overall
+  in
+  let arrival_model = Arrival.name arrival in
+  let rate_str =
+    match arrival with
+    | Arrival.Open { rate_rps } -> Printf.sprintf "%.0f" rate_rps
+    | _ -> "null"
+  in
+  let conc_str =
+    match arrival with
+    | Arrival.Closed { concurrency } -> string_of_int concurrency
+    | _ -> "null"
+  in
+  let tenants_json inline =
+    let b = Buffer.create 512 in
+    let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    List.iteri
+      (fun i ts ->
+        if i > 0 then add (if inline then ", " else ",\n    ");
+        add
+          "{\"tenant\": %S, \"weight\": %d, \"quota_rps\": %s, \
+           \"queue_bound\": %d, \"admitted\": %d, \"completed\": %d, \
+           \"failed\": %d, \"shed_queue\": %d, \"shed_quota\": %d, \
+           \"quota_utilization\": %s, \"depth_max\": %d, \"depth_avg\": \
+           %.1f, \"steals\": %d, \"p50\": %s, \"p99\": %s, \"p999\": %s}"
+          ts.ts_name ts.ts_weight
+          (if ts.ts_quota_rps > 0.0 then Printf.sprintf "%.0f" ts.ts_quota_rps
+           else "null")
+          ts.ts_queue_bound ts.ts_admitted ts.ts_completed ts.ts_failed
+          ts.ts_shed_queue ts.ts_shed_quota
+          (if Float.is_nan ts.ts_quota_util then "null"
+           else Printf.sprintf "%.3f" ts.ts_quota_util)
+          ts.ts_depth_max ts.ts_depth_avg ts.ts_steals (json_float ts.ts_p50)
+          (json_float ts.ts_p99) (json_float ts.ts_p999))
+      tenant_stats;
+    Buffer.contents b
+  in
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"lfi-serve/v2\",\n";
+  add "  \"schema\": \"lfi-serve/v3\",\n";
   add "  \"workload\": %S,\n" spec.Api.l_short;
   add "  \"system\": %S,\n" (Lfi_core.Config.name config);
   add "  \"uarch\": %S,\n" uarch.Cost_model.name;
@@ -366,9 +726,9 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
   add "  \"call_p99\": %s,\n" (json_float (H.percentile call 0.99));
   add "  \"call_p999\": %s,\n" (json_float (H.percentile call 0.999));
   (* the per-request phase breakdown: where a request's cycles go
-     across the boundary (queue/marshal_in are host-side work the
-     simulated clock does not advance through; they are priced but not
-     part of serve_cycles) *)
+     across the boundary (marshal_in is host-side work the simulated
+     clock does not advance through; queue wait advances it only under
+     the open/closed arrival models) *)
   add "  \"phases\": {";
   List.iteri
     (fun i ph ->
@@ -421,6 +781,26 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
         a.Slo.a_fast a.Slo.a_slow)
     alerts;
   add "]},\n";
+  (* v3: arrival model, end-to-end latency, and the scheduling layer *)
+  add
+    "  \"arrival\": {\"model\": %S, \"rate_rps\": %s, \"concurrency\": %s, \
+     \"offered\": %d, \"served\": %d, \"shed\": %d, \"duration_cycles\": \
+     %.1f, \"achieved_rps\": %.0f,\n"
+    arrival_model rate_str conc_str requests !served_count shed dur
+    achieved_rps;
+  add
+    "    \"latency\": {\"p50\": %s, \"p99\": %s, \"p999\": %s, \"mean\": \
+     %s}},\n"
+    (json_float lat_p50) (json_float lat_p99) (json_float lat_p999)
+    (json_float lat_mean);
+  add "  \"tenants\": [%s],\n" (tenants_json false);
+  add
+    "  \"sched\": {\"batch_max\": %d, \"batches\": %d, \"batched_requests\": \
+     %d, \"dispatch_decision_cycles\": %s, \"steals\": %d},\n"
+    batch_max !batches !batched_reqs
+    (if replaying then "0.0"
+     else Printf.sprintf "%.1f" dispatch_decision_cycles)
+    !steals_total;
   (* the §5.3 comparison: what the same boundary crossing costs under
      process isolation (gvisor is unmeasured/NaN on some uarches →
      null) *)
@@ -449,10 +829,24 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
     export_state;
   add "}\n";
   add "}\n";
+  (* condensed one-object view of the same run, for suite embedding *)
+  let summary =
+    Printf.sprintf
+      "{\"uarch\": %S, \"pool\": %d, \"tenant_count\": %d, \"requests\": %d, \
+       \"seed\": %d, \"model\": %S, \"rate_rps\": %s, \"concurrency\": %s, \
+       \"completed\": %d, \"failed\": %d, \"shed\": %d, \"duration_cycles\": \
+       %.1f, \"achieved_rps\": %.0f, \"p50\": %s, \"p99\": %s, \"p999\": %s, \
+       \"mean\": %s, \"steals\": %d, \"batches\": %d, \"per_tenant\": [%s]}"
+      uarch.Cost_model.name pool ntenants requests seed arrival_model rate_str
+      conc_str completed failed shed dur achieved_rps (json_float lat_p50)
+      (json_float lat_p99) (json_float lat_p999) (json_float lat_mean)
+      !steals_total !batches (tenants_json true)
+  in
   {
     json = Buffer.contents b;
     completed;
     failed;
+    shed;
     retired;
     gate_p50 = H.percentile gate 0.50;
     gate_p99 = H.percentile gate 0.99;
@@ -460,8 +854,65 @@ let run ?(uarch = Cost_model.m1) ?(config = Lfi_core.Config.o2)
     call_p50 = H.percentile call 0.50;
     call_p99 = H.percentile call 0.99;
     call_p999 = H.percentile call 0.999;
+    latency_p50 = lat_p50;
+    latency_p99 = lat_p99;
+    latency_p999 = lat_p999;
     insns_per_request;
     requests_per_sec;
+    achieved_rps;
+    duration_cycles = dur;
+    steals = !steals_total;
+    batches = !batches;
+    tenants = tenant_stats;
     alerts;
     snapshots;
+    summary;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The committed bench suite                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Parameters of the committed `BENCH_serve.json` scale runs, shared
+    between `lfi_serve --suite` (which writes the file) and
+    `bench --compare` (which re-runs the closed-loop point to gate
+    p999 regressions).  The anchor replay run keeps its own CLI
+    parameters in the Makefile. *)
+module Suite = struct
+  let pool = 256
+  let requests = 3000
+  let concurrency = 64
+  let open_rate = 800_000.0
+  let batch_max = 8
+
+  (** Four xzbox tenants: a free-for-all heavyweight and three quota
+      classes.  At the open-loop rate the bronze tenant's weighted
+      arrival share (1/10 of 800k) exceeds its 60k quota, so the
+      deterministic quota shed path is exercised in the committed
+      numbers. *)
+  let tenants =
+    [
+      { Tenant.t_name = "free0"; t_weight = 4; t_queue_bound = 256;
+        t_quota_rps = 0.0; t_burst = 1.0 };
+      { Tenant.t_name = "gold1"; t_weight = 3; t_queue_bound = 128;
+        t_quota_rps = 320_000.0; t_burst = 32.0 };
+      { Tenant.t_name = "silver2"; t_weight = 2; t_queue_bound = 64;
+        t_quota_rps = 180_000.0; t_burst = 16.0 };
+      { Tenant.t_name = "bronze3"; t_weight = 1; t_queue_bound = 32;
+        t_quota_rps = 60_000.0; t_burst = 8.0 };
+    ]
+
+  let knee_pool = 64
+  let knee_requests = 900
+
+  let knee_rates =
+    [ 600_000.0; 800_000.0; 1_000_000.0; 1_100_000.0; 1_300_000.0;
+      1_600_000.0 ]
+
+  (** A swept rate is sustainable while its overall p999 stays within
+      4x the lowest swept rate's p999 and no tenant shed on queue
+      bound; the knee is the largest sustainable rate. *)
+  let sustainable ~(base_p999 : float) (r : report) =
+    r.latency_p999 <= 4.0 *. base_p999
+    && List.for_all (fun ts -> ts.ts_shed_queue = 0) r.tenants
+end

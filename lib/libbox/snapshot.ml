@@ -1,13 +1,18 @@
-(** Byte-stable [lfi-snap/v1] serving snapshots.
+(** Byte-stable [lfi-snap/v2] serving snapshots.
 
     A snapshot is one JSON line capturing the serving layer mid-run:
     per-export rolling latency (p50/p99/p999 over the retained
-    windows), per-slot pool state, the cumulative span-phase cycle
-    breakdown, and every SLO burn-rate alert fired so far.  Everything
-    derives from the seed and the simulated clock, so the frames
-    `lfi_serve --snapshot --snapshot-every N` writes are byte-identical
-    across runs — CI diffs a committed copy, and the golden test pins
-    the format.
+    windows), per-slot pool state, per-tenant scheduler state (queue
+    depth, quota utilization, sheds — v2), the cumulative span-phase
+    cycle breakdown, and every SLO burn-rate alert fired so far.
+    Everything derives from the seed and the simulated clock, so the
+    frames `lfi_serve --snapshot --snapshot-every N` writes are
+    byte-identical across runs — CI diffs a committed copy, and the
+    golden test pins the format.
+
+    {!of_json} still parses [lfi-snap/v1] frames (pre-multi-tenant
+    recordings replay in `lfi_top` unchanged; their tenant table is
+    simply empty).
 
     The module is deliberately self-contained in both directions:
     {!to_json} renders a frame, {!of_json} parses one back (via the
@@ -219,6 +224,20 @@ type slot_row = {
   sl_restored : int;
 }
 
+type tenant_row = {
+  tn_name : string;
+  tn_depth : int;  (** queued requests right now *)
+  tn_depth_max : int;
+  tn_admitted : int;
+  tn_completed : int;
+  tn_failed : int;
+  tn_shed_queue : int;  (** rejected: queue at bound *)
+  tn_shed_quota : int;  (** rejected: token bucket empty *)
+  tn_quota_util : float;  (** share of quota spent; NaN = no quota *)
+  tn_steals : int;  (** requests served on another shard's instance *)
+  tn_p99 : float;  (** full-run p99 latency, cycles *)
+}
+
 type t = {
   workload : string;
   seq : int;  (** requests dispatched when the frame was taken *)
@@ -230,6 +249,7 @@ type t = {
   windows : int;  (** windows spanned so far *)
   exports : export_row list;
   slots : slot_row list;
+  tenants : tenant_row list;  (** empty on parsed v1 frames *)
   phases : (string * float) list;  (** cumulative cycles per span phase *)
   alerts : Lfi_telemetry.Slo.alert list;
 }
@@ -241,7 +261,7 @@ let json_float (v : float) : string =
 let to_json (t : t) : string =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "{\"schema\": \"lfi-snap/v1\", \"workload\": %S, \"seq\": %d, " t.workload
+  add "{\"schema\": \"lfi-snap/v2\", \"workload\": %S, \"seq\": %d, " t.workload
     t.seq;
   add "\"now\": %.1f, \"completed\": %d, \"failed\": %d, \"instances_lost\": %d, "
     t.now t.completed t.failed t.retired;
@@ -268,6 +288,21 @@ let to_json (t : t) : string =
         s.sl_slot s.sl_pid s.sl_alive s.sl_calls s.sl_resets s.sl_insns
         s.sl_restored)
     t.slots;
+  add "], \"tenants\": [";
+  List.iteri
+    (fun i tn ->
+      if i > 0 then add ", ";
+      add
+        "{\"tenant\": %S, \"depth\": %d, \"depth_max\": %d, \"admitted\": %d, \
+         \"completed\": %d, \"failed\": %d, \"shed_queue\": %d, \
+         \"shed_quota\": %d, \"quota_utilization\": %s, \"steals\": %d, \
+         \"p99\": %s}"
+        tn.tn_name tn.tn_depth tn.tn_depth_max tn.tn_admitted tn.tn_completed
+        tn.tn_failed tn.tn_shed_queue tn.tn_shed_quota
+        (if Float.is_nan tn.tn_quota_util then "null"
+         else Printf.sprintf "%.3f" tn.tn_quota_util)
+        tn.tn_steals (json_float tn.tn_p99))
+    t.tenants;
   add "], \"phases\": {";
   List.iteri
     (fun i (name, cycles) ->
@@ -291,15 +326,16 @@ let to_json (t : t) : string =
 exception Bad_snapshot of string
 
 (** Parse one frame back.  Raises {!Bad_snapshot} on anything that is
-    not an [lfi-snap/v1] line. *)
+    not an [lfi-snap/v1] or [lfi-snap/v2] line. *)
 let of_json (line : string) : t =
   match Json.parse line with
   | exception Json.Parse_error msg -> raise (Bad_snapshot msg)
   | j -> (
       try
         let open Json in
-        if str (field j "schema") <> "lfi-snap/v1" then
-          raise (Bad_snapshot "not an lfi-snap/v1 frame");
+        let schema = str (field j "schema") in
+        if schema <> "lfi-snap/v1" && schema <> "lfi-snap/v2" then
+          raise (Bad_snapshot "not an lfi-snap/v1 or /v2 frame");
         let int_of v = int_of_float (num v) in
         {
           workload = str (field j "workload");
@@ -340,6 +376,25 @@ let of_json (line : string) : t =
                   sl_restored = int_of (field s "pages_restored");
                 })
               (arr (field j "slots"));
+          tenants =
+            (if schema = "lfi-snap/v1" then []
+             else
+               List.map
+                 (fun tn ->
+                   {
+                     tn_name = str (field tn "tenant");
+                     tn_depth = int_of (field tn "depth");
+                     tn_depth_max = int_of (field tn "depth_max");
+                     tn_admitted = int_of (field tn "admitted");
+                     tn_completed = int_of (field tn "completed");
+                     tn_failed = int_of (field tn "failed");
+                     tn_shed_queue = int_of (field tn "shed_queue");
+                     tn_shed_quota = int_of (field tn "shed_quota");
+                     tn_quota_util = num (field tn "quota_utilization");
+                     tn_steals = int_of (field tn "steals");
+                     tn_p99 = num (field tn "p99");
+                   })
+                 (arr (field j "tenants")));
           phases =
             (match field j "phases" with
             | Obj kvs -> List.map (fun (k, v) -> (k, num v)) kvs
@@ -395,6 +450,20 @@ let render (t : t) : string =
         (if s.sl_alive then "yes" else "DEAD")
         s.sl_calls s.sl_resets s.sl_insns s.sl_restored)
     t.slots;
+  (match t.tenants with
+  | [] -> ()
+  | tenants ->
+      add "\n%-10s %6s %6s %8s %8s %6s %7s %7s %7s %7s %8s\n" "TENANT" "DEPTH"
+        "DMAX" "ADMIT" "DONE" "FAIL" "SHED.Q" "SHED.T" "QUOTA%" "STEALS" "P99";
+      List.iter
+        (fun tn ->
+          add "%-10s %6d %6d %8d %8d %6d %7d %7d %7s %7d %8s\n" tn.tn_name
+            tn.tn_depth tn.tn_depth_max tn.tn_admitted tn.tn_completed
+            tn.tn_failed tn.tn_shed_queue tn.tn_shed_quota
+            (if Float.is_nan tn.tn_quota_util then "-"
+             else Printf.sprintf "%.0f%%" (100.0 *. tn.tn_quota_util))
+            tn.tn_steals (fnum tn.tn_p99))
+        tenants);
   let phase_total =
     List.fold_left (fun acc (_, c) -> acc +. c) 0.0 t.phases
   in

@@ -53,7 +53,9 @@ type t = {
   machine : Machine.t;
   vfs : Vfs.t;
   procs : (int, Proc.t) Hashtbl.t;
-  mutable runq : int list;
+  runq : Lfi_sched.Runq.t;
+      (** pids awaiting the scheduler, on the shared run-queue
+          abstraction ({!Lfi_sched.Runq}) the pool layer also runs on *)
   mutable next_pid : int;
   mutable next_slot : int;
   mutable free_slots : int list;
@@ -82,7 +84,7 @@ let create ?(config = default_config) () =
     machine = Machine.create ~uarch:config.uarch mem;
     vfs = Vfs.create ~allowed_prefixes:config.allowed_prefixes ();
     procs = Hashtbl.create 64;
-    runq = [];
+    runq = Lfi_sched.Runq.create ();
     next_pid = 1;
     next_slot = 1 (* slot 0 is reserved for native processes *);
     free_slots = [];
@@ -361,7 +363,7 @@ let load rt ?(arg = 0L) ~(personality : Proc.personality)
   in
   Proc.install_std_fds p;
   Hashtbl.replace rt.procs pid p;
-  rt.runq <- rt.runq @ [ pid ];
+  Lfi_sched.Runq.push rt.runq pid;
   (match rt.trace with
   | None -> ()
   | Some t ->
@@ -500,7 +502,7 @@ let do_fork rt (parent : Proc.t) : int =
     Proc.dup_fds parent child;
     parent.Proc.children <- pid :: parent.Proc.children;
     Hashtbl.replace rt.procs pid child;
-    rt.runq <- rt.runq @ [ pid ];
+    Lfi_sched.Runq.push rt.runq pid;
     (match rt.trace with
     | None -> ()
     | Some t ->
@@ -786,7 +788,7 @@ let handle_call rt (p : Proc.t) (k : int) : outcome =
     | Some tp when Proc.is_runnable tp && tp.Proc.pid <> p.Proc.pid ->
         ignore (ret 0L);
         (* direct invocation: put the target at the head of the queue *)
-        rt.runq <- target :: List.filter (fun x -> x <> target) rt.runq;
+        Lfi_sched.Runq.promote rt.runq target;
         Machine.add_cycles m rt.cfg.uarch.Cost_model.lfi_yield_direct;
         Switch
     | _ -> reti Vfs.einval
@@ -803,24 +805,13 @@ exception Deadlock
 let next_runnable rt : Proc.t option =
   (* poll blocked processes first (the "signals" of our runtime) *)
   Hashtbl.iter (fun _ p -> try_wake rt p) rt.procs;
-  let rec go seen = function
-    | [] -> None
-    | pid :: tl -> (
-        match Hashtbl.find_opt rt.procs pid with
-        | Some p when Proc.is_runnable p ->
-            rt.runq <- (tl @ List.rev seen) @ [ pid ];
-            Some p
-        | Some _ -> go (pid :: seen) tl
-        | None -> go seen tl)
-  in
-  let q = rt.runq in
-  rt.runq <- [];
-  let r = go [] q in
-  (match r with
-  | None ->
-      rt.runq <- List.filter (fun pid -> Hashtbl.mem rt.procs pid) q
-  | Some _ -> ());
-  r
+  Lfi_sched.Runq.select rt.runq
+    ~keep:(fun pid -> Hashtbl.mem rt.procs pid)
+    ~runnable:(fun pid ->
+      match Hashtbl.find_opt rt.procs pid with
+      | Some p -> Proc.is_runnable p
+      | None -> false)
+  |> Option.map (Hashtbl.find rt.procs)
 
 (* ------------------------------------------------------------------ *)
 (* Postmortem collection                                               *)
@@ -1051,7 +1042,7 @@ let kill_proc rt ?(fault : Memory.fault option) (p : Proc.t)
 let remove_proc rt (p : Proc.t) =
   release_slot rt p;
   Hashtbl.remove rt.procs p.Proc.pid;
-  rt.runq <- List.filter (fun pid -> pid <> p.Proc.pid) rt.runq
+  Lfi_sched.Runq.remove rt.runq p.Proc.pid
 
 (** Guard-clamp audit total across all sandboxes, living and reaped:
     how many times a guarded access would have escaped its sandbox had

@@ -1,0 +1,129 @@
+(** Per-tenant request queues with quotas and admission control.
+
+    A tenant owns a bounded FIFO of pending requests, a token-bucket
+    quota refilled by {e simulated} time, and a deficit counter for
+    weighted round-robin service.  Admission is deterministic: a
+    request is shed (never silently dropped — the reject is counted and
+    reported) when the tenant's bucket is empty ([Shed_quota]) or its
+    queue is at its bound ([Shed_queue]); otherwise it is enqueued.
+
+    The module is generic in the request payload so the serve layer can
+    queue whatever record it likes; everything observable (counters,
+    depths, token arithmetic) uses only int and exactly-rounded float
+    ops, keeping reports byte-stable. *)
+
+type spec = {
+  t_name : string;
+  t_weight : int;
+      (** DRR quantum: requests served per scheduling visit relative to
+          other tenants *)
+  t_queue_bound : int;  (** max queued requests before shedding *)
+  t_quota_rps : float;
+      (** admission quota in requests per simulated second; 0 or
+          negative = unlimited *)
+  t_burst : float;  (** token-bucket capacity (quota tenants only) *)
+}
+
+let default_spec =
+  { t_name = "default"; t_weight = 1; t_queue_bound = 1024;
+    t_quota_rps = 0.0; t_burst = 1.0 }
+
+type verdict = Admitted | Shed_queue | Shed_quota
+
+type 'a t = {
+  spec : spec;
+  quota_per_cycle : float;  (** tokens accrued per simulated cycle *)
+  q : 'a Queue.t;
+  mutable tokens : float;
+  mutable last_refill : float;  (** simulated-cycle timestamp *)
+  mutable deficit : int;  (** DRR credit carried across visits *)
+  mutable admitted : int;
+  mutable shed_queue : int;
+  mutable shed_quota : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable steals : int;  (** dispatches served on a stolen instance *)
+  mutable depth_max : int;
+  mutable depth_sum : int;  (** queue depth sampled at each admission *)
+}
+
+let create ~(clock_hz : float) (spec : spec) : 'a t =
+  {
+    spec;
+    quota_per_cycle =
+      (if spec.t_quota_rps > 0.0 then spec.t_quota_rps /. clock_hz else 0.0);
+    q = Queue.create ();
+    tokens = (if spec.t_quota_rps > 0.0 then spec.t_burst else 0.0);
+    last_refill = 0.0;
+    deficit = 0;
+    admitted = 0;
+    shed_queue = 0;
+    shed_quota = 0;
+    completed = 0;
+    failed = 0;
+    steals = 0;
+    depth_max = 0;
+    depth_sum = 0;
+  }
+
+let depth t = Queue.length t.q
+let has_quota t = t.spec.t_quota_rps > 0.0
+
+let refill t ~(now : float) =
+  if has_quota t && now > t.last_refill then begin
+    t.tokens <-
+      Float.min t.spec.t_burst
+        (t.tokens +. ((now -. t.last_refill) *. t.quota_per_cycle));
+    t.last_refill <- now
+  end
+
+(** Admit one request arriving at [now], or shed it deterministically.
+    Quota is charged before the queue bound is checked, so a shed on a
+    full queue still consumes a token — a tenant cannot convert queue
+    pressure into saved quota. *)
+let admit (t : 'a t) ~(now : float) (req : 'a) : verdict =
+  refill t ~now;
+  if has_quota t && t.tokens < 1.0 then begin
+    t.shed_quota <- t.shed_quota + 1;
+    Shed_quota
+  end
+  else begin
+    if has_quota t then t.tokens <- t.tokens -. 1.0;
+    if depth t >= t.spec.t_queue_bound then begin
+      t.shed_queue <- t.shed_queue + 1;
+      Shed_queue
+    end
+    else begin
+      Queue.push req t.q;
+      t.admitted <- t.admitted + 1;
+      let d = depth t in
+      if d > t.depth_max then t.depth_max <- d;
+      t.depth_sum <- t.depth_sum + d;
+      Admitted
+    end
+  end
+
+(** Enqueue without admission control (closed-loop clients: concurrency
+    is the cap, quotas do not apply). *)
+let enqueue (t : 'a t) (req : 'a) =
+  Queue.push req t.q;
+  t.admitted <- t.admitted + 1;
+  let d = depth t in
+  if d > t.depth_max then t.depth_max <- d;
+  t.depth_sum <- t.depth_sum + d
+
+let peek t = Queue.peek_opt t.q
+let take t = Queue.pop t.q
+
+let sheds t = t.shed_queue + t.shed_quota
+
+(** Fraction of the quota the tenant actually spent over a run of
+    [duration] simulated cycles (NaN when it has no quota; can exceed
+    1.0 slightly by the burst allowance). *)
+let quota_utilization t ~(duration : float) : float =
+  if not (has_quota t) || duration <= 0.0 then Float.nan
+  else float_of_int t.admitted /. (t.quota_per_cycle *. duration)
+
+let depth_avg t =
+  if t.admitted = 0 then 0.0
+  else float_of_int t.depth_sum /. float_of_int t.admitted

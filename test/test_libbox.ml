@@ -323,7 +323,7 @@ let test_serve_transition_beats_pipe () =
     (r.Serve.gate_p50 < u.Lfi_emulator.Cost_model.linux_pipe_roundtrip);
   checkb "p99 below linux pipe" true
     (r.Serve.gate_p99 < u.Lfi_emulator.Cost_model.linux_pipe_roundtrip);
-  checkb "schema tagged" true (contains r.Serve.json "\"lfi-serve/v2\"");
+  checkb "schema tagged" true (contains r.Serve.json "\"lfi-serve/v3\"");
   checkb "phase breakdown present" true (contains r.Serve.json "\"phases\"");
   checkb "rolling windows present" true
     (contains r.Serve.json "\"windows\"")
@@ -403,6 +403,205 @@ let test_serve_trace_spans () =
   checkb "marshal phase slice" true
     (contains (Lfi_telemetry.Trace.to_string tr2) "\"marshal_in\"")
 
+(* ---------------- multi-tenant scheduling (lfi-serve/v3) ---------- *)
+
+module Tenant = Lfi_sched.Tenant
+module Arrival = Lfi_sched.Arrival
+
+let lines (s : string) = String.split_on_char '\n' s
+
+(* the v3 report = the v2 report with a new schema tag and three
+   sections (arrival, tenants, sched) spliced in; every v2 line must
+   survive byte-for-byte, in order, so old consumers keep parsing *)
+let test_serve_v2_byte_compat () =
+  let ic = open_in "serve_v2_fixture.json" in
+  let v2 = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let r = Serve.run ~spec:Libs.xzbox ~pool:4 ~requests:1000 ~seed:1 () in
+  let inserted l =
+    let is_pfx p = String.length l >= String.length p
+                   && String.sub l 0 (String.length p) = p in
+    is_pfx "  \"arrival\":" || is_pfx "    \"latency\":"
+    || is_pfx "  \"tenants\":" || is_pfx "  \"sched\":"
+  in
+  let v3_lines =
+    List.filter (fun l -> not (inserted l)) (lines r.Serve.json)
+  in
+  let v2_lines =
+    List.map
+      (fun l ->
+        if l = "  \"schema\": \"lfi-serve/v2\"," then
+          "  \"schema\": \"lfi-serve/v3\","
+        else l)
+      (lines v2)
+  in
+  checki "same line count" (List.length v2_lines) (List.length v3_lines);
+  List.iteri
+    (fun i (a, b) -> checks (Printf.sprintf "line %d" (i + 1)) a b)
+    (List.combine v2_lines v3_lines)
+
+(* identical seeds must give byte-identical v3 reports under every
+   arrival model; a different seed must not *)
+let test_serve_v3_deterministic () =
+  let go seed arrival =
+    Serve.run ~arrival ~tenants:Serve.Suite.tenants ~spec:Libs.xzbox ~pool:8
+      ~requests:300 ~seed ()
+  in
+  let opn = Arrival.Open { rate_rps = 800_000.0 } in
+  let clsd = Arrival.Closed { concurrency = 16 } in
+  checks "open loop deterministic" (go 11 opn).Serve.json (go 11 opn).Serve.json;
+  checks "closed loop deterministic" (go 11 clsd).Serve.json
+    (go 11 clsd).Serve.json;
+  checkb "seed matters" true
+    ((go 11 opn).Serve.json <> (go 12 opn).Serve.json);
+  let r = go 11 opn in
+  checkb "v3 schema" true (contains r.Serve.json "\"lfi-serve/v3\"");
+  checkb "arrival section" true (contains r.Serve.json "\"arrival\": {");
+  checkb "tenants section" true (contains r.Serve.json "\"tenants\": [")
+
+(* a greedy tenant clamped by its quota cannot push the victim's p99
+   past its SLO, even at far-over-capacity offered load; without the
+   quota it can *)
+let test_serve_quota_starvation () =
+  let greedy quota =
+    { Tenant.t_name = "greedy"; t_weight = 8; t_queue_bound = 64;
+      t_quota_rps = quota; t_burst = 16.0 }
+  in
+  let victim =
+    { Tenant.t_name = "victim"; t_weight = 1; t_queue_bound = 64;
+      t_quota_rps = 0.0; t_burst = 1.0 }
+  in
+  let slo_cycles = 131_072.0 in
+  let go quota =
+    let r =
+      Serve.run
+        ~arrival:(Arrival.Open { rate_rps = 1_600_000.0 })
+        ~tenants:[ greedy quota; victim ] ~spec:Libs.xzbox ~pool:4
+        ~requests:600 ~seed:5 ()
+    in
+    ( List.find (fun t -> t.Serve.ts_name = "victim") r.Serve.tenants,
+      List.find (fun t -> t.Serve.ts_name = "greedy") r.Serve.tenants )
+  in
+  let v_quota, g_quota = go 150_000.0 in
+  let v_flood, _ = go 0.0 in
+  checkb "quota sheds the greedy excess" true (g_quota.Serve.ts_shed_quota > 0);
+  checkb "victim p99 within SLO under quota" true
+    (v_quota.Serve.ts_p99 <= slo_cycles);
+  (* the tail is bucket-quantised, so the flood shows up most robustly
+     in the victim's median queueing delay; the tail must at least not
+     improve while the greedy tenant floods *)
+  checkb "victim median latency degrades without the quota" true
+    (v_flood.Serve.ts_p50 > v_quota.Serve.ts_p50);
+  checkb "victim p99 no better without the quota" true
+    (v_flood.Serve.ts_p99 >= v_quota.Serve.ts_p99)
+
+(* with fewer slots than tenants, some home shards are empty and those
+   tenants serve every request on stolen instances; nothing may be
+   lost or double-served on that path *)
+let test_serve_work_stealing_conservation () =
+  let r =
+    Serve.run
+      ~arrival:(Arrival.Closed { concurrency = 8 })
+      ~tenants:Serve.Suite.tenants ~spec:Libs.xzbox ~pool:2 ~requests:200
+      ~seed:9 ()
+  in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 r.Serve.tenants in
+  (* conservation: every issued request is completed or failed, exactly
+     once, and the pool's own counters agree with the tenant ledgers *)
+  checki "all issued requests accounted" 200
+    (sum (fun t -> t.Serve.ts_completed) + sum (fun t -> t.Serve.ts_failed));
+  List.iter
+    (fun t ->
+      checki
+        (Printf.sprintf "tenant %s ledger balances" t.Serve.ts_name)
+        t.Serve.ts_admitted
+        (t.Serve.ts_completed + t.Serve.ts_failed))
+    r.Serve.tenants;
+  checki "pool agrees" r.Serve.completed (sum (fun t -> t.Serve.ts_completed));
+  (* tenants 2 and 3 have empty home shards on a 2-slot pool: every one
+     of their dispatches is a steal *)
+  List.iter
+    (fun t ->
+      if t.Serve.ts_name = "silver2" || t.Serve.ts_name = "bronze3" then begin
+        checkb (t.Serve.ts_name ^ " stole") true (t.Serve.ts_steals > 0);
+        checki (t.Serve.ts_name ^ " every dispatch stolen")
+          (t.Serve.ts_completed + t.Serve.ts_failed)
+          t.Serve.ts_steals
+      end)
+    r.Serve.tenants;
+  checkb "steals totalled" true (r.Serve.steals > 0);
+  (* the open loop also conserves: offered = served + shed *)
+  let o =
+    Serve.run
+      ~arrival:(Arrival.Open { rate_rps = 1_600_000.0 })
+      ~tenants:Serve.Suite.tenants ~spec:Libs.xzbox ~pool:2 ~requests:400
+      ~seed:9 ()
+  in
+  let osum f = List.fold_left (fun a t -> a + f t) 0 o.Serve.tenants in
+  checki "offered = served + shed" 400
+    (osum (fun t -> t.Serve.ts_completed)
+    + osum (fun t -> t.Serve.ts_failed)
+    + o.Serve.shed)
+
+(* the dispatch rotation with dead slots: all-but-one retired, the last
+   one retiring mid-stream, and a respawn recycling the freed slot *)
+let test_pool_wraparound_respawn () =
+  let lib = Lazy.force crash_lib in
+  let pool = Pool.create ~size:3 lib in
+  let scratch =
+    match Library.symbol lib "scratch" with
+    | Some a -> Int64.of_int a
+    | None -> Alcotest.fail "scratch symbol missing"
+  in
+  let kill () =
+    match Pool.dispatch pool "corrupt" [] with
+    | _, Error (Api.Killed _) -> ()
+    | _ -> Alcotest.fail "corrupt did not kill"
+  in
+  let poke () =
+    match Pool.dispatch pool "poke" [ Api.I scratch ] with
+    | Some inst, Ok _ -> inst.Instance.p.Proc.slot
+    | _ -> Alcotest.fail "poke failed"
+  in
+  kill ();
+  ignore (poke ());
+  kill ();
+  checki "one live" 1 (Pool.live_count pool);
+  (* the rotation must wrap cleanly onto the single survivor *)
+  let s1 = poke () and s2 = poke () and s3 = poke () in
+  checkb "survivor serves repeatedly" true (s1 = s2 && s2 = s3);
+  (* last live instance retires mid-stream: dispatch reports, never
+     loops or dangles *)
+  kill ();
+  checki "none live" 0 (Pool.live_count pool);
+  (match Pool.dispatch pool "poke" [ Api.I scratch ] with
+  | None, Error Api.No_instances -> ()
+  | _ -> Alcotest.fail "empty pool must report No_instances");
+  let freed = List.length pool.Pool.rt.Runtime.free_slots in
+  checkb "slots freed" true (freed > 0);
+  (* respawn recycles a freed slot and the pool serves again *)
+  let inst = Pool.respawn pool in
+  checki "slot recycled" (freed - 1)
+    (List.length pool.Pool.rt.Runtime.free_slots);
+  checki "respawn live" 1 (Pool.live_count pool);
+  let s = poke () in
+  checki "respawned instance serves" inst.Instance.p.Proc.slot s
+
+(* old lfi-snap/v1 frames (no tenants array) must still parse, render,
+   and re-serialize as v2 *)
+let test_snapshot_v1_parse () =
+  let ic = open_in "snap_v1_fixture.jsonl" in
+  let line = input_line ic in
+  close_in ic;
+  checkb "fixture is v1" true (contains line "\"lfi-snap/v1\"");
+  let frame = Snapshot.of_json line in
+  checkb "no tenants in v1" true (frame.Snapshot.tenants = []);
+  let view = Snapshot.render frame in
+  checkb "renders" true (contains view "EXPORT");
+  checkb "no tenant table without tenants" false (contains view "TENANT");
+  checkb "re-serializes as v2" true
+    (contains (Snapshot.to_json frame) "\"lfi-snap/v2\"")
+
 let mk name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -446,5 +645,14 @@ let () =
           mk "slo burn-rate alert" test_serve_slo_alert;
           mk "snapshot golden" test_serve_snapshot_golden;
           mk "trace spans" test_serve_trace_spans;
+        ] );
+      ( "sched",
+        [
+          mk "v2 byte compat" test_serve_v2_byte_compat;
+          mk "v3 deterministic" test_serve_v3_deterministic;
+          mk "quota starvation" test_serve_quota_starvation;
+          mk "work-stealing conservation" test_serve_work_stealing_conservation;
+          mk "pool wraparound + respawn" test_pool_wraparound_respawn;
+          mk "snapshot v1 parse" test_snapshot_v1_parse;
         ] );
     ]

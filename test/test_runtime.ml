@@ -284,6 +284,49 @@ let test_fd_alloc_reuse () =
   (* next_fd stays a high-water mark for dup_fds *)
   checki "high-water kept" 7 p.Proc.next_fd
 
+(* ---------------- the shared run queue ---------------- *)
+
+module Runq = Lfi_sched.Runq
+
+let test_runq_fifo () =
+  let q = Runq.create ~capacity:2 () in
+  List.iter (Runq.push q) [ 1; 2; 3; 4; 5 ];
+  (* pushes past capacity grow the ring without reordering *)
+  checkb "order kept across growth" true (Runq.to_list q = [ 1; 2; 3; 4; 5 ]);
+  checkb "pop head" true (Runq.pop q = Some 1);
+  Runq.push q 6;
+  checkb "fifo" true (Runq.to_list q = [ 2; 3; 4; 5; 6 ]);
+  Runq.remove q 4;
+  checkb "remove keeps order" true (Runq.to_list q = [ 2; 3; 5; 6 ])
+
+let test_runq_promote () =
+  let q = Runq.create () in
+  List.iter (Runq.push q) [ 1; 2; 3 ];
+  (* the direct-yield path: the handoff target runs next *)
+  Runq.promote q 3;
+  checkb "queued target moved to head" true (Runq.to_list q = [ 3; 1; 2 ]);
+  Runq.promote q 9;
+  checkb "unqueued target enqueued at head" true
+    (Runq.to_list q = [ 9; 3; 1; 2 ])
+
+let test_runq_select_rotation () =
+  let q = Runq.create () in
+  List.iter (Runq.push q) [ 1; 2; 3; 4 ];
+  (* blocked ids are skipped but keep their relative order; the chosen
+     id requeues at the tail behind the unscanned rest *)
+  let sel = Runq.select q ~keep:(fun _ -> true) ~runnable:(fun x -> x = 3) in
+  checkb "picks first runnable" true (sel = Some 3);
+  checkb "rotation" true (Runq.to_list q = [ 4; 1; 2; 3 ]);
+  (* dead ids fall out during the scan *)
+  let sel = Runq.select q ~keep:(fun x -> x <> 4) ~runnable:(fun _ -> true) in
+  checkb "drops dead, picks next" true (sel = Some 1);
+  checkb "dead gone" true (Runq.to_list q = [ 2; 3; 1 ]);
+  (* nothing runnable: compacts to kept ids, original order, returns
+     nothing *)
+  let sel = Runq.select q ~keep:(fun x -> x <> 2) ~runnable:(fun _ -> false) in
+  checkb "none runnable" true (sel = None);
+  checkb "compacted in order" true (Runq.to_list q = [ 3; 1 ])
+
 let mk name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -322,5 +365,11 @@ let () =
           mk "preemption" test_preemption_interleaves;
           mk "sandbox isolation" test_sandbox_isolation;
           mk "slot reuse" test_slot_reuse;
+        ] );
+      ( "runq",
+        [
+          mk "fifo + growth" test_runq_fifo;
+          mk "promote" test_runq_promote;
+          mk "select rotation" test_runq_select_rotation;
         ] );
     ]
